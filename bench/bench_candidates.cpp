@@ -1,0 +1,82 @@
+// Candidate-set diversity figure: the evidence behind the paper's claim
+// that D-TkDI yields "a compact set of diversified paths". For both
+// strategies, prints (a) the histogram of pairwise weighted-Jaccard
+// similarity *within* candidate sets and (b) the histogram of ground-truth
+// labels (similarity to the driver's actual path) the training data covers.
+#include <cstdio>
+#include <vector>
+
+#include "experiment_common.h"
+#include "routing/path_similarity.h"
+
+namespace {
+
+constexpr int kBins = 10;
+
+struct Histogram {
+  std::vector<double> bins = std::vector<double>(kBins, 0.0);
+  double count = 0.0;
+
+  void Add(double value) {
+    int b = static_cast<int>(value * kBins);
+    if (b >= kBins) b = kBins - 1;
+    if (b < 0) b = 0;
+    bins[b] += 1.0;
+    count += 1.0;
+  }
+
+  void Print(const char* label) const {
+    std::printf("%-22s", label);
+    for (int b = 0; b < kBins; ++b) {
+      std::printf(" %5.1f%%", count > 0 ? 100.0 * bins[b] / count : 0.0);
+    }
+    std::printf("\n");
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace pathrank;
+  using namespace pathrank::bench;
+
+  const ExperimentScale scale = ResolveScale();
+  std::printf("Candidate-set diversity (scale=%s)\n\n", scale.name.c_str());
+  std::printf("%-22s", "bin upper edge");
+  for (int b = 1; b <= kBins; ++b) std::printf(" %5.1f ", 0.1 * b);
+  std::printf("\n%s\n", std::string(92, '-').c_str());
+
+  for (const auto strategy : {data::CandidateStrategy::kTopK,
+                              data::CandidateStrategy::kDiversifiedTopK}) {
+    const Workload w = BuildWorkload(scale, strategy);
+    Histogram pairwise;
+    Histogram labels;
+    double mean_pairwise = 0.0;
+    double pairwise_n = 0.0;
+    for (const auto& split :
+         {w.split.train, w.split.validation, w.split.test}) {
+      for (const auto& q : split.queries) {
+        for (size_t i = 0; i < q.candidates.size(); ++i) {
+          labels.Add(q.candidates[i].label);
+          for (size_t j = i + 1; j < q.candidates.size(); ++j) {
+            const double s = routing::WeightedJaccard(
+                w.network, q.candidates[i].path.edges,
+                q.candidates[j].path.edges);
+            pairwise.Add(s);
+            mean_pairwise += s;
+            pairwise_n += 1.0;
+          }
+        }
+      }
+    }
+    const auto name = data::CandidateStrategyName(strategy);
+    pairwise.Print((name + " pairwise sim").c_str());
+    labels.Print((name + " labels").c_str());
+    std::printf("%-22s mean pairwise similarity = %.4f\n\n", name.c_str(),
+                mean_pairwise / pairwise_n);
+  }
+  std::printf(
+      "Expected shape: D-TkDI mass shifts to lower pairwise similarity and\n"
+      "covers lower ground-truth labels than TkDI.\n");
+  return 0;
+}

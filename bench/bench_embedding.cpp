@@ -1,0 +1,72 @@
+// Micro-benchmarks of the node2vec substrate: walk generation and SGNS
+// training throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "embedding/node2vec.h"
+#include "graph/network_builder.h"
+
+namespace {
+
+using namespace pathrank;
+
+graph::RoadNetwork MakeNetwork(int side) {
+  graph::SyntheticNetworkConfig cfg;
+  cfg.rows = side;
+  cfg.cols = side;
+  cfg.seed = 29;
+  return graph::BuildSyntheticNetwork(cfg);
+}
+
+void BM_RandomWalkCorpus(benchmark::State& state) {
+  const auto net = MakeNetwork(static_cast<int>(state.range(0)));
+  embedding::RandomWalkConfig cfg;
+  cfg.walk_length = 30;
+  cfg.walks_per_vertex = 2;
+  const embedding::RandomWalker walker(net, cfg);
+  Rng rng(5);
+  size_t tokens = 0;
+  for (auto _ : state) {
+    const auto corpus = walker.GenerateCorpus(rng);
+    for (const auto& w : corpus) tokens += w.size();
+    benchmark::DoNotOptimize(corpus);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tokens));
+}
+BENCHMARK(BM_RandomWalkCorpus)->Arg(16)->Arg(32);
+
+void BM_SkipGramEpoch(benchmark::State& state) {
+  const auto net = MakeNetwork(20);
+  embedding::RandomWalkConfig walk_cfg;
+  walk_cfg.walk_length = 25;
+  walk_cfg.walks_per_vertex = 4;
+  const embedding::RandomWalker walker(net, walk_cfg);
+  Rng rng(6);
+  const auto corpus = walker.GenerateCorpus(rng);
+  embedding::SkipGramConfig sg;
+  sg.dims = static_cast<int>(state.range(0));
+  sg.epochs = 1;
+  for (auto _ : state) {
+    auto emb = embedding::TrainSkipGram(corpus, net.num_vertices(), sg, rng);
+    benchmark::DoNotOptimize(emb);
+  }
+}
+BENCHMARK(BM_SkipGramEpoch)->Arg(64)->Arg(128);
+
+void BM_Node2VecEndToEnd(benchmark::State& state) {
+  const auto net = MakeNetwork(16);
+  embedding::Node2VecConfig cfg;
+  cfg.walk.walk_length = 20;
+  cfg.walk.walks_per_vertex = 4;
+  cfg.skipgram.dims = 64;
+  cfg.skipgram.epochs = 1;
+  for (auto _ : state) {
+    auto emb = embedding::TrainNode2Vec(net, cfg);
+    benchmark::DoNotOptimize(emb);
+  }
+}
+BENCHMARK(BM_Node2VecEndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// Micro-benchmarks of the routing substrate: point-to-point engines and
+// the candidate generators across network sizes.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/network_builder.h"
+#include "routing/astar.h"
+#include "routing/bidirectional_dijkstra.h"
+#include "routing/cost_model.h"
+#include "routing/dijkstra.h"
+#include "routing/diversified.h"
+#include "routing/yen.h"
+
+namespace {
+
+using namespace pathrank;
+using namespace pathrank::routing;
+
+graph::RoadNetwork MakeNetwork(int side) {
+  graph::SyntheticNetworkConfig cfg;
+  cfg.rows = side;
+  cfg.cols = side;
+  cfg.seed = 13;
+  return graph::BuildSyntheticNetwork(cfg);
+}
+
+/// Deterministic far-apart query pair for a network.
+std::pair<VertexId, VertexId> PickQuery(const graph::RoadNetwork& net,
+                                        uint64_t salt) {
+  Rng rng(777 + salt);
+  const auto s = static_cast<VertexId>(rng.NextBounded(net.num_vertices()));
+  const auto t = static_cast<VertexId>(
+      (s + net.num_vertices() / 2 + rng.NextBounded(net.num_vertices() / 4)) %
+      net.num_vertices());
+  return {s, t};
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  const auto net = MakeNetwork(static_cast<int>(state.range(0)));
+  const auto cost = EdgeCostFn::Length(net);
+  Dijkstra engine(net);
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    const auto [s, t] = PickQuery(net, salt++ % 16);
+    auto p = engine.ShortestPath(s, t, cost);
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["settled"] =
+      static_cast<double>(engine.last_settled_count());
+}
+BENCHMARK(BM_Dijkstra)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BidirectionalDijkstra(benchmark::State& state) {
+  const auto net = MakeNetwork(static_cast<int>(state.range(0)));
+  const auto cost = EdgeCostFn::Length(net);
+  BidirectionalDijkstra engine(net);
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    const auto [s, t] = PickQuery(net, salt++ % 16);
+    auto p = engine.ShortestPath(s, t, cost);
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["settled"] =
+      static_cast<double>(engine.last_settled_count());
+}
+BENCHMARK(BM_BidirectionalDijkstra)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_AStar(benchmark::State& state) {
+  const auto net = MakeNetwork(static_cast<int>(state.range(0)));
+  const auto cost = EdgeCostFn::Length(net);
+  AStar engine(net);
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    const auto [s, t] = PickQuery(net, salt++ % 16);
+    auto p = engine.ShortestPath(s, t, cost);
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["settled"] =
+      static_cast<double>(engine.last_settled_count());
+}
+BENCHMARK(BM_AStar)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_YenTopK(benchmark::State& state) {
+  const auto net = MakeNetwork(24);
+  const auto cost = EdgeCostFn::Length(net);
+  const int k = static_cast<int>(state.range(0));
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    const auto [s, t] = PickQuery(net, salt++ % 8);
+    auto paths = TopKShortestPaths(net, s, t, cost, k);
+    benchmark::DoNotOptimize(paths);
+  }
+}
+BENCHMARK(BM_YenTopK)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DiversifiedTopK(benchmark::State& state) {
+  const auto net = MakeNetwork(24);
+  const auto cost = EdgeCostFn::Length(net);
+  DiversifiedOptions options;
+  options.k = static_cast<int>(state.range(0));
+  options.similarity_threshold = 0.8;
+  options.max_enumerated = 300;
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    const auto [s, t] = PickQuery(net, salt++ % 8);
+    auto paths = DiversifiedTopK(net, s, t, cost, options);
+    benchmark::DoNotOptimize(paths);
+  }
+}
+BENCHMARK(BM_DiversifiedTopK)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_NetworkConstruction(benchmark::State& state) {
+  graph::SyntheticNetworkConfig cfg;
+  cfg.rows = static_cast<int>(state.range(0));
+  cfg.cols = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto net = graph::BuildSyntheticNetwork(cfg);
+    benchmark::DoNotOptimize(net);
+  }
+}
+BENCHMARK(BM_NetworkConstruction)->Arg(16)->Arg(48);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace pathrank {
+namespace {
+
+const char* RawEnv(const char* name) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && v[0] != '\0') ? v : nullptr;
+}
+
+}  // namespace
+
+std::string EnvString(const char* name, const std::string& fallback) {
+  const char* v = RawEnv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = RawEnv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = RawEnv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+bool EnvBool(const char* name, bool fallback) {
+  const char* v = RawEnv(name);
+  if (v == nullptr) return fallback;
+  std::string s(v);
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return fallback;
+}
+
+}  // namespace pathrank

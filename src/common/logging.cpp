@@ -1,0 +1,93 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+namespace pathrank {
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::once_flag g_env_once;
+
+void InitFromEnv() {
+  const char* env = std::getenv("PATHRANK_LOG_LEVEL");
+  if (env != nullptr) {
+    g_log_level.store(static_cast<int>(ParseLogLevel(env)),
+                      std::memory_order_relaxed);
+  }
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  std::call_once(g_env_once, InitFromEnv);
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+LogLevel ParseLogLevel(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off" || name == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+bool LogLevelEnabled(LogLevel level) { return level >= GetLogLevel(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+CheckFailure::CheckFailure(const char* condition, const char* file, int line) {
+  stream_ << "PR_CHECK failed: " << condition << " at " << file << ":" << line
+          << " ";
+}
+
+CheckFailure::~CheckFailure() noexcept(false) {
+  std::fputs((stream_.str() + "\n").c_str(), stderr);
+  std::fflush(stderr);
+  throw std::logic_error(stream_.str());
+}
+
+}  // namespace internal
+}  // namespace pathrank

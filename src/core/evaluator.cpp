@@ -1,0 +1,50 @@
+#include "core/evaluator.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "metrics/ranking_metrics.h"
+
+namespace pathrank::core {
+
+std::string EvalResult::ToString() const {
+  return StrFormat(
+      "MAE=%.4f MARE=%.4f tau=%.4f rho=%.4f top1=%.3f ndcg=%.4f (n=%zu)",
+      mae, mare, kendall_tau, spearman_rho, top1_accuracy, ndcg, num_queries);
+}
+
+EvalResult Evaluate(PathRankModel& model,
+                    const data::RankingDataset& dataset) {
+  metrics::MetricAccumulator acc;
+  for (const auto& query : dataset.queries) {
+    if (query.candidates.empty()) continue;
+    std::vector<std::vector<int32_t>> seqs;
+    std::vector<double> truth;
+    seqs.reserve(query.candidates.size());
+    truth.reserve(query.candidates.size());
+    for (const auto& cand : query.candidates) {
+      std::vector<int32_t> seq;
+      seq.reserve(cand.path.vertices.size());
+      for (graph::VertexId v : cand.path.vertices) {
+        seq.push_back(static_cast<int32_t>(v));
+      }
+      seqs.push_back(std::move(seq));
+      truth.push_back(cand.label);
+    }
+    const auto batch = nn::SequenceBatch::FromSequences(seqs);
+    const std::vector<float> scores = model.Forward(batch);
+    std::vector<double> predicted(scores.begin(), scores.end());
+    acc.AddQuery(predicted, truth);
+  }
+
+  EvalResult result;
+  result.mae = acc.mae();
+  result.mare = acc.mare();
+  result.kendall_tau = acc.mean_kendall_tau();
+  result.spearman_rho = acc.mean_spearman_rho();
+  result.top1_accuracy = acc.mean_top1();
+  result.ndcg = acc.mean_ndcg();
+  result.num_queries = acc.num_queries();
+  return result;
+}
+
+}  // namespace pathrank::core

@@ -1,0 +1,29 @@
+// Evaluation protocol of the paper: per candidate set (query), compare the
+// model's estimated scores against the weighted-Jaccard ground truth using
+// MAE, MARE, Kendall tau and Spearman rho.
+#pragma once
+
+#include <string>
+
+#include "core/model.h"
+#include "data/dataset.h"
+
+namespace pathrank::core {
+
+/// Aggregated evaluation results.
+struct EvalResult {
+  double mae = 0.0;
+  double mare = 0.0;
+  double kendall_tau = 0.0;
+  double spearman_rho = 0.0;
+  double top1_accuracy = 0.0;
+  double ndcg = 0.0;
+  size_t num_queries = 0;
+
+  std::string ToString() const;
+};
+
+/// Scores every query's candidates with `model` and accumulates metrics.
+EvalResult Evaluate(PathRankModel& model, const data::RankingDataset& dataset);
+
+}  // namespace pathrank::core

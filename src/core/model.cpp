@@ -1,0 +1,254 @@
+#include "core/model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pathrank::core {
+namespace {
+
+/// pooled[b] = mean over t < len_b of cell.hidden_state(t)[b].
+void MeanPool(const nn::RecurrentLayer& cell, const std::vector<int32_t>& lengths,
+              size_t num_steps, nn::Matrix* pooled) {
+  const size_t batch = lengths.size();
+  const size_t hidden = cell.hidden_size();
+  pooled->Resize(batch, hidden);
+  for (size_t t = 0; t < num_steps; ++t) {
+    const nn::Matrix& h = cell.hidden_state(t);
+    for (size_t b = 0; b < batch; ++b) {
+      if (static_cast<int32_t>(t) >= lengths[b]) continue;
+      const float* src = h.row(b);
+      float* dst = pooled->row(b);
+      for (size_t c = 0; c < hidden; ++c) dst[c] += src[c];
+    }
+  }
+  for (size_t b = 0; b < batch; ++b) {
+    const float inv = 1.0f / static_cast<float>(lengths[b]);
+    float* dst = pooled->row(b);
+    for (size_t c = 0; c < hidden; ++c) dst[c] *= inv;
+  }
+}
+
+/// Expands d(loss)/d(pooled) into per-step hidden-state gradients.
+void MeanPoolBackward(const nn::Matrix& d_pooled,
+                      const std::vector<int32_t>& lengths, size_t num_steps,
+                      std::vector<nn::Matrix>* d_h_steps) {
+  const size_t batch = d_pooled.rows();
+  const size_t hidden = d_pooled.cols();
+  d_h_steps->assign(num_steps, nn::Matrix());
+  for (size_t t = 0; t < num_steps; ++t) {
+    nn::Matrix& d = (*d_h_steps)[t];
+    d.Resize(batch, hidden);
+    for (size_t b = 0; b < batch; ++b) {
+      if (static_cast<int32_t>(t) >= lengths[b]) continue;
+      const float inv = 1.0f / static_cast<float>(lengths[b]);
+      const float* src = d_pooled.row(b);
+      float* dst = d.row(b);
+      for (size_t c = 0; c < hidden; ++c) dst[c] = src[c] * inv;
+    }
+  }
+}
+
+}  // namespace
+
+PathRankModel::PathRankModel(size_t vocab_size, const PathRankConfig& config)
+    : config_(config) {
+  pathrank::Rng rng(config.seed);
+  embedding_ = std::make_unique<nn::EmbeddingLayer>(
+      vocab_size, config.embedding_dim, rng);
+  embedding_->set_frozen(!config.finetune_embedding);
+  fwd_cell_ = nn::MakeRecurrentLayer(config.cell, config.embedding_dim,
+                                     config.hidden_size, rng, "cell_fwd");
+  size_t head_in = config.hidden_size;
+  if (config.bidirectional) {
+    bwd_cell_ = nn::MakeRecurrentLayer(config.cell, config.embedding_dim,
+                                       config.hidden_size, rng, "cell_bwd");
+    head_in *= 2;
+  }
+  head_ = std::make_unique<nn::LinearLayer>(head_in, 1, rng, "head");
+  if (config.multi_task) {
+    aux_length_head_ =
+        std::make_unique<nn::LinearLayer>(head_in, 1, rng, "aux_len");
+    aux_time_head_ =
+        std::make_unique<nn::LinearLayer>(head_in, 1, rng, "aux_time");
+  }
+}
+
+void PathRankModel::InitializeEmbedding(const nn::Matrix& table) {
+  embedding_->LoadTable(table);
+}
+
+std::vector<float> PathRankModel::Forward(const nn::SequenceBatch& batch) {
+  return ForwardFull(batch).scores;
+}
+
+PathRankModel::Outputs PathRankModel::ForwardFull(
+    const nn::SequenceBatch& batch) {
+  PR_CHECK(batch.batch_size > 0 && batch.max_len > 0);
+  batch_ = batch;
+  const size_t T = batch.max_len;
+  const size_t B = batch.batch_size;
+  const size_t H = config_.hidden_size;
+
+  x_steps_.assign(T, nn::Matrix());
+  for (size_t t = 0; t < T; ++t) {
+    embedding_->Lookup(batch_, t, &x_steps_[t]);
+  }
+  nn::Matrix repr_fwd;
+  fwd_cell_->Forward(x_steps_, batch_.lengths, &repr_fwd);
+  if (config_.pooling == Pooling::kMean) {
+    MeanPool(*fwd_cell_, batch_.lengths, T, &repr_fwd);
+  }
+
+  if (config_.bidirectional) {
+    batch_rev_ = batch_.Reversed();
+    x_steps_rev_.assign(T, nn::Matrix());
+    for (size_t t = 0; t < T; ++t) {
+      embedding_->Lookup(batch_rev_, t, &x_steps_rev_[t]);
+    }
+    nn::Matrix repr_bwd;
+    bwd_cell_->Forward(x_steps_rev_, batch_rev_.lengths, &repr_bwd);
+    if (config_.pooling == Pooling::kMean) {
+      MeanPool(*bwd_cell_, batch_rev_.lengths, T, &repr_bwd);
+    }
+
+    concat_h_.Resize(B, 2 * H);
+    for (size_t b = 0; b < B; ++b) {
+      float* dst = concat_h_.row(b);
+      std::copy(repr_fwd.row(b), repr_fwd.row(b) + H, dst);
+      std::copy(repr_bwd.row(b), repr_bwd.row(b) + H, dst + H);
+    }
+  } else {
+    concat_h_ = repr_fwd;
+  }
+
+  head_->Forward(concat_h_, &logits_);
+  scores_.resize(B);
+  for (size_t b = 0; b < B; ++b) {
+    scores_[b] = 1.0f / (1.0f + std::exp(-logits_.at(b, 0)));
+  }
+  outputs_.scores = scores_;
+  outputs_.aux_length.clear();
+  outputs_.aux_time.clear();
+  if (config_.multi_task) {
+    aux_length_head_->Forward(concat_h_, &aux_length_logits_);
+    aux_time_head_->Forward(concat_h_, &aux_time_logits_);
+    outputs_.aux_length.resize(B);
+    outputs_.aux_time.resize(B);
+    for (size_t b = 0; b < B; ++b) {
+      outputs_.aux_length[b] =
+          1.0f / (1.0f + std::exp(-aux_length_logits_.at(b, 0)));
+      outputs_.aux_time[b] =
+          1.0f / (1.0f + std::exp(-aux_time_logits_.at(b, 0)));
+    }
+  }
+  return outputs_;
+}
+
+void PathRankModel::Backward(const std::vector<float>& d_scores) {
+  BackwardFull(d_scores, {}, {});
+}
+
+void PathRankModel::BackwardFull(const std::vector<float>& d_scores,
+                                 const std::vector<float>& d_aux_length,
+                                 const std::vector<float>& d_aux_time) {
+  const size_t B = batch_.batch_size;
+  const size_t H = config_.hidden_size;
+  const size_t T = batch_.max_len;
+  PR_CHECK(d_scores.size() == B) << "gradient batch-size mismatch";
+
+  // Through the sigmoid: dL/dlogit = dL/ds * s * (1 - s).
+  nn::Matrix d_logits(B, 1);
+  for (size_t b = 0; b < B; ++b) {
+    const float s = scores_[b];
+    d_logits.at(b, 0) = d_scores[b] * s * (1.0f - s);
+  }
+
+  nn::Matrix d_concat;
+  head_->Backward(d_logits, &d_concat);
+
+  // Auxiliary heads contribute to the shared representation's gradient.
+  auto add_aux = [&](nn::LinearLayer& aux_head, const nn::Matrix& logits,
+                     const std::vector<float>& outputs,
+                     const std::vector<float>& d_out) {
+    if (d_out.empty()) return;
+    PR_CHECK(d_out.size() == B);
+    (void)logits;
+    nn::Matrix d_aux_logits(B, 1);
+    for (size_t b = 0; b < B; ++b) {
+      const float s = outputs[b];
+      d_aux_logits.at(b, 0) = d_out[b] * s * (1.0f - s);
+    }
+    nn::Matrix d_aux_concat;
+    aux_head.Backward(d_aux_logits, &d_aux_concat);
+    d_concat.Add(d_aux_concat);
+  };
+  if (config_.multi_task) {
+    add_aux(*aux_length_head_, aux_length_logits_, outputs_.aux_length,
+            d_aux_length);
+    add_aux(*aux_time_head_, aux_time_logits_, outputs_.aux_time, d_aux_time);
+  } else {
+    PR_CHECK(d_aux_length.empty() && d_aux_time.empty())
+        << "auxiliary gradients require multi_task";
+  }
+
+  auto backprop_cell = [&](nn::RecurrentLayer& cell,
+                           const nn::Matrix& d_repr,
+                           const nn::SequenceBatch& cell_batch,
+                           std::vector<nn::Matrix>* d_x_steps) {
+    if (config_.pooling == Pooling::kMean) {
+      std::vector<nn::Matrix> d_h_steps;
+      MeanPoolBackward(d_repr, cell_batch.lengths, T, &d_h_steps);
+      cell.BackwardSteps(d_h_steps, d_x_steps);
+    } else {
+      cell.Backward(d_repr, d_x_steps);
+    }
+  };
+
+  std::vector<nn::Matrix> d_x_steps;
+  if (config_.bidirectional) {
+    nn::Matrix d_repr_fwd(B, H);
+    nn::Matrix d_repr_bwd(B, H);
+    for (size_t b = 0; b < B; ++b) {
+      const float* src = d_concat.row(b);
+      std::copy(src, src + H, d_repr_fwd.row(b));
+      std::copy(src + H, src + 2 * H, d_repr_bwd.row(b));
+    }
+    backprop_cell(*fwd_cell_, d_repr_fwd, batch_, &d_x_steps);
+    for (size_t t = 0; t < T; ++t) {
+      embedding_->AccumulateGrad(batch_, t, d_x_steps[t]);
+    }
+    backprop_cell(*bwd_cell_, d_repr_bwd, batch_rev_, &d_x_steps);
+    for (size_t t = 0; t < T; ++t) {
+      embedding_->AccumulateGrad(batch_rev_, t, d_x_steps[t]);
+    }
+  } else {
+    backprop_cell(*fwd_cell_, d_concat, batch_, &d_x_steps);
+    for (size_t t = 0; t < T; ++t) {
+      embedding_->AccumulateGrad(batch_, t, d_x_steps[t]);
+    }
+  }
+}
+
+nn::ParameterList PathRankModel::Parameters() {
+  nn::ParameterList params;
+  params.push_back(&embedding_->parameter());
+  for (nn::Parameter* p : fwd_cell_->Parameters()) params.push_back(p);
+  if (bwd_cell_ != nullptr) {
+    for (nn::Parameter* p : bwd_cell_->Parameters()) params.push_back(p);
+  }
+  for (nn::Parameter* p : head_->Parameters()) params.push_back(p);
+  if (aux_length_head_ != nullptr) {
+    for (nn::Parameter* p : aux_length_head_->Parameters()) params.push_back(p);
+    for (nn::Parameter* p : aux_time_head_->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+size_t PathRankModel::NumParameters() {
+  size_t total = 0;
+  for (const nn::Parameter* p : Parameters()) total += p->value.size();
+  return total;
+}
+
+}  // namespace pathrank::core

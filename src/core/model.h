@@ -1,0 +1,89 @@
+// The PathRank scoring model (paper Fig. "PathRank Overview"):
+//
+//   vertex ids --EmbeddingLayer(B)--> x_1..x_Z --GRU--> h_Z --FC+sigmoid-->
+//   estimated similarity score in (0, 1)
+//
+// Bidirectional mode runs a second chain over the reversed sequence and
+// concatenates both final states (the figure's two GRU rows). The embedding
+// matrix B is initialised from node2vec and frozen (PR-A1) or fine-tuned
+// (PR-A2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "nn/embedding_layer.h"
+#include "nn/linear.h"
+#include "nn/recurrent.h"
+#include "nn/sequence_batch.h"
+
+namespace pathrank::core {
+
+/// Trainable path-scoring network.
+class PathRankModel {
+ public:
+  /// Builds the network for `vocab_size` vertices.
+  PathRankModel(size_t vocab_size, const PathRankConfig& config);
+
+  /// Initialises the embedding matrix B from pre-trained vectors
+  /// [vocab_size x embedding_dim] (the spatial network embedding).
+  void InitializeEmbedding(const nn::Matrix& table);
+
+  /// All model outputs for one batch. Auxiliary vectors are empty unless
+  /// `multi_task` is enabled.
+  struct Outputs {
+    std::vector<float> scores;      // estimated similarity, in (0, 1)
+    std::vector<float> aux_length;  // normalised path length, in (0, 1)
+    std::vector<float> aux_time;    // normalised travel time, in (0, 1)
+  };
+
+  /// Scores a batch of vertex sequences; returns one score per row.
+  /// Caches activations for a subsequent Backward.
+  std::vector<float> Forward(const nn::SequenceBatch& batch);
+
+  /// Forward pass that also produces the auxiliary-head outputs.
+  Outputs ForwardFull(const nn::SequenceBatch& batch);
+
+  /// Backpropagates d(loss)/d(score) for the last Forward batch and
+  /// accumulates parameter gradients.
+  void Backward(const std::vector<float>& d_scores);
+
+  /// Backward including auxiliary-head gradients (multi-task training).
+  /// Empty aux gradients are treated as zero.
+  void BackwardFull(const std::vector<float>& d_scores,
+                    const std::vector<float>& d_aux_length,
+                    const std::vector<float>& d_aux_time);
+
+  /// All trainable parameters (embedding respects the PR-A1 freeze).
+  nn::ParameterList Parameters();
+
+  const PathRankConfig& config() const { return config_; }
+  size_t vocab_size() const { return embedding_->vocab_size(); }
+
+  /// Total parameter count (documentation/diagnostics).
+  size_t NumParameters();
+
+ private:
+  PathRankConfig config_;
+  std::unique_ptr<nn::EmbeddingLayer> embedding_;
+  std::unique_ptr<nn::RecurrentLayer> fwd_cell_;
+  std::unique_ptr<nn::RecurrentLayer> bwd_cell_;  // null when unidirectional
+  std::unique_ptr<nn::LinearLayer> head_;
+  std::unique_ptr<nn::LinearLayer> aux_length_head_;  // multi-task only
+  std::unique_ptr<nn::LinearLayer> aux_time_head_;    // multi-task only
+
+  // Forward caches.
+  nn::SequenceBatch batch_;
+  nn::SequenceBatch batch_rev_;
+  std::vector<nn::Matrix> x_steps_;
+  std::vector<nn::Matrix> x_steps_rev_;
+  nn::Matrix concat_h_;
+  nn::Matrix logits_;
+  nn::Matrix aux_length_logits_;
+  nn::Matrix aux_time_logits_;
+  Outputs outputs_;
+  std::vector<float> scores_;
+};
+
+}  // namespace pathrank::core

@@ -1,0 +1,134 @@
+#include "core/model_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "nn/serialize.h"
+
+namespace pathrank::core {
+namespace {
+
+constexpr uint32_t kModelMagic = 0x50524D44;  // "PRMD"
+constexpr uint32_t kVersion = 1;
+
+void Put32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void Put64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutF64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint32_t Get32(std::istream& in) {
+  uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("truncated model file");
+  return v;
+}
+
+uint64_t Get64(std::istream& in) {
+  uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("truncated model file");
+  return v;
+}
+
+double GetF64(std::istream& in) {
+  double v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("truncated model file");
+  return v;
+}
+
+}  // namespace
+
+void SaveModel(PathRankModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  const PathRankConfig& cfg = model.config();
+  Put32(out, kModelMagic);
+  Put32(out, kVersion);
+  Put64(out, model.vocab_size());
+  Put64(out, cfg.embedding_dim);
+  Put64(out, cfg.hidden_size);
+  Put32(out, static_cast<uint32_t>(cfg.cell));
+  Put32(out, cfg.bidirectional ? 1 : 0);
+  Put32(out, static_cast<uint32_t>(cfg.pooling));
+  Put32(out, cfg.finetune_embedding ? 1 : 0);
+  Put32(out, cfg.multi_task ? 1 : 0);
+  PutF64(out, cfg.aux_loss_weight);
+  Put64(out, cfg.seed);
+
+  const nn::ParameterList params = model.Parameters();
+  {
+    // Duplicate names would silently alias slots at load time.
+    std::unordered_map<std::string, int> seen;
+    for (const nn::Parameter* p : params) {
+      if (++seen[p->name] > 1) {
+        throw std::runtime_error("duplicate parameter name: " + p->name);
+      }
+    }
+  }
+  Put32(out, static_cast<uint32_t>(params.size()));
+  for (const nn::Parameter* p : params) {
+    Put32(out, static_cast<uint32_t>(p->name.size()));
+    out.write(p->name.data(),
+              static_cast<std::streamsize>(p->name.size()));
+    nn::WriteMatrix(out, p->value);
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::unique_ptr<PathRankModel> LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  if (Get32(in) != kModelMagic) {
+    throw std::runtime_error("not a PathRank model file: " + path);
+  }
+  if (Get32(in) != kVersion) {
+    throw std::runtime_error("unsupported model version in " + path);
+  }
+  const uint64_t vocab = Get64(in);
+  PathRankConfig cfg;
+  cfg.embedding_dim = Get64(in);
+  cfg.hidden_size = Get64(in);
+  cfg.cell = static_cast<nn::CellType>(Get32(in));
+  cfg.bidirectional = Get32(in) != 0;
+  cfg.pooling = static_cast<Pooling>(Get32(in));
+  cfg.finetune_embedding = Get32(in) != 0;
+  cfg.multi_task = Get32(in) != 0;
+  cfg.aux_loss_weight = GetF64(in);
+  cfg.seed = Get64(in);
+
+  auto model = std::make_unique<PathRankModel>(vocab, cfg);
+
+  const uint32_t count = Get32(in);
+  std::unordered_map<std::string, nn::Matrix> loaded;
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t name_len = Get32(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (!in) throw std::runtime_error("truncated model file");
+    loaded.emplace(std::move(name), nn::ReadMatrix(in));
+  }
+  for (nn::Parameter* p : model->Parameters()) {
+    auto it = loaded.find(p->name);
+    if (it == loaded.end()) {
+      throw std::runtime_error("parameter missing from checkpoint: " +
+                               p->name);
+    }
+    if (!it->second.SameShape(p->value)) {
+      throw std::runtime_error("parameter shape mismatch: " + p->name);
+    }
+    p->value = std::move(it->second);
+  }
+  return model;
+}
+
+}  // namespace pathrank::core

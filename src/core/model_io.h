@@ -1,0 +1,22 @@
+// Whole-model checkpointing: persists the architecture configuration and
+// every parameter tensor in one binary file, so a trained PathRank can be
+// deployed (see the pathrank_cli tool) without retraining.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/model.h"
+
+namespace pathrank::core {
+
+/// Saves `model` (config + parameters) to `path`.
+/// Throws std::runtime_error on I/O failure.
+void SaveModel(PathRankModel& model, const std::string& path);
+
+/// Loads a model checkpoint; reconstructs the architecture from the stored
+/// config and fills in the trained parameters.
+/// Throws std::runtime_error on I/O or format errors.
+std::unique_ptr<PathRankModel> LoadModel(const std::string& path);
+
+}  // namespace pathrank::core

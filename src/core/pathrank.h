@@ -1,0 +1,34 @@
+// Umbrella header: include this to use the full PathRank library.
+//
+// Typical end-to-end flow (see examples/quickstart.cpp):
+//
+//   auto network = graph::BuildSyntheticNetwork({});
+//   auto trips   = traj::TrajectoryGenerator(network, {}).Generate();
+//   auto queries = data::GenerateQueries(network, trips, genConfig);
+//   auto split   = data::SplitDataset({queries}, 0.7, 0.1, rng);
+//   auto table   = embedding::TrainNode2Vec(network, n2vConfig);
+//   core::PathRankModel model(network.num_vertices(), modelConfig);
+//   model.InitializeEmbedding(table);
+//   core::TrainPathRank(model, split.train, split.validation, trainConfig);
+//   auto result  = core::Evaluate(model, split.test);
+//   core::Ranker ranker(network, model);
+//   auto ranked  = ranker.Rank(source, destination);
+#pragma once
+
+#include "core/config.h"       // IWYU pragma: export
+#include "core/evaluator.h"    // IWYU pragma: export
+#include "core/model.h"        // IWYU pragma: export
+#include "core/ranker.h"       // IWYU pragma: export
+#include "core/trainer.h"      // IWYU pragma: export
+#include "data/batcher.h"      // IWYU pragma: export
+#include "data/candidate_generation.h"  // IWYU pragma: export
+#include "data/dataset.h"      // IWYU pragma: export
+#include "embedding/node2vec.h"         // IWYU pragma: export
+#include "graph/network_builder.h"      // IWYU pragma: export
+#include "graph/road_network.h"         // IWYU pragma: export
+#include "metrics/ranking_metrics.h"    // IWYU pragma: export
+#include "routing/astar.h"     // IWYU pragma: export
+#include "routing/dijkstra.h"  // IWYU pragma: export
+#include "routing/diversified.h"        // IWYU pragma: export
+#include "routing/yen.h"       // IWYU pragma: export
+#include "traj/trajectory_generator.h"  // IWYU pragma: export

@@ -1,0 +1,41 @@
+// End-to-end ranking service: given (source, destination), generate
+// candidate paths with the advanced-routing component (top-k or diversified
+// top-k) and order them by the trained PathRank model's estimated scores —
+// the deployment-time use the paper's "Solution Overview" describes.
+#pragma once
+
+#include <vector>
+
+#include "core/model.h"
+#include "data/candidate_generation.h"
+#include "graph/road_network.h"
+
+namespace pathrank::core {
+
+/// One ranked candidate.
+struct ScoredPath {
+  routing::Path path;
+  double score = 0.0;
+};
+
+/// Stateless facade binding a network and a trained model.
+class Ranker {
+ public:
+  Ranker(const graph::RoadNetwork& network, PathRankModel& model)
+      : network_(&network), model_(&model) {}
+
+  /// Generates candidates and returns them sorted by descending estimated
+  /// score. `gen` controls the candidate strategy (defaults to D-TkDI).
+  std::vector<ScoredPath> Rank(
+      graph::VertexId source, graph::VertexId destination,
+      const data::CandidateGenConfig& gen = data::CandidateGenConfig{}) const;
+
+  /// Scores externally supplied candidate paths (sorted descending).
+  std::vector<ScoredPath> Score(const std::vector<routing::Path>& paths) const;
+
+ private:
+  const graph::RoadNetwork* network_;
+  PathRankModel* model_;
+};
+
+}  // namespace pathrank::core

@@ -1,0 +1,138 @@
+#include "core/trainer.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace pathrank::core {
+namespace {
+
+/// Snapshot/restore of parameter values (for best-epoch restoration).
+std::vector<nn::Matrix> SnapshotValues(const nn::ParameterList& params) {
+  std::vector<nn::Matrix> snap;
+  snap.reserve(params.size());
+  for (const nn::Parameter* p : params) snap.push_back(p->value);
+  return snap;
+}
+
+void RestoreValues(const nn::ParameterList& params,
+                   const std::vector<nn::Matrix>& snap) {
+  PR_CHECK(snap.size() == params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = snap[i];
+  }
+}
+
+}  // namespace
+
+TrainHistory TrainPathRank(PathRankModel& model,
+                           const data::RankingDataset& train,
+                           const data::RankingDataset& validation,
+                           const TrainerConfig& config) {
+  PR_CHECK(config.epochs >= 1);
+  pathrank::Rng rng(config.seed);
+  data::Batcher batcher(data::FlattenDataset(train), config.batch_size);
+
+  nn::Adam optimizer(config.learning_rate);
+  nn::ScheduleConfig schedule;
+  schedule.type = config.schedule;
+  schedule.base_lr = config.learning_rate;
+  schedule.total_epochs = config.epochs;
+  schedule.min_lr = config.learning_rate * 0.01;
+
+  const nn::ParameterList params = model.Parameters();
+  TrainHistory history;
+  history.best_val_mae = std::numeric_limits<double>::infinity();
+  std::vector<nn::Matrix> best_weights;
+  int epochs_since_best = 0;
+  const bool use_validation = !validation.queries.empty();
+
+  std::vector<float> d_scores;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    pathrank::Stopwatch watch;
+    optimizer.set_learning_rate(nn::LearningRateAt(schedule, epoch));
+    batcher.Reshuffle(rng);
+
+    const bool multi_task = model.config().multi_task;
+    const auto aux_weight = static_cast<float>(model.config().aux_loss_weight);
+    std::vector<float> d_aux_length;
+    std::vector<float> d_aux_time;
+    double loss_sum = 0.0;
+    size_t example_count = 0;
+    for (size_t b = 0; b < batcher.num_batches(); ++b) {
+      const data::ModelBatch batch = batcher.GetBatch(b);
+      const auto outputs = model.ForwardFull(batch.sequences);
+      double loss = nn::ComputeLoss(config.loss, outputs.scores,
+                                    batch.labels, &d_scores);
+      if (multi_task) {
+        // Auxiliary regression on the candidate's normalised length and
+        // travel time; gradients are scaled by the auxiliary weight.
+        loss += model.config().aux_loss_weight *
+                nn::ComputeLoss(config.loss, outputs.aux_length,
+                                batch.norm_lengths, &d_aux_length);
+        loss += model.config().aux_loss_weight *
+                nn::ComputeLoss(config.loss, outputs.aux_time,
+                                batch.norm_times, &d_aux_time);
+        for (float& g : d_aux_length) g *= aux_weight;
+        for (float& g : d_aux_time) g *= aux_weight;
+      }
+      loss_sum += loss * static_cast<double>(outputs.scores.size());
+      example_count += outputs.scores.size();
+
+      nn::ZeroGradients(params);
+      if (multi_task) {
+        model.BackwardFull(d_scores, d_aux_length, d_aux_time);
+      } else {
+        model.Backward(d_scores);
+      }
+      if (config.clip_norm > 0.0) {
+        nn::ClipGradientNorm(params, config.clip_norm);
+      }
+      optimizer.Step(params);
+    }
+
+    EpochRecord record;
+    record.epoch = epoch;
+    record.train_loss = loss_sum / static_cast<double>(example_count);
+    record.learning_rate = optimizer.learning_rate();
+
+    if (use_validation) {
+      const EvalResult val = Evaluate(model, validation);
+      record.val_mae = val.mae;
+      record.val_tau = val.kendall_tau;
+      if (val.mae < history.best_val_mae) {
+        history.best_val_mae = val.mae;
+        history.best_epoch = epoch;
+        best_weights = SnapshotValues(params);
+        epochs_since_best = 0;
+      } else {
+        ++epochs_since_best;
+      }
+    }
+    record.seconds = watch.ElapsedSeconds();
+    history.epochs.push_back(record);
+
+    if (config.verbose) {
+      PR_LOG_INFO << "epoch " << epoch << " loss=" << record.train_loss
+                  << (use_validation
+                          ? " val_mae=" + std::to_string(record.val_mae)
+                          : "")
+                  << " lr=" << record.learning_rate << " ("
+                  << record.seconds << "s)";
+    }
+    if (use_validation && config.patience > 0 &&
+        epochs_since_best >= config.patience) {
+      break;
+    }
+  }
+
+  if (use_validation && !best_weights.empty()) {
+    RestoreValues(params, best_weights);
+  }
+  return history;
+}
+
+}  // namespace pathrank::core

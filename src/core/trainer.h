@@ -1,0 +1,42 @@
+// Mini-batch training loop for PathRank: MSE regression against the
+// weighted-Jaccard ground truth, Adam, cosine learning-rate schedule,
+// gradient clipping and validation-based early stopping with best-weight
+// restoration.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/evaluator.h"
+#include "core/model.h"
+#include "data/batcher.h"
+#include "data/dataset.h"
+
+namespace pathrank::core {
+
+/// Per-epoch training record.
+struct EpochRecord {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double val_mae = 0.0;
+  double val_tau = 0.0;
+  double learning_rate = 0.0;
+  double seconds = 0.0;
+};
+
+/// Full training history.
+struct TrainHistory {
+  std::vector<EpochRecord> epochs;
+  int best_epoch = -1;
+  double best_val_mae = 0.0;
+};
+
+/// Trains `model` in place and returns the history. `validation` may be
+/// empty, in which case early stopping is disabled and the final weights
+/// are kept.
+TrainHistory TrainPathRank(PathRankModel& model,
+                           const data::RankingDataset& train,
+                           const data::RankingDataset& validation,
+                           const TrainerConfig& config);
+
+}  // namespace pathrank::core

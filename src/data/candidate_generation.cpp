@@ -1,0 +1,88 @@
+#include "data/candidate_generation.h"
+
+#include "common/logging.h"
+#include "routing/cost_model.h"
+#include "routing/path_similarity.h"
+#include "routing/penalty_alternatives.h"
+#include "routing/yen.h"
+
+namespace pathrank::data {
+
+std::string CandidateStrategyName(CandidateStrategy strategy) {
+  switch (strategy) {
+    case CandidateStrategy::kTopK:
+      return "TkDI";
+    case CandidateStrategy::kDiversifiedTopK:
+      return "D-TkDI";
+    case CandidateStrategy::kPenalty:
+      return "Penalty";
+  }
+  return "?";
+}
+
+RankingQuery GenerateQuery(const graph::RoadNetwork& network,
+                           const traj::TripPath& trip, int query_id,
+                           const CandidateGenConfig& config) {
+  PR_CHECK(!trip.path.empty());
+  RankingQuery query;
+  query.query_id = query_id;
+  query.driver_id = trip.driver_id;
+  query.source = trip.source();
+  query.destination = trip.destination();
+  query.truth = trip.path;
+
+  // Candidates are enumerated under free-flow travel time: the metric
+  // commercial routing engines optimise and the domain the simulated
+  // drivers perturb. (Length-based enumeration systematically misses the
+  // arterial/motorway routes drivers actually take.)
+  const auto cost = routing::EdgeCostFn::TravelTime(network);
+  std::vector<routing::Path> paths;
+  switch (config.strategy) {
+    case CandidateStrategy::kTopK:
+      paths = routing::TopKShortestPaths(network, query.source,
+                                         query.destination, cost, config.k);
+      break;
+    case CandidateStrategy::kDiversifiedTopK: {
+      routing::DiversifiedOptions options;
+      options.k = config.k;
+      options.similarity_threshold = config.similarity_threshold;
+      options.max_enumerated = config.max_enumerated;
+      paths = routing::DiversifiedTopK(network, query.source,
+                                       query.destination, cost, options);
+      break;
+    }
+    case CandidateStrategy::kPenalty: {
+      routing::PenaltyOptions options;
+      options.k = config.k;
+      options.penalty_factor = config.penalty_factor;
+      paths = routing::PenaltyAlternatives(network, query.source,
+                                           query.destination, cost, options);
+      break;
+    }
+  }
+
+  query.candidates.reserve(paths.size());
+  for (routing::Path& p : paths) {
+    RankingCandidate cand;
+    cand.label =
+        routing::WeightedJaccard(network, p.edges, query.truth.edges);
+    cand.path = std::move(p);
+    query.candidates.push_back(std::move(cand));
+  }
+  return query;
+}
+
+std::vector<RankingQuery> GenerateQueries(
+    const graph::RoadNetwork& network,
+    const std::vector<traj::TripPath>& trips,
+    const CandidateGenConfig& config) {
+  std::vector<RankingQuery> queries;
+  queries.reserve(trips.size());
+  int id = 0;
+  for (const auto& trip : trips) {
+    queries.push_back(GenerateQuery(network, trip, id++, config));
+  }
+  return queries;
+}
+
+}  // namespace pathrank::data

@@ -1,0 +1,73 @@
+// Training-data generation (Section "Training Data Generation" of the
+// paper): for each trajectory path PT from s to d, generate a candidate set
+// with one of two strategies —
+//   * TkDI   — top-k shortest paths (Yen),
+//   * D-TkDI — diversified top-k shortest paths,
+// and label every candidate P with WeightedJaccard(P, PT), its ground-truth
+// ranking score.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "routing/diversified.h"
+#include "routing/path.h"
+#include "traj/trajectory.h"
+
+namespace pathrank::data {
+
+/// Candidate-set construction strategy.
+enum class CandidateStrategy {
+  kTopK,             // TkDI: plain top-k shortest paths
+  kDiversifiedTopK,  // D-TkDI: diversified top-k shortest paths
+  kPenalty,          // iterative penalty-method alternatives (baseline)
+};
+
+std::string CandidateStrategyName(CandidateStrategy strategy);
+
+/// Candidate generation parameters.
+struct CandidateGenConfig {
+  CandidateStrategy strategy = CandidateStrategy::kDiversifiedTopK;
+  /// Candidate paths per query (the paper's k).
+  int k = 10;
+  /// D-TkDI pairwise weighted-Jaccard ceiling.
+  double similarity_threshold = 0.8;
+  /// Yen enumeration budget for D-TkDI.
+  int max_enumerated = 400;
+  /// kPenalty: multiplier applied to used edges each iteration.
+  double penalty_factor = 1.35;
+};
+
+/// One labelled candidate path.
+struct RankingCandidate {
+  routing::Path path;
+  /// Ground-truth score: WeightedJaccard(path, trajectory path) in [0,1].
+  double label = 0.0;
+};
+
+/// One query: a trajectory path and its labelled candidate set.
+struct RankingQuery {
+  int query_id = 0;
+  int driver_id = 0;
+  graph::VertexId source = graph::kInvalidVertex;
+  graph::VertexId destination = graph::kInvalidVertex;
+  /// The ground-truth (trajectory) path.
+  routing::Path truth;
+  std::vector<RankingCandidate> candidates;
+};
+
+/// Generates the candidate set for one trip. Candidates are computed with
+/// the free-flow travel-time metric (the advanced-routing component of the
+/// paper's pipeline). Returns fewer than k candidates only when the graph
+/// does not admit k simple paths.
+RankingQuery GenerateQuery(const graph::RoadNetwork& network,
+                           const traj::TripPath& trip, int query_id,
+                           const CandidateGenConfig& config);
+
+/// Generates queries for an entire trip corpus.
+std::vector<RankingQuery> GenerateQueries(
+    const graph::RoadNetwork& network,
+    const std::vector<traj::TripPath>& trips,
+    const CandidateGenConfig& config);
+
+}  // namespace pathrank::data

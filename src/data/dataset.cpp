@@ -1,0 +1,79 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace pathrank::data {
+
+size_t RankingDataset::num_examples() const {
+  size_t n = 0;
+  for (const auto& q : queries) n += q.candidates.size();
+  return n;
+}
+
+DatasetSplit SplitDataset(const RankingDataset& dataset, double train_frac,
+                          double val_frac, pathrank::Rng& rng) {
+  PR_CHECK(train_frac > 0.0 && val_frac >= 0.0 &&
+           train_frac + val_frac < 1.0 + 1e-9);
+  std::vector<size_t> order(dataset.queries.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  rng.Shuffle(order);
+
+  const auto n = static_cast<double>(order.size());
+  const size_t n_train = static_cast<size_t>(n * train_frac);
+  const size_t n_val = static_cast<size_t>(n * val_frac);
+
+  DatasetSplit split;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const RankingQuery& q = dataset.queries[order[i]];
+    if (i < n_train) {
+      split.train.queries.push_back(q);
+    } else if (i < n_train + n_val) {
+      split.validation.queries.push_back(q);
+    } else {
+      split.test.queries.push_back(q);
+    }
+  }
+  return split;
+}
+
+DatasetStats ComputeStats(const RankingDataset& dataset) {
+  DatasetStats stats;
+  stats.num_queries = dataset.num_queries();
+  double vertex_sum = 0.0;
+  double label_sum = 0.0;
+  for (const auto& q : dataset.queries) {
+    for (const auto& c : q.candidates) {
+      ++stats.num_examples;
+      vertex_sum += static_cast<double>(c.path.num_vertices());
+      stats.max_path_vertices =
+          std::max(stats.max_path_vertices, c.path.num_vertices());
+      label_sum += c.label;
+      stats.min_label = std::min(stats.min_label, c.label);
+      stats.max_label = std::max(stats.max_label, c.label);
+    }
+  }
+  if (stats.num_examples > 0) {
+    stats.mean_candidates_per_query =
+        static_cast<double>(stats.num_examples) /
+        static_cast<double>(std::max<size_t>(1, stats.num_queries));
+    stats.mean_path_vertices =
+        vertex_sum / static_cast<double>(stats.num_examples);
+    stats.mean_label = label_sum / static_cast<double>(stats.num_examples);
+  }
+  return stats;
+}
+
+std::string StatsToString(const DatasetStats& s) {
+  return StrFormat(
+      "queries=%zu examples=%zu cand/query=%.2f mean_len=%.1f max_len=%zu "
+      "label[mean=%.3f min=%.3f max=%.3f]",
+      s.num_queries, s.num_examples, s.mean_candidates_per_query,
+      s.mean_path_vertices, s.max_path_vertices, s.mean_label, s.min_label,
+      s.max_label);
+}
+
+}  // namespace pathrank::data

@@ -1,0 +1,49 @@
+// Ranking dataset: query-grouped labelled candidate paths, query-level
+// train/validation/test splitting, and summary statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/candidate_generation.h"
+
+namespace pathrank::data {
+
+/// A collection of ranking queries (candidate sets with labels).
+struct RankingDataset {
+  std::vector<RankingQuery> queries;
+
+  size_t num_queries() const { return queries.size(); }
+  size_t num_examples() const;
+};
+
+/// Train/validation/test partition of a dataset (disjoint by query, so no
+/// candidate of a test trajectory is ever seen in training).
+struct DatasetSplit {
+  RankingDataset train;
+  RankingDataset validation;
+  RankingDataset test;
+};
+
+/// Splits by query with the given fractions (test gets the remainder).
+DatasetSplit SplitDataset(const RankingDataset& dataset, double train_frac,
+                          double val_frac, pathrank::Rng& rng);
+
+/// Dataset summary statistics (used in docs and experiment logs).
+struct DatasetStats {
+  size_t num_queries = 0;
+  size_t num_examples = 0;
+  double mean_candidates_per_query = 0.0;
+  double mean_path_vertices = 0.0;
+  size_t max_path_vertices = 0;
+  double mean_label = 0.0;
+  double min_label = 1.0;
+  double max_label = 0.0;
+};
+
+DatasetStats ComputeStats(const RankingDataset& dataset);
+
+std::string StatsToString(const DatasetStats& stats);
+
+}  // namespace pathrank::data

@@ -1,0 +1,56 @@
+#include "embedding/alias_table.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace pathrank::embedding {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const size_t n = weights.size();
+  PR_CHECK(n > 0) << "alias table over empty support";
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  PR_CHECK(total > 0.0) << "alias table needs positive total weight";
+
+  prob_.resize(n);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    PR_CHECK(weights[i] >= 0.0) << "negative weight";
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are 1.0 up to floating-point error.
+  for (uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+size_t AliasTable::Sample(pathrank::Rng& rng) const {
+  const size_t i = static_cast<size_t>(rng.NextBounded(prob_.size()));
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace pathrank::embedding

@@ -1,0 +1,32 @@
+// Walker's alias method: O(1) sampling from a fixed discrete distribution
+// after O(n) construction. Used by the node2vec walker (neighbour choice)
+// and the SGNS negative-sampling table.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pathrank::embedding {
+
+/// Immutable alias table over n outcomes.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds from non-negative weights (at least one strictly positive).
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Draws an index in [0, size()).
+  size_t Sample(pathrank::Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace pathrank::embedding

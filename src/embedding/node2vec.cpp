@@ -1,0 +1,42 @@
+#include "embedding/node2vec.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace pathrank::embedding {
+
+double CosineSimilarity(const nn::Matrix& embeddings, size_t a, size_t b) {
+  PR_CHECK(a < embeddings.rows() && b < embeddings.rows());
+  const float* va = embeddings.row(a);
+  const float* vb = embeddings.row(b);
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t d = 0; d < embeddings.cols(); ++d) {
+    dot += static_cast<double>(va[d]) * vb[d];
+    na += static_cast<double>(va[d]) * va[d];
+    nb += static_cast<double>(vb[d]) * vb[d];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 0.0 ? dot / denom : 0.0;
+}
+
+nn::Matrix TrainNode2Vec(const graph::RoadNetwork& network,
+                         const Node2VecConfig& config) {
+  pathrank::Stopwatch watch;
+  pathrank::Rng rng(config.seed);
+  RandomWalker walker(network, config.walk);
+  const auto corpus = walker.GenerateCorpus(rng);
+  PR_LOG_DEBUG << "node2vec: " << corpus.size() << " walks in "
+               << watch.ElapsedMillis() << " ms";
+  watch.Reset();
+  nn::Matrix embeddings =
+      TrainSkipGram(corpus, network.num_vertices(), config.skipgram, rng);
+  PR_LOG_DEBUG << "node2vec: SGNS trained in " << watch.ElapsedMillis()
+               << " ms";
+  return embeddings;
+}
+
+}  // namespace pathrank::embedding

@@ -1,0 +1,26 @@
+// End-to-end node2vec: biased walks + SGNS = the paper's "spatial network
+// embedding" that initialises PathRank's vertex-embedding matrix B.
+#pragma once
+
+#include "embedding/random_walk.h"
+#include "embedding/skipgram.h"
+#include "graph/road_network.h"
+#include "nn/matrix.h"
+
+namespace pathrank::embedding {
+
+/// Combined node2vec configuration.
+struct Node2VecConfig {
+  RandomWalkConfig walk;
+  SkipGramConfig skipgram;
+  uint64_t seed = 99;
+};
+
+/// Cosine similarity of two embedding rows (diagnostics & tests).
+double CosineSimilarity(const nn::Matrix& embeddings, size_t a, size_t b);
+
+/// Trains vertex embeddings for `network`. Returns [num_vertices x dims].
+nn::Matrix TrainNode2Vec(const graph::RoadNetwork& network,
+                         const Node2VecConfig& config);
+
+}  // namespace pathrank::embedding

@@ -1,0 +1,56 @@
+// node2vec biased second-order random walks (Grover & Leskovec 2016).
+//
+// Neighbour proposal uses a per-vertex first-order alias table; the
+// second-order (p, q) bias is applied by rejection sampling with envelope
+// max(1, 1/p, 1/q), which avoids the O(sum_v deg(v)^2) memory of
+// precomputing per-edge alias tables while remaining exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "embedding/alias_table.h"
+#include "graph/road_network.h"
+
+namespace pathrank::embedding {
+
+/// Walk generation parameters.
+struct RandomWalkConfig {
+  /// Walk length in vertices (including the start vertex).
+  int walk_length = 40;
+  /// Walks started per vertex.
+  int walks_per_vertex = 10;
+  /// Return parameter: likelihood of revisiting the previous vertex.
+  double p = 1.0;
+  /// In-out parameter: q < 1 biases outward (DFS-like) exploration, which
+  /// suits road networks.
+  double q = 0.5;
+};
+
+/// Generates node2vec walks over the network.
+class RandomWalker {
+ public:
+  RandomWalker(const graph::RoadNetwork& network,
+               const RandomWalkConfig& config);
+
+  /// One walk starting at `start`; length <= walk_length (shorter only at
+  /// dead ends). The walk is a vertex-id sequence.
+  std::vector<graph::VertexId> Walk(graph::VertexId start,
+                                    pathrank::Rng& rng) const;
+
+  /// walks_per_vertex walks from every vertex, in shuffled vertex order.
+  std::vector<std::vector<graph::VertexId>> GenerateCorpus(
+      pathrank::Rng& rng) const;
+
+ private:
+  graph::VertexId SampleNeighbor(graph::VertexId prev, graph::VertexId cur,
+                                 pathrank::Rng& rng) const;
+
+  const graph::RoadNetwork* network_;
+  RandomWalkConfig config_;
+  std::vector<AliasTable> first_order_;  // per-vertex neighbour sampler
+  double envelope_;                      // rejection envelope
+};
+
+}  // namespace pathrank::embedding

@@ -1,0 +1,36 @@
+// Skip-gram with negative sampling (SGNS) over random-walk corpora —
+// the word2vec objective node2vec optimises.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/types.h"
+#include "nn/matrix.h"
+
+namespace pathrank::embedding {
+
+/// SGNS hyperparameters.
+struct SkipGramConfig {
+  /// Embedding dimensionality (the paper's M).
+  int dims = 64;
+  /// Symmetric context window.
+  int window = 5;
+  /// Negative samples per positive pair.
+  int negatives = 5;
+  /// Passes over the walk corpus.
+  int epochs = 3;
+  /// Initial SGD learning rate; decays linearly to lr0/100.
+  double lr0 = 0.025;
+  /// Exponent of the unigram negative-sampling distribution.
+  double unigram_power = 0.75;
+};
+
+/// Trains SGNS embeddings for `vocab_size` tokens on `corpus`.
+/// Returns the input-embedding matrix [vocab_size x dims].
+nn::Matrix TrainSkipGram(const std::vector<std::vector<graph::VertexId>>& corpus,
+                         size_t vocab_size, const SkipGramConfig& config,
+                         pathrank::Rng& rng);
+
+}  // namespace pathrank::embedding

@@ -1,0 +1,24 @@
+// Persistence for road networks: a human-readable CSV pair
+// (vertices.csv + edges.csv) and a compact binary format.
+#pragma once
+
+#include <string>
+
+#include "graph/road_network.h"
+
+namespace pathrank::graph {
+
+/// Writes `<prefix>_vertices.csv` (id,lat,lon) and
+/// `<prefix>_edges.csv` (from,to,length_m,travel_time_s,category).
+void SaveNetworkCsv(const RoadNetwork& network, const std::string& prefix);
+
+/// Loads a network previously written by SaveNetworkCsv.
+RoadNetwork LoadNetworkCsv(const std::string& prefix);
+
+/// Writes a single binary file (magic + counts + raw arrays).
+void SaveNetworkBinary(const RoadNetwork& network, const std::string& path);
+
+/// Loads a binary network file; throws std::runtime_error on format errors.
+RoadNetwork LoadNetworkBinary(const std::string& path);
+
+}  // namespace pathrank::graph

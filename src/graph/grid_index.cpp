@@ -1,0 +1,107 @@
+#include "graph/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pathrank::graph {
+
+const std::vector<VertexId> GridIndex::kEmptyCell;
+
+namespace {
+constexpr double kMetersPerDegLat = 111320.0;
+}
+
+GridIndex::GridIndex(const RoadNetwork& network, double cell_m)
+    : network_(&network) {
+  const BoundingBox& bb = network.bounds();
+  min_lat_ = bb.min_lat;
+  min_lon_ = bb.min_lon;
+  cell_deg_lat_ = cell_m / kMetersPerDegLat;
+  const double mean_lat = 0.5 * (bb.min_lat + bb.max_lat);
+  const double meters_per_deg_lon =
+      kMetersPerDegLat * std::cos(mean_lat * 3.14159265358979323846 / 180.0);
+  cell_deg_lon_ = cell_m / std::max(1.0, meters_per_deg_lon);
+
+  if (network.num_vertices() == 0) return;
+  rows_ = static_cast<int>((bb.max_lat - bb.min_lat) / cell_deg_lat_) + 1;
+  cols_ = static_cast<int>((bb.max_lon - bb.min_lon) / cell_deg_lon_) + 1;
+  cells_.resize(static_cast<size_t>(rows_) * cols_);
+  for (VertexId v = 0; v < network.num_vertices(); ++v) {
+    const Coordinate& c = network.coordinate(v);
+    const int r = CellRow(c.lat);
+    const int col = CellCol(c.lon);
+    cells_[static_cast<size_t>(r) * cols_ + col].push_back(v);
+  }
+}
+
+int GridIndex::CellRow(double lat) const {
+  const int r = static_cast<int>((lat - min_lat_) / cell_deg_lat_);
+  return std::clamp(r, 0, rows_ - 1);
+}
+
+int GridIndex::CellCol(double lon) const {
+  const int c = static_cast<int>((lon - min_lon_) / cell_deg_lon_);
+  return std::clamp(c, 0, cols_ - 1);
+}
+
+const std::vector<VertexId>& GridIndex::Cell(int row, int col) const {
+  if (row < 0 || row >= rows_ || col < 0 || col >= cols_) return kEmptyCell;
+  return cells_[static_cast<size_t>(row) * cols_ + col];
+}
+
+VertexId GridIndex::NearestVertex(const Coordinate& query) const {
+  if (network_->num_vertices() == 0) return kInvalidVertex;
+  const int r0 = CellRow(query.lat);
+  const int c0 = CellCol(query.lon);
+
+  VertexId best = kInvalidVertex;
+  double best_d = std::numeric_limits<double>::infinity();
+  const double cell_m = cell_deg_lat_ * kMetersPerDegLat;
+
+  const int max_ring = std::max(rows_, cols_);
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    // Once a candidate exists and the next ring cannot contain anything
+    // closer, stop. A vertex in ring k is at least (k-1)*cell_m away.
+    if (best != kInvalidVertex &&
+        static_cast<double>(ring - 1) * cell_m > best_d) {
+      break;
+    }
+    for (int dr = -ring; dr <= ring; ++dr) {
+      for (int dc = -ring; dc <= ring; ++dc) {
+        if (std::max(std::abs(dr), std::abs(dc)) != ring) continue;
+        for (VertexId v : Cell(r0 + dr, c0 + dc)) {
+          const double d =
+              FastDistanceMeters(query, network_->coordinate(v));
+          if (d < best_d) {
+            best_d = d;
+            best = v;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<VertexId> GridIndex::VerticesWithin(const Coordinate& query,
+                                                double radius_m) const {
+  std::vector<VertexId> out;
+  if (network_->num_vertices() == 0) return out;
+  const double cell_m = cell_deg_lat_ * kMetersPerDegLat;
+  const int ring = static_cast<int>(radius_m / cell_m) + 1;
+  const int r0 = CellRow(query.lat);
+  const int c0 = CellCol(query.lon);
+  for (int dr = -ring; dr <= ring; ++dr) {
+    for (int dc = -ring; dc <= ring; ++dc) {
+      for (VertexId v : Cell(r0 + dr, c0 + dc)) {
+        if (FastDistanceMeters(query, network_->coordinate(v)) <= radius_m) {
+          out.push_back(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pathrank::graph

@@ -1,0 +1,42 @@
+// Uniform-grid spatial index over network vertices; supports nearest-vertex
+// and radius queries. Used by the GPS simulator and the HMM map matcher.
+#pragma once
+
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace pathrank::graph {
+
+/// Buckets vertex ids into a uniform lat/lon grid.
+class GridIndex {
+ public:
+  /// Builds an index with cells approximately `cell_m` metres wide.
+  explicit GridIndex(const RoadNetwork& network, double cell_m = 500.0);
+
+  /// Returns the vertex closest to `query` (kInvalidVertex on an empty
+  /// network). Exact: expands the search ring until the best candidate is
+  /// provably closest.
+  VertexId NearestVertex(const Coordinate& query) const;
+
+  /// Returns all vertices within `radius_m` metres of `query`, unordered.
+  std::vector<VertexId> VerticesWithin(const Coordinate& query,
+                                       double radius_m) const;
+
+ private:
+  int CellRow(double lat) const;
+  int CellCol(double lon) const;
+  const std::vector<VertexId>& Cell(int row, int col) const;
+
+  const RoadNetwork* network_;
+  double cell_deg_lat_;
+  double cell_deg_lon_;
+  double min_lat_;
+  double min_lon_;
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<std::vector<VertexId>> cells_;
+  static const std::vector<VertexId> kEmptyCell;
+};
+
+}  // namespace pathrank::graph

@@ -1,0 +1,207 @@
+#include "graph/network_builder.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace pathrank::graph {
+namespace {
+
+// Metres per degree of latitude (approximately constant).
+constexpr double kMetersPerDegLat = 111320.0;
+
+struct GridGeometry {
+  int rows;
+  int cols;
+  std::vector<Coordinate> coords;  // rows * cols entries, row-major.
+
+  int Index(int r, int c) const { return r * cols + c; }
+};
+
+GridGeometry MakeGeometry(const SyntheticNetworkConfig& cfg, Rng& rng) {
+  GridGeometry geo;
+  geo.rows = cfg.rows;
+  geo.cols = cfg.cols;
+  geo.coords.resize(static_cast<size_t>(cfg.rows) * cfg.cols);
+  const double meters_per_deg_lon =
+      kMetersPerDegLat *
+      std::cos(cfg.origin_lat * 3.14159265358979323846 / 180.0);
+  for (int r = 0; r < cfg.rows; ++r) {
+    for (int c = 0; c < cfg.cols; ++c) {
+      const double jx = rng.NextGaussian(0.0, cfg.jitter * cfg.spacing_m);
+      const double jy = rng.NextGaussian(0.0, cfg.jitter * cfg.spacing_m);
+      Coordinate coord;
+      coord.lat = cfg.origin_lat + (r * cfg.spacing_m + jy) / kMetersPerDegLat;
+      coord.lon = cfg.origin_lon + (c * cfg.spacing_m + jx) / meters_per_deg_lon;
+      geo.coords[static_cast<size_t>(geo.Index(r, c))] = coord;
+    }
+  }
+  return geo;
+}
+
+RoadCategory CategoryFor(const SyntheticNetworkConfig& cfg, int fixed_index,
+                         bool horizontal, int row, int col, Rng& rng) {
+  // The middle row hosts the motorway spine (horizontal edges only).
+  if (cfg.motorway && horizontal && row == cfg.rows / 2) {
+    return RoadCategory::kMotorway;
+  }
+  const int line = horizontal ? row : col;
+  if (cfg.arterial_every > 0 && line % cfg.arterial_every == 0) {
+    // Alternate primary/secondary arterials for variety.
+    return (line / cfg.arterial_every) % 2 == 0 ? RoadCategory::kPrimary
+                                                : RoadCategory::kSecondary;
+  }
+  (void)fixed_index;
+  // Base fabric: mostly residential with some tertiary connectors.
+  return rng.NextBernoulli(0.3) ? RoadCategory::kTertiary
+                                : RoadCategory::kResidential;
+}
+
+/// Connects all weakly connected components by adding the shortest
+/// inter-component link until one component remains.
+void EnsureConnected(RoadNetworkBuilder& builder,
+                     const std::vector<Coordinate>& coords,
+                     std::vector<std::pair<VertexId, VertexId>>& edges_seen) {
+  const size_t n = coords.size();
+  // Union-find over undirected adjacency.
+  std::vector<uint32_t> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = static_cast<uint32_t>(i);
+  std::vector<uint32_t> rank_(n, 0);
+  auto find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](uint32_t a, uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+  };
+  for (const auto& [u, v] : edges_seen) unite(u, v);
+
+  // Collect component members.
+  while (true) {
+    std::vector<uint32_t> roots;
+    std::vector<int> root_of(n);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t r = find(static_cast<uint32_t>(i));
+      root_of[i] = static_cast<int>(r);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (root_of[i] == static_cast<int>(i)) roots.push_back(static_cast<uint32_t>(i));
+    }
+    if (roots.size() <= 1) break;
+
+    // Link the second component to the first via the closest vertex pair.
+    const uint32_t main_root = find(0);
+    uint32_t other_root = kInvalidVertex;
+    for (uint32_t r : roots) {
+      if (r != main_root) {
+        other_root = r;
+        break;
+      }
+    }
+    double best = std::numeric_limits<double>::infinity();
+    VertexId best_a = kInvalidVertex;
+    VertexId best_b = kInvalidVertex;
+    for (size_t a = 0; a < n; ++a) {
+      if (find(static_cast<uint32_t>(a)) != main_root) continue;
+      for (size_t b = 0; b < n; ++b) {
+        if (find(static_cast<uint32_t>(b)) != other_root) continue;
+        const double d = FastDistanceMeters(coords[a], coords[b]);
+        if (d < best) {
+          best = d;
+          best_a = static_cast<VertexId>(a);
+          best_b = static_cast<VertexId>(b);
+        }
+      }
+    }
+    PR_CHECK(best_a != kInvalidVertex);
+    builder.AddBidirectionalEdge(best_a, best_b, std::max(best, 1.0),
+                                 RoadCategory::kTertiary);
+    edges_seen.emplace_back(best_a, best_b);
+    unite(best_a, best_b);
+  }
+}
+
+}  // namespace
+
+RoadNetwork BuildSyntheticNetwork(const SyntheticNetworkConfig& cfg) {
+  PR_CHECK(cfg.rows >= 2 && cfg.cols >= 2) << "grid too small";
+  Rng rng(cfg.seed);
+  const GridGeometry geo = MakeGeometry(cfg, rng);
+
+  RoadNetworkBuilder builder;
+  for (const Coordinate& c : geo.coords) builder.AddVertex(c);
+
+  std::vector<std::pair<VertexId, VertexId>> undirected_edges;
+  auto add_road = [&](VertexId a, VertexId b, RoadCategory cat) {
+    const double len =
+        std::max(25.0, HaversineMeters(geo.coords[a], geo.coords[b]));
+    builder.AddBidirectionalEdge(a, b, len, cat);
+    undirected_edges.emplace_back(a, b);
+  };
+
+  // Grid fabric with deletions. Arterials and the motorway spine are kept
+  // intact (deletion only applies to the local fabric).
+  for (int r = 0; r < cfg.rows; ++r) {
+    for (int c = 0; c < cfg.cols; ++c) {
+      const auto v = static_cast<VertexId>(geo.Index(r, c));
+      if (c + 1 < cfg.cols) {
+        const RoadCategory cat = CategoryFor(cfg, r, /*horizontal=*/true, r, c, rng);
+        const bool protected_edge = cat != RoadCategory::kResidential &&
+                                    cat != RoadCategory::kTertiary;
+        if (protected_edge || !rng.NextBernoulli(cfg.deletion_prob)) {
+          add_road(v, static_cast<VertexId>(geo.Index(r, c + 1)), cat);
+        }
+      }
+      if (r + 1 < cfg.rows) {
+        const RoadCategory cat = CategoryFor(cfg, c, /*horizontal=*/false, r, c, rng);
+        const bool protected_edge = cat != RoadCategory::kResidential &&
+                                    cat != RoadCategory::kTertiary;
+        if (protected_edge || !rng.NextBernoulli(cfg.deletion_prob)) {
+          add_road(v, static_cast<VertexId>(geo.Index(r + 1, c)), cat);
+        }
+      }
+      // Diagonal shortcut across the cell.
+      if (r + 1 < cfg.rows && c + 1 < cfg.cols &&
+          rng.NextBernoulli(cfg.diagonal_prob)) {
+        const bool down_right = rng.NextBernoulli(0.5);
+        const VertexId a =
+            down_right ? v : static_cast<VertexId>(geo.Index(r, c + 1));
+        const VertexId b = down_right
+                               ? static_cast<VertexId>(geo.Index(r + 1, c + 1))
+                               : static_cast<VertexId>(geo.Index(r + 1, c));
+        add_road(a, b, RoadCategory::kTertiary);
+      }
+    }
+  }
+
+  EnsureConnected(builder, geo.coords, undirected_edges);
+  RoadNetwork net = builder.Build();
+  PR_LOG_DEBUG << "synthetic network: " << net.Summary();
+  return net;
+}
+
+RoadNetwork BuildTestNetwork(uint64_t seed) {
+  SyntheticNetworkConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 8;
+  cfg.deletion_prob = 0.0;
+  cfg.diagonal_prob = 0.0;
+  cfg.jitter = 0.1;
+  cfg.arterial_every = 4;
+  cfg.motorway = false;
+  cfg.seed = seed;
+  return BuildSyntheticNetwork(cfg);
+}
+
+}  // namespace pathrank::graph

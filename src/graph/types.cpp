@@ -1,0 +1,80 @@
+#include "graph/types.h"
+
+#include <stdexcept>
+
+namespace pathrank::graph {
+namespace {
+
+constexpr double kEarthRadiusMeters = 6371008.8;
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+
+}  // namespace
+
+double DefaultSpeedKmh(RoadCategory category) {
+  switch (category) {
+    case RoadCategory::kMotorway:
+      return 110.0;
+    case RoadCategory::kTrunk:
+      return 90.0;
+    case RoadCategory::kPrimary:
+      return 80.0;
+    case RoadCategory::kSecondary:
+      return 70.0;
+    case RoadCategory::kTertiary:
+      return 55.0;
+    case RoadCategory::kResidential:
+      return 40.0;
+    case RoadCategory::kService:
+      return 20.0;
+  }
+  return 50.0;
+}
+
+std::string RoadCategoryName(RoadCategory category) {
+  switch (category) {
+    case RoadCategory::kMotorway:
+      return "motorway";
+    case RoadCategory::kTrunk:
+      return "trunk";
+    case RoadCategory::kPrimary:
+      return "primary";
+    case RoadCategory::kSecondary:
+      return "secondary";
+    case RoadCategory::kTertiary:
+      return "tertiary";
+    case RoadCategory::kResidential:
+      return "residential";
+    case RoadCategory::kService:
+      return "service";
+  }
+  return "unknown";
+}
+
+RoadCategory ParseRoadCategory(const std::string& name) {
+  for (int i = 0; i < kNumRoadCategories; ++i) {
+    const auto cat = static_cast<RoadCategory>(i);
+    if (RoadCategoryName(cat) == name) return cat;
+  }
+  throw std::invalid_argument("unknown road category: " + name);
+}
+
+double HaversineMeters(const Coordinate& a, const Coordinate& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h = sin_dlat * sin_dlat +
+                   std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double FastDistanceMeters(const Coordinate& a, const Coordinate& b) {
+  const double mean_lat = 0.5 * (a.lat + b.lat) * kDegToRad;
+  const double dx = (b.lon - a.lon) * kDegToRad * std::cos(mean_lat);
+  const double dy = (b.lat - a.lat) * kDegToRad;
+  return kEarthRadiusMeters * std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace pathrank::graph

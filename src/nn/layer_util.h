@@ -1,0 +1,42 @@
+// Small helpers shared by layer implementations.
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace pathrank::nn {
+
+/// bias_grad[0,c] += sum over rows of m[.,c].
+inline void AddColumnSums(const Matrix& m, Matrix* bias_grad) {
+  PR_CHECK(bias_grad->rows() == 1 && bias_grad->cols() == m.cols());
+  float* g = bias_grad->row(0);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.row(r);
+    for (size_t c = 0; c < m.cols(); ++c) g[c] += row[c];
+  }
+}
+
+/// Per-row binary mask for timestep t: 1 when t < lengths[b].
+inline std::vector<float> StepMask(const std::vector<int32_t>& lengths,
+                                   size_t t) {
+  std::vector<float> mask(lengths.size());
+  for (size_t b = 0; b < lengths.size(); ++b) {
+    mask[b] = (static_cast<int32_t>(t) < lengths[b]) ? 1.0f : 0.0f;
+  }
+  return mask;
+}
+
+/// out[r,c] = m[r,c] * mask[r].
+inline void ScaleRows(const Matrix& m, const std::vector<float>& mask,
+                      Matrix* out) {
+  if (!out->SameShape(m)) out->Resize(m.rows(), m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float s = mask[r];
+    const float* src = m.row(r);
+    float* dst = out->row(r);
+    for (size_t c = 0; c < m.cols(); ++c) dst[c] = src[c] * s;
+  }
+}
+
+}  // namespace pathrank::nn

@@ -1,0 +1,35 @@
+#include "nn/linear.h"
+
+#include "nn/layer_util.h"
+
+namespace pathrank::nn {
+
+LinearLayer::LinearLayer(size_t input_size, size_t output_size,
+                         pathrank::Rng& rng, const std::string& p)
+    : w_(p + ".w", input_size, output_size), b_(p + ".b", 1, output_size) {
+  XavierInit(&w_.value, rng);
+}
+
+void LinearLayer::Forward(const Matrix& x, Matrix* y) {
+  PR_CHECK(x.cols() == input_size());
+  x_cache_ = x;
+  if (y->rows() != x.rows() || y->cols() != output_size()) {
+    y->Resize(x.rows(), output_size());
+  }
+  GemmNN(x, w_.value, y);
+  AddRowBroadcast(b_.value, y);
+}
+
+void LinearLayer::Backward(const Matrix& d_y, Matrix* d_x) {
+  PR_CHECK(d_y.rows() == x_cache_.rows() && d_y.cols() == output_size());
+  GemmTN(x_cache_, d_y, &w_.grad, 1.0f, 1.0f);
+  AddColumnSums(d_y, &b_.grad);
+  if (d_x != nullptr) {
+    if (!d_x->SameShape(x_cache_)) {
+      d_x->Resize(x_cache_.rows(), x_cache_.cols());
+    }
+    GemmNT(d_y, w_.value, d_x, 1.0f, 0.0f);
+  }
+}
+
+}  // namespace pathrank::nn

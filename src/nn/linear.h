@@ -1,0 +1,32 @@
+// Fully-connected layer Y = X W + b.
+#pragma once
+
+#include <string>
+
+#include "nn/parameter.h"
+
+namespace pathrank::nn {
+
+/// Affine layer with cached input for backprop.
+class LinearLayer {
+ public:
+  LinearLayer(size_t input_size, size_t output_size, pathrank::Rng& rng,
+              const std::string& name_prefix = "fc");
+
+  /// Y[B x out] = X[B x in] W + b. Caches X.
+  void Forward(const Matrix& x, Matrix* y);
+
+  /// Accumulates dW, db and writes dX.
+  void Backward(const Matrix& d_y, Matrix* d_x);
+
+  ParameterList Parameters() { return {&w_, &b_}; }
+  size_t input_size() const { return w_.value.rows(); }
+  size_t output_size() const { return w_.value.cols(); }
+
+ private:
+  Parameter w_;  // [in x out]
+  Parameter b_;  // [1 x out]
+  Matrix x_cache_;
+};
+
+}  // namespace pathrank::nn

@@ -1,0 +1,31 @@
+// Regression losses over a batch of scalar predictions. Each returns the
+// mean loss and writes d(loss)/d(pred) (already divided by batch size).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pathrank::nn {
+
+/// Loss selector.
+enum class LossType { kMse, kMae, kHuber };
+
+/// Mean squared error: L = mean((p - t)^2).
+double MseLoss(std::span<const float> predicted, std::span<const float> truth,
+               std::vector<float>* d_predicted);
+
+/// Mean absolute error: L = mean(|p - t|). Subgradient 0 at p == t.
+double MaeLoss(std::span<const float> predicted, std::span<const float> truth,
+               std::vector<float>* d_predicted);
+
+/// Huber loss with threshold `delta`.
+double HuberLoss(std::span<const float> predicted,
+                 std::span<const float> truth, float delta,
+                 std::vector<float>* d_predicted);
+
+/// Dispatch on LossType (Huber uses delta = 0.1).
+double ComputeLoss(LossType type, std::span<const float> predicted,
+                   std::span<const float> truth,
+                   std::vector<float>* d_predicted);
+
+}  // namespace pathrank::nn

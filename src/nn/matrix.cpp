@@ -1,0 +1,174 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace pathrank::nn {
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+void Matrix::Scale(float factor) {
+  for (float& v : data_) v *= factor;
+}
+
+void Matrix::Add(const Matrix& other) {
+  PR_CHECK(SameShape(other)) << ShapeString() << " vs " << other.ShapeString();
+  const float* src = other.data();
+  float* dst = data();
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void Matrix::Axpy(float factor, const Matrix& other) {
+  PR_CHECK(SameShape(other));
+  const float* src = other.data();
+  float* dst = data();
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) dst[i] += factor * src[i];
+}
+
+double Matrix::SquaredNorm() const {
+  double sum = 0.0;
+  for (float v : data_) sum += static_cast<double>(v) * v;
+  return sum;
+}
+
+std::string Matrix::ShapeString() const {
+  return StrFormat("[%zu x %zu]", rows_, cols_);
+}
+
+void GemmNN(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
+            float beta) {
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  PR_CHECK(b.rows() == k) << "GemmNN inner-dim mismatch";
+  PR_CHECK(c->rows() == m && c->cols() == n) << "GemmNN output shape";
+  if (beta == 0.0f) c->Zero();
+  // i-k-j order: unit-stride access on B and C rows; auto-vectorises.
+  for (size_t i = 0; i < m; ++i) {
+    float* c_row = c->row(i);
+    const float* a_row = a.row(i);
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float aik = alpha * a_row[kk];
+      if (aik == 0.0f) continue;
+      const float* b_row = b.row(kk);
+      for (size_t j = 0; j < n; ++j) {
+        c_row[j] += aik * b_row[j];
+      }
+    }
+  }
+}
+
+void GemmNT(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
+            float beta) {
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.rows();
+  PR_CHECK(b.cols() == k) << "GemmNT inner-dim mismatch";
+  PR_CHECK(c->rows() == m && c->cols() == n) << "GemmNT output shape";
+  for (size_t i = 0; i < m; ++i) {
+    const float* a_row = a.row(i);
+    float* c_row = c->row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* b_row = b.row(j);
+      float dot = 0.0f;
+      for (size_t kk = 0; kk < k; ++kk) {
+        dot += a_row[kk] * b_row[kk];
+      }
+      c_row[j] = alpha * dot + (beta == 0.0f ? 0.0f : c_row[j]);
+    }
+  }
+}
+
+void GemmTN(const Matrix& a, const Matrix& b, Matrix* c, float alpha,
+            float beta) {
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  PR_CHECK(b.rows() == m) << "GemmTN inner-dim mismatch";
+  PR_CHECK(c->rows() == k && c->cols() == n) << "GemmTN output shape";
+  if (beta == 0.0f) c->Zero();
+  // Accumulate rank-1 updates: C[kk,:] += A[i,kk] * B[i,:].
+  for (size_t i = 0; i < m; ++i) {
+    const float* a_row = a.row(i);
+    const float* b_row = b.row(i);
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float aik = alpha * a_row[kk];
+      if (aik == 0.0f) continue;
+      float* c_row = c->row(kk);
+      for (size_t j = 0; j < n; ++j) {
+        c_row[j] += aik * b_row[j];
+      }
+    }
+  }
+}
+
+void AddRowBroadcast(const Matrix& bias, Matrix* y) {
+  PR_CHECK(bias.rows() == 1 && bias.cols() == y->cols());
+  const float* b = bias.row(0);
+  for (size_t r = 0; r < y->rows(); ++r) {
+    float* row = y->row(r);
+    for (size_t c = 0; c < y->cols(); ++c) row[c] += b[c];
+  }
+}
+
+void Hadamard(const Matrix& a, const Matrix& b, Matrix* out) {
+  PR_CHECK(a.SameShape(b));
+  if (!out->SameShape(a)) out->Resize(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out->data();
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+}
+
+void SigmoidInPlace(Matrix* m) {
+  float* p = m->data();
+  const size_t n = m->size();
+  for (size_t i = 0; i < n; ++i) {
+    p[i] = 1.0f / (1.0f + std::exp(-p[i]));
+  }
+}
+
+void TanhInPlace(Matrix* m) {
+  float* p = m->data();
+  const size_t n = m->size();
+  for (size_t i = 0; i < n; ++i) {
+    p[i] = std::tanh(p[i]);
+  }
+}
+
+void UniformInit(Matrix* m, float limit, pathrank::Rng& rng) {
+  float* p = m->data();
+  const size_t n = m->size();
+  for (size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(rng.NextUniform(-limit, limit));
+  }
+}
+
+void XavierInit(Matrix* m, pathrank::Rng& rng) {
+  const float limit = std::sqrt(
+      6.0f / static_cast<float>(m->rows() + m->cols()));
+  UniformInit(m, limit, rng);
+}
+
+void GaussianInit(Matrix* m, float stddev, pathrank::Rng& rng) {
+  float* p = m->data();
+  const size_t n = m->size();
+  for (size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(rng.NextGaussian(0.0, stddev));
+  }
+}
+
+}  // namespace pathrank::nn

@@ -1,0 +1,26 @@
+#include "nn/parameter.h"
+
+#include <cmath>
+
+namespace pathrank::nn {
+
+double GradientSquaredNorm(const ParameterList& params) {
+  double sum = 0.0;
+  for (const Parameter* p : params) sum += p->grad.SquaredNorm();
+  return sum;
+}
+
+double ClipGradientNorm(const ParameterList& params, double max_norm) {
+  const double norm = std::sqrt(GradientSquaredNorm(params));
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Parameter* p : params) p->grad.Scale(scale);
+  }
+  return norm;
+}
+
+void ZeroGradients(const ParameterList& params) {
+  for (Parameter* p : params) p->ZeroGrad();
+}
+
+}  // namespace pathrank::nn

@@ -1,0 +1,42 @@
+// Named trainable parameter (value + gradient) and parameter registry.
+// Layers expose their parameters through CollectParameters(); optimizers
+// iterate the registry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace pathrank::nn {
+
+/// One trainable tensor. The gradient always has the value's shape.
+struct Parameter {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+  /// Frozen parameters receive gradients but are skipped by optimizers
+  /// (used by PR-A1 to keep the embedding matrix fixed).
+  bool frozen = false;
+
+  Parameter() = default;
+  Parameter(std::string n, size_t rows, size_t cols)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols) {}
+
+  void ZeroGrad() { grad.Zero(); }
+};
+
+/// Non-owning list of parameters (layers own their Parameter members).
+using ParameterList = std::vector<Parameter*>;
+
+/// Sum of squared gradient norms across a list.
+double GradientSquaredNorm(const ParameterList& params);
+
+/// Scales all gradients so the global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double ClipGradientNorm(const ParameterList& params, double max_norm);
+
+/// Zeroes every gradient in the list.
+void ZeroGradients(const ParameterList& params);
+
+}  // namespace pathrank::nn

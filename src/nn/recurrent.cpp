@@ -1,0 +1,541 @@
+#include "nn/recurrent.h"
+
+#include <stdexcept>
+
+#include "nn/layer_util.h"
+
+namespace pathrank::nn {
+namespace {
+
+/// out[i] = dh[i] * g[i] * (1 - g[i])  (sigmoid derivative through gate g).
+void SigmoidBackward(const Matrix& dh, const Matrix& g, Matrix* out) {
+  PR_CHECK(dh.SameShape(g));
+  if (!out->SameShape(g)) out->Resize(g.rows(), g.cols());
+  const float* pd = dh.data();
+  const float* pg = g.data();
+  float* po = out->data();
+  for (size_t i = 0; i < g.size(); ++i) {
+    po[i] = pd[i] * pg[i] * (1.0f - pg[i]);
+  }
+}
+
+/// out[i] = dh[i] * (1 - t[i]^2)  (tanh derivative through activation t).
+void TanhBackward(const Matrix& dh, const Matrix& t, Matrix* out) {
+  PR_CHECK(dh.SameShape(t));
+  if (!out->SameShape(t)) out->Resize(t.rows(), t.cols());
+  const float* pd = dh.data();
+  const float* pt = t.data();
+  float* po = out->data();
+  for (size_t i = 0; i < t.size(); ++i) {
+    po[i] = pd[i] * (1.0f - pt[i] * pt[i]);
+  }
+}
+
+}  // namespace
+
+std::string CellTypeName(CellType type) {
+  switch (type) {
+    case CellType::kGru:
+      return "gru";
+    case CellType::kRnn:
+      return "rnn";
+    case CellType::kLstm:
+      return "lstm";
+  }
+  return "?";
+}
+
+CellType ParseCellType(const std::string& name) {
+  if (name == "gru") return CellType::kGru;
+  if (name == "rnn") return CellType::kRnn;
+  if (name == "lstm") return CellType::kLstm;
+  throw std::invalid_argument("unknown cell type: " + name);
+}
+
+// ---------------------------------------------------------------- GRU ----
+
+GruLayer::GruLayer(size_t input_size, size_t hidden_size, pathrank::Rng& rng,
+                   const std::string& p)
+    : wz_(p + ".wz", input_size, hidden_size),
+      wr_(p + ".wr", input_size, hidden_size),
+      wh_(p + ".wh", input_size, hidden_size),
+      uz_(p + ".uz", hidden_size, hidden_size),
+      ur_(p + ".ur", hidden_size, hidden_size),
+      uh_(p + ".uh", hidden_size, hidden_size),
+      bz_(p + ".bz", 1, hidden_size),
+      br_(p + ".br", 1, hidden_size),
+      bh_(p + ".bh", 1, hidden_size) {
+  for (Parameter* w : {&wz_, &wr_, &wh_, &uz_, &ur_, &uh_}) {
+    XavierInit(&w->value, rng);
+  }
+}
+
+void GruLayer::Forward(const std::vector<Matrix>& x_steps,
+                       const std::vector<int32_t>& lengths, Matrix* final_h) {
+  const size_t num_steps = x_steps.size();
+  PR_CHECK(num_steps > 0);
+  const size_t batch = x_steps[0].rows();
+  const size_t hidden = hidden_size();
+
+  x_steps_ = &x_steps;
+  lengths_ = lengths;
+  h_.assign(num_steps + 1, Matrix());
+  z_.assign(num_steps, Matrix());
+  r_.assign(num_steps, Matrix());
+  hhat_.assign(num_steps, Matrix());
+  rh_.assign(num_steps, Matrix());
+  h_[0].Resize(batch, hidden);  // zero initial state
+
+  Matrix az(batch, hidden);
+  Matrix ar(batch, hidden);
+  Matrix ah(batch, hidden);
+  for (size_t t = 0; t < num_steps; ++t) {
+    const Matrix& x = x_steps[t];
+    const Matrix& h_prev = h_[t];
+    PR_CHECK(x.cols() == input_size());
+
+    GemmNN(x, wz_.value, &az);
+    GemmNN(h_prev, uz_.value, &az, 1.0f, 1.0f);
+    AddRowBroadcast(bz_.value, &az);
+    SigmoidInPlace(&az);
+    z_[t] = az;
+
+    GemmNN(x, wr_.value, &ar);
+    GemmNN(h_prev, ur_.value, &ar, 1.0f, 1.0f);
+    AddRowBroadcast(br_.value, &ar);
+    SigmoidInPlace(&ar);
+    r_[t] = ar;
+
+    Hadamard(ar, h_prev, &rh_[t]);
+
+    GemmNN(x, wh_.value, &ah);
+    GemmNN(rh_[t], uh_.value, &ah, 1.0f, 1.0f);
+    AddRowBroadcast(bh_.value, &ah);
+    TanhInPlace(&ah);
+    hhat_[t] = ah;
+
+    // h_new = h_prev + m*z*(hhat - h_prev): masked rows keep h_prev.
+    const auto mask = StepMask(lengths_, t);
+    Matrix& h_new = h_[t + 1];
+    h_new = h_prev;
+    for (size_t b = 0; b < batch; ++b) {
+      if (mask[b] == 0.0f) continue;
+      float* hn = h_new.row(b);
+      const float* hp = h_prev.row(b);
+      const float* zz = z_[t].row(b);
+      const float* hh = hhat_[t].row(b);
+      for (size_t c = 0; c < hidden; ++c) {
+        hn[c] = (1.0f - zz[c]) * hp[c] + zz[c] * hh[c];
+      }
+    }
+  }
+  *final_h = h_[num_steps];
+}
+
+void GruLayer::BackwardImpl(const Matrix* d_final_h,
+                            const std::vector<Matrix>* d_h_steps,
+                            std::vector<Matrix>* d_x_steps) {
+  PR_CHECK(x_steps_ != nullptr) << "Backward without Forward";
+  const auto& x_steps = *x_steps_;
+  const size_t num_steps = x_steps.size();
+  const size_t batch = x_steps[0].rows();
+  const size_t hidden = hidden_size();
+
+  d_x_steps->assign(num_steps, Matrix());
+  Matrix dh(batch, hidden);
+  if (d_final_h != nullptr) dh = *d_final_h;
+  Matrix dh_prev(batch, hidden);
+  Matrix dhhat(batch, hidden);
+  Matrix dz_raw(batch, hidden);
+  Matrix da(batch, hidden);
+  Matrix drh(batch, hidden);
+  Matrix dr(batch, hidden);
+
+  for (size_t t = num_steps; t-- > 0;) {
+    if (d_h_steps != nullptr) dh.Add((*d_h_steps)[t]);
+    const Matrix& x = x_steps[t];
+    const Matrix& h_prev = h_[t];
+    const Matrix& z = z_[t];
+    const Matrix& r = r_[t];
+    const Matrix& hhat = hhat_[t];
+    const auto mask = StepMask(lengths_, t);
+
+    Matrix& dx = (*d_x_steps)[t];
+    dx.Resize(batch, input_size());
+
+    // dhhat = dh * z * m ;  dz_raw = dh * (hhat - h_prev) * m
+    // dh_prev = dh * (1 - z*m)
+    dhhat.Resize(batch, hidden);
+    dz_raw.Resize(batch, hidden);
+    dh_prev.Resize(batch, hidden);
+    for (size_t b = 0; b < batch; ++b) {
+      const float m = mask[b];
+      const float* pdh = dh.row(b);
+      const float* pz = z.row(b);
+      const float* phh = hhat.row(b);
+      const float* php = h_prev.row(b);
+      float* pdhh = dhhat.row(b);
+      float* pdz = dz_raw.row(b);
+      float* pdhp = dh_prev.row(b);
+      for (size_t c = 0; c < hidden; ++c) {
+        const float zm = pz[c] * m;
+        pdhh[c] = pdh[c] * zm;
+        pdz[c] = pdh[c] * (phh[c] - php[c]) * m;
+        pdhp[c] = pdh[c] * (1.0f - zm);
+      }
+    }
+
+    // Candidate branch.
+    TanhBackward(dhhat, hhat, &da);
+    GemmTN(x, da, &wh_.grad, 1.0f, 1.0f);
+    GemmTN(rh_[t], da, &uh_.grad, 1.0f, 1.0f);
+    AddColumnSums(da, &bh_.grad);
+    GemmNT(da, wh_.value, &dx, 1.0f, 0.0f);
+    GemmNT(da, uh_.value, &drh, 1.0f, 0.0f);
+
+    // Reset branch: drh splits into dr (through r) and dh_prev (through h).
+    Hadamard(drh, h_prev, &dr);
+    {
+      // dh_prev += drh * r
+      const float* pd = drh.data();
+      const float* pr = r.data();
+      float* po = dh_prev.data();
+      for (size_t i = 0; i < drh.size(); ++i) po[i] += pd[i] * pr[i];
+    }
+
+    // Update gate.
+    SigmoidBackward(dz_raw, z, &da);
+    GemmTN(x, da, &wz_.grad, 1.0f, 1.0f);
+    GemmTN(h_prev, da, &uz_.grad, 1.0f, 1.0f);
+    AddColumnSums(da, &bz_.grad);
+    GemmNT(da, wz_.value, &dx, 1.0f, 1.0f);
+    GemmNT(da, uz_.value, &dh_prev, 1.0f, 1.0f);
+
+    // Reset gate.
+    SigmoidBackward(dr, r, &da);
+    GemmTN(x, da, &wr_.grad, 1.0f, 1.0f);
+    GemmTN(h_prev, da, &ur_.grad, 1.0f, 1.0f);
+    AddColumnSums(da, &br_.grad);
+    GemmNT(da, wr_.value, &dx, 1.0f, 1.0f);
+    GemmNT(da, ur_.value, &dh_prev, 1.0f, 1.0f);
+
+    std::swap(dh, dh_prev);
+  }
+  x_steps_ = nullptr;
+}
+
+ParameterList GruLayer::Parameters() {
+  return {&wz_, &wr_, &wh_, &uz_, &ur_, &uh_, &bz_, &br_, &bh_};
+}
+
+// ---------------------------------------------------------------- RNN ----
+
+RnnLayer::RnnLayer(size_t input_size, size_t hidden_size, pathrank::Rng& rng,
+                   const std::string& p)
+    : w_(p + ".w", input_size, hidden_size),
+      u_(p + ".u", hidden_size, hidden_size),
+      b_(p + ".b", 1, hidden_size) {
+  XavierInit(&w_.value, rng);
+  XavierInit(&u_.value, rng);
+}
+
+void RnnLayer::Forward(const std::vector<Matrix>& x_steps,
+                       const std::vector<int32_t>& lengths, Matrix* final_h) {
+  const size_t num_steps = x_steps.size();
+  PR_CHECK(num_steps > 0);
+  const size_t batch = x_steps[0].rows();
+  const size_t hidden = hidden_size();
+
+  x_steps_ = &x_steps;
+  lengths_ = lengths;
+  h_.assign(num_steps + 1, Matrix());
+  hnew_.assign(num_steps, Matrix());
+  h_[0].Resize(batch, hidden);
+
+  Matrix a(batch, hidden);
+  for (size_t t = 0; t < num_steps; ++t) {
+    const Matrix& x = x_steps[t];
+    const Matrix& h_prev = h_[t];
+    GemmNN(x, w_.value, &a);
+    GemmNN(h_prev, u_.value, &a, 1.0f, 1.0f);
+    AddRowBroadcast(b_.value, &a);
+    TanhInPlace(&a);
+    hnew_[t] = a;
+
+    const auto mask = StepMask(lengths_, t);
+    Matrix& h_new = h_[t + 1];
+    h_new = h_prev;
+    for (size_t bb = 0; bb < batch; ++bb) {
+      if (mask[bb] == 0.0f) continue;
+      std::copy(hnew_[t].row(bb), hnew_[t].row(bb) + hidden, h_new.row(bb));
+    }
+  }
+  *final_h = h_[num_steps];
+}
+
+void RnnLayer::BackwardImpl(const Matrix* d_final_h,
+                            const std::vector<Matrix>* d_h_steps,
+                            std::vector<Matrix>* d_x_steps) {
+  PR_CHECK(x_steps_ != nullptr) << "Backward without Forward";
+  const auto& x_steps = *x_steps_;
+  const size_t num_steps = x_steps.size();
+  const size_t batch = x_steps[0].rows();
+  const size_t hidden = hidden_size();
+
+  d_x_steps->assign(num_steps, Matrix());
+  Matrix dh(batch, hidden);
+  if (d_final_h != nullptr) dh = *d_final_h;
+  Matrix dh_prev(batch, hidden);
+  Matrix dhnew(batch, hidden);
+  Matrix da(batch, hidden);
+
+  for (size_t t = num_steps; t-- > 0;) {
+    if (d_h_steps != nullptr) dh.Add((*d_h_steps)[t]);
+    const Matrix& x = x_steps[t];
+    const Matrix& h_prev = h_[t];
+    const auto mask = StepMask(lengths_, t);
+
+    dhnew.Resize(batch, hidden);
+    dh_prev.Resize(batch, hidden);
+    for (size_t bb = 0; bb < batch; ++bb) {
+      const float m = mask[bb];
+      const float* pdh = dh.row(bb);
+      float* pn = dhnew.row(bb);
+      float* pp = dh_prev.row(bb);
+      for (size_t c = 0; c < hidden; ++c) {
+        pn[c] = pdh[c] * m;
+        pp[c] = pdh[c] * (1.0f - m);
+      }
+    }
+
+    TanhBackward(dhnew, hnew_[t], &da);
+    GemmTN(x, da, &w_.grad, 1.0f, 1.0f);
+    GemmTN(h_prev, da, &u_.grad, 1.0f, 1.0f);
+    AddColumnSums(da, &b_.grad);
+    Matrix& dx = (*d_x_steps)[t];
+    dx.Resize(batch, input_size());
+    GemmNT(da, w_.value, &dx, 1.0f, 0.0f);
+    GemmNT(da, u_.value, &dh_prev, 1.0f, 1.0f);
+
+    std::swap(dh, dh_prev);
+  }
+  x_steps_ = nullptr;
+}
+
+ParameterList RnnLayer::Parameters() { return {&w_, &u_, &b_}; }
+
+// --------------------------------------------------------------- LSTM ----
+
+LstmLayer::LstmLayer(size_t input_size, size_t hidden_size,
+                     pathrank::Rng& rng, const std::string& p)
+    : wi_(p + ".wi", input_size, hidden_size),
+      wf_(p + ".wf", input_size, hidden_size),
+      wo_(p + ".wo", input_size, hidden_size),
+      wg_(p + ".wg", input_size, hidden_size),
+      ui_(p + ".ui", hidden_size, hidden_size),
+      uf_(p + ".uf", hidden_size, hidden_size),
+      uo_(p + ".uo", hidden_size, hidden_size),
+      ug_(p + ".ug", hidden_size, hidden_size),
+      bi_(p + ".bi", 1, hidden_size),
+      bf_(p + ".bf", 1, hidden_size),
+      bo_(p + ".bo", 1, hidden_size),
+      bg_(p + ".bg", 1, hidden_size) {
+  for (Parameter* w : {&wi_, &wf_, &wo_, &wg_, &ui_, &uf_, &uo_, &ug_}) {
+    XavierInit(&w->value, rng);
+  }
+  bf_.value.Fill(1.0f);  // standard forget-gate bias init
+}
+
+void LstmLayer::Forward(const std::vector<Matrix>& x_steps,
+                        const std::vector<int32_t>& lengths,
+                        Matrix* final_h) {
+  const size_t num_steps = x_steps.size();
+  PR_CHECK(num_steps > 0);
+  const size_t batch = x_steps[0].rows();
+  const size_t hidden = hidden_size();
+
+  x_steps_ = &x_steps;
+  lengths_ = lengths;
+  h_.assign(num_steps + 1, Matrix());
+  c_.assign(num_steps + 1, Matrix());
+  i_.assign(num_steps, Matrix());
+  f_.assign(num_steps, Matrix());
+  o_.assign(num_steps, Matrix());
+  g_.assign(num_steps, Matrix());
+  c_new_.assign(num_steps, Matrix());
+  tanh_c_new_.assign(num_steps, Matrix());
+  h_[0].Resize(batch, hidden);
+  c_[0].Resize(batch, hidden);
+
+  Matrix a(batch, hidden);
+  auto gate = [&](const Matrix& x, const Matrix& h_prev, const Parameter& w,
+                  const Parameter& u, const Parameter& b, bool is_tanh,
+                  Matrix* out) {
+    GemmNN(x, w.value, &a);
+    GemmNN(h_prev, u.value, &a, 1.0f, 1.0f);
+    AddRowBroadcast(b.value, &a);
+    if (is_tanh) {
+      TanhInPlace(&a);
+    } else {
+      SigmoidInPlace(&a);
+    }
+    *out = a;
+  };
+
+  for (size_t t = 0; t < num_steps; ++t) {
+    const Matrix& x = x_steps[t];
+    const Matrix& h_prev = h_[t];
+    const Matrix& c_prev = c_[t];
+    gate(x, h_prev, wi_, ui_, bi_, false, &i_[t]);
+    gate(x, h_prev, wf_, uf_, bf_, false, &f_[t]);
+    gate(x, h_prev, wo_, uo_, bo_, false, &o_[t]);
+    gate(x, h_prev, wg_, ug_, bg_, true, &g_[t]);
+
+    Matrix& cn = c_new_[t];
+    cn.Resize(batch, hidden);
+    for (size_t bb = 0; bb < batch; ++bb) {
+      const float* pf = f_[t].row(bb);
+      const float* pi = i_[t].row(bb);
+      const float* pg = g_[t].row(bb);
+      const float* pc = c_prev.row(bb);
+      float* pcn = cn.row(bb);
+      for (size_t cidx = 0; cidx < hidden; ++cidx) {
+        pcn[cidx] = pf[cidx] * pc[cidx] + pi[cidx] * pg[cidx];
+      }
+    }
+    tanh_c_new_[t] = cn;
+    TanhInPlace(&tanh_c_new_[t]);
+
+    const auto mask = StepMask(lengths_, t);
+    Matrix& h_next = h_[t + 1];
+    Matrix& c_next = c_[t + 1];
+    h_next = h_prev;
+    c_next = c_prev;
+    for (size_t bb = 0; bb < batch; ++bb) {
+      if (mask[bb] == 0.0f) continue;
+      const float* po = o_[t].row(bb);
+      const float* ptc = tanh_c_new_[t].row(bb);
+      const float* pcn = cn.row(bb);
+      float* ph = h_next.row(bb);
+      float* pc = c_next.row(bb);
+      for (size_t cidx = 0; cidx < hidden; ++cidx) {
+        ph[cidx] = po[cidx] * ptc[cidx];
+        pc[cidx] = pcn[cidx];
+      }
+    }
+  }
+  *final_h = h_[num_steps];
+}
+
+void LstmLayer::BackwardImpl(const Matrix* d_final_h,
+                             const std::vector<Matrix>* d_h_steps,
+                             std::vector<Matrix>* d_x_steps) {
+  PR_CHECK(x_steps_ != nullptr) << "Backward without Forward";
+  const auto& x_steps = *x_steps_;
+  const size_t num_steps = x_steps.size();
+  const size_t batch = x_steps[0].rows();
+  const size_t hidden = hidden_size();
+
+  d_x_steps->assign(num_steps, Matrix());
+  Matrix dh(batch, hidden);
+  if (d_final_h != nullptr) dh = *d_final_h;
+  Matrix dc(batch, hidden);  // zero: loss reads h only
+  Matrix dh_prev(batch, hidden);
+  Matrix dc_prev(batch, hidden);
+  Matrix dgate(batch, hidden);
+  Matrix da(batch, hidden);
+
+  for (size_t t = num_steps; t-- > 0;) {
+    if (d_h_steps != nullptr) dh.Add((*d_h_steps)[t]);
+    const Matrix& x = x_steps[t];
+    const Matrix& h_prev = h_[t];
+    const Matrix& c_prev = c_[t];
+    const auto mask = StepMask(lengths_, t);
+
+    Matrix& dx = (*d_x_steps)[t];
+    dx.Resize(batch, input_size());
+    dh_prev.Resize(batch, hidden);
+    dc_prev.Resize(batch, hidden);
+
+    // Pointwise split of dh/dc across the mask, and cell backward.
+    Matrix dc_new(batch, hidden);
+    Matrix dh_new(batch, hidden);
+    for (size_t bb = 0; bb < batch; ++bb) {
+      const float m = mask[bb];
+      const float* pdh = dh.row(bb);
+      const float* pdc = dc.row(bb);
+      const float* po = o_[t].row(bb);
+      const float* ptc = tanh_c_new_[t].row(bb);
+      const float* pf = f_[t].row(bb);
+      float* pdhn = dh_new.row(bb);
+      float* pdcn = dc_new.row(bb);
+      float* pdhp = dh_prev.row(bb);
+      float* pdcp = dc_prev.row(bb);
+      for (size_t cidx = 0; cidx < hidden; ++cidx) {
+        const float dhn = pdh[cidx] * m;
+        pdhn[cidx] = dhn;
+        const float dcn =
+            pdc[cidx] * m + dhn * po[cidx] * (1.0f - ptc[cidx] * ptc[cidx]);
+        pdcn[cidx] = dcn;
+        pdhp[cidx] = pdh[cidx] * (1.0f - m);
+        pdcp[cidx] = pdc[cidx] * (1.0f - m) + dcn * pf[cidx];
+      }
+    }
+
+    auto backprop_gate = [&](const Matrix& dgate_raw, const Matrix& act,
+                             bool is_tanh, Parameter& w, Parameter& u,
+                             Parameter& b, bool first_dx) {
+      if (is_tanh) {
+        TanhBackward(dgate_raw, act, &da);
+      } else {
+        SigmoidBackward(dgate_raw, act, &da);
+      }
+      GemmTN(x, da, &w.grad, 1.0f, 1.0f);
+      GemmTN(h_prev, da, &u.grad, 1.0f, 1.0f);
+      AddColumnSums(da, &b.grad);
+      GemmNT(da, w.value, &dx, 1.0f, first_dx ? 0.0f : 1.0f);
+      GemmNT(da, u.value, &dh_prev, 1.0f, 1.0f);
+    };
+
+    // Output gate: dO = dh_new * tanh_c_new.
+    Hadamard(dh_new, tanh_c_new_[t], &dgate);
+    backprop_gate(dgate, o_[t], false, wo_, uo_, bo_, /*first_dx=*/true);
+    // Input gate: dI = dc_new * g.
+    Hadamard(dc_new, g_[t], &dgate);
+    backprop_gate(dgate, i_[t], false, wi_, ui_, bi_, false);
+    // Forget gate: dF = dc_new * c_prev.
+    Hadamard(dc_new, c_prev, &dgate);
+    backprop_gate(dgate, f_[t], false, wf_, uf_, bf_, false);
+    // Cell candidate: dG = dc_new * i.
+    Hadamard(dc_new, i_[t], &dgate);
+    backprop_gate(dgate, g_[t], true, wg_, ug_, bg_, false);
+
+    std::swap(dh, dh_prev);
+    std::swap(dc, dc_prev);
+  }
+  x_steps_ = nullptr;
+}
+
+ParameterList LstmLayer::Parameters() {
+  return {&wi_, &wf_, &wo_, &wg_, &ui_, &uf_, &uo_, &ug_,
+          &bi_, &bf_, &bo_, &bg_};
+}
+
+std::unique_ptr<RecurrentLayer> MakeRecurrentLayer(
+    CellType type, size_t input_size, size_t hidden_size, pathrank::Rng& rng,
+    const std::string& name_prefix) {
+  switch (type) {
+    case CellType::kGru:
+      return std::make_unique<GruLayer>(input_size, hidden_size, rng,
+                                        name_prefix);
+    case CellType::kRnn:
+      return std::make_unique<RnnLayer>(input_size, hidden_size, rng,
+                                        name_prefix);
+    case CellType::kLstm:
+      return std::make_unique<LstmLayer>(input_size, hidden_size, rng,
+                                         name_prefix);
+  }
+  return nullptr;
+}
+
+}  // namespace pathrank::nn

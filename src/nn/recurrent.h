@@ -1,0 +1,172 @@
+// Recurrent sequence encoders: GRU (the paper's choice), vanilla tanh RNN
+// and LSTM (ablations). All share one interface:
+//
+//   Forward(x_steps, lengths, &final_h)   — x_steps[t] is the [B x input]
+//     embedding of timestep t; final_h receives the hidden state of each
+//     row after its true length (padding is masked, not processed).
+//   Backward(d_final_h, &d_x_steps)       — exact BPTT; returns gradients
+//     with respect to every input step and accumulates parameter grads.
+//
+// Implementations cache activations in Forward; a Backward call must follow
+// the matching Forward call (standard training loop discipline).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace pathrank::nn {
+
+/// Abstract masked recurrent encoder.
+class RecurrentLayer {
+ public:
+  virtual ~RecurrentLayer() = default;
+
+  /// Consumes `x_steps` (one [B x input_size] matrix per timestep) and
+  /// writes the per-row final hidden state into `final_h` [B x hidden].
+  virtual void Forward(const std::vector<Matrix>& x_steps,
+                       const std::vector<int32_t>& lengths,
+                       Matrix* final_h) = 0;
+
+  /// Hidden state after step `t` of the last Forward ([B x hidden]).
+  /// Padded rows carry the last real state forward.
+  virtual const Matrix& hidden_state(size_t t) const = 0;
+
+  /// Backpropagates `d_final_h` [B x hidden]; writes input gradients into
+  /// `d_x_steps` (resized to match the last Forward) and accumulates
+  /// parameter gradients.
+  void Backward(const Matrix& d_final_h, std::vector<Matrix>* d_x_steps) {
+    BackwardImpl(&d_final_h, nullptr, d_x_steps);
+  }
+
+  /// Backpropagates per-step hidden-state gradients (`d_h_steps[t]` is the
+  /// gradient on hidden_state(t)); used by mean-pooling heads. Rows beyond
+  /// a sequence's true length must carry zero gradient.
+  void BackwardSteps(const std::vector<Matrix>& d_h_steps,
+                     std::vector<Matrix>* d_x_steps) {
+    BackwardImpl(nullptr, &d_h_steps, d_x_steps);
+  }
+
+  virtual ParameterList Parameters() = 0;
+  virtual size_t input_size() const = 0;
+  virtual size_t hidden_size() const = 0;
+  virtual std::string Name() const = 0;
+
+ protected:
+  /// Exactly one of `d_final_h` / `d_h_steps` is non-null.
+  virtual void BackwardImpl(const Matrix* d_final_h,
+                            const std::vector<Matrix>* d_h_steps,
+                            std::vector<Matrix>* d_x_steps) = 0;
+};
+
+/// Cell selector used by configs and the ablation bench.
+enum class CellType { kGru, kRnn, kLstm };
+
+std::string CellTypeName(CellType type);
+CellType ParseCellType(const std::string& name);
+
+/// GRU with update gate z, reset gate r:
+///   z = sigmoid(x Wz + h Uz + bz),  r = sigmoid(x Wr + h Ur + br)
+///   hhat = tanh(x Wh + (r*h) Uh + bh),  h' = (1-z)*h + z*hhat
+class GruLayer final : public RecurrentLayer {
+ public:
+  GruLayer(size_t input_size, size_t hidden_size, pathrank::Rng& rng,
+           const std::string& name_prefix = "gru");
+
+  void Forward(const std::vector<Matrix>& x_steps,
+               const std::vector<int32_t>& lengths, Matrix* final_h) override;
+  const Matrix& hidden_state(size_t t) const override { return h_[t + 1]; }
+  ParameterList Parameters() override;
+  size_t input_size() const override { return wz_.value.rows(); }
+  size_t hidden_size() const override { return wz_.value.cols(); }
+  std::string Name() const override { return "gru"; }
+
+ protected:
+  void BackwardImpl(const Matrix* d_final_h,
+                    const std::vector<Matrix>* d_h_steps,
+                    std::vector<Matrix>* d_x_steps) override;
+
+ private:
+  Parameter wz_, wr_, wh_;  // [input x hidden]
+  Parameter uz_, ur_, uh_;  // [hidden x hidden]
+  Parameter bz_, br_, bh_;  // [1 x hidden]
+
+  // Forward caches.
+  const std::vector<Matrix>* x_steps_ = nullptr;
+  std::vector<int32_t> lengths_;
+  std::vector<Matrix> h_;     // h_[t] = state after step t; h_[0] = 0
+  std::vector<Matrix> z_;     // raw update gate per step
+  std::vector<Matrix> r_;     // raw reset gate per step
+  std::vector<Matrix> hhat_;  // candidate state per step
+  std::vector<Matrix> rh_;    // r * h_prev per step
+};
+
+/// Vanilla tanh RNN: h' = tanh(x W + h U + b).
+class RnnLayer final : public RecurrentLayer {
+ public:
+  RnnLayer(size_t input_size, size_t hidden_size, pathrank::Rng& rng,
+           const std::string& name_prefix = "rnn");
+
+  void Forward(const std::vector<Matrix>& x_steps,
+               const std::vector<int32_t>& lengths, Matrix* final_h) override;
+  const Matrix& hidden_state(size_t t) const override { return h_[t + 1]; }
+  ParameterList Parameters() override;
+  size_t input_size() const override { return w_.value.rows(); }
+  size_t hidden_size() const override { return w_.value.cols(); }
+  std::string Name() const override { return "rnn"; }
+
+ protected:
+  void BackwardImpl(const Matrix* d_final_h,
+                    const std::vector<Matrix>* d_h_steps,
+                    std::vector<Matrix>* d_x_steps) override;
+
+ private:
+  Parameter w_, u_, b_;
+
+  const std::vector<Matrix>* x_steps_ = nullptr;
+  std::vector<int32_t> lengths_;
+  std::vector<Matrix> h_;      // masked states; h_[0] = 0
+  std::vector<Matrix> hnew_;   // unmasked tanh output per step
+};
+
+/// LSTM with forget/input/output gates and cell state.
+class LstmLayer final : public RecurrentLayer {
+ public:
+  LstmLayer(size_t input_size, size_t hidden_size, pathrank::Rng& rng,
+            const std::string& name_prefix = "lstm");
+
+  void Forward(const std::vector<Matrix>& x_steps,
+               const std::vector<int32_t>& lengths, Matrix* final_h) override;
+  const Matrix& hidden_state(size_t t) const override { return h_[t + 1]; }
+  ParameterList Parameters() override;
+  size_t input_size() const override { return wi_.value.rows(); }
+  size_t hidden_size() const override { return wi_.value.cols(); }
+  std::string Name() const override { return "lstm"; }
+
+ protected:
+  void BackwardImpl(const Matrix* d_final_h,
+                    const std::vector<Matrix>* d_h_steps,
+                    std::vector<Matrix>* d_x_steps) override;
+
+ private:
+  Parameter wi_, wf_, wo_, wg_;  // [input x hidden]
+  Parameter ui_, uf_, uo_, ug_;  // [hidden x hidden]
+  Parameter bi_, bf_, bo_, bg_;  // [1 x hidden]
+
+  const std::vector<Matrix>* x_steps_ = nullptr;
+  std::vector<int32_t> lengths_;
+  std::vector<Matrix> h_, c_;               // masked states; index 0 = 0
+  std::vector<Matrix> i_, f_, o_, g_;       // gates per step
+  std::vector<Matrix> c_new_, tanh_c_new_;  // unmasked cell and tanh(cell)
+};
+
+/// Factory for the configured cell type. `name_prefix` namespaces the
+/// parameters (must be unique per layer instance within a model so
+/// checkpoints can address them).
+std::unique_ptr<RecurrentLayer> MakeRecurrentLayer(
+    CellType type, size_t input_size, size_t hidden_size, pathrank::Rng& rng,
+    const std::string& name_prefix);
+
+}  // namespace pathrank::nn

@@ -1,0 +1,63 @@
+// ALT: A* with Landmarks and the Triangle inequality (Goldberg & Harrelson
+// 2005). Preprocessing selects a small set of landmarks with farthest-point
+// sampling and stores exact distances to and from every vertex; queries run
+// A* with the lower bound
+//
+//   h(v) = max over landmarks L of
+//          max( d(L, t) - d(L, v),  d(v, L) - d(t, L) )
+//
+// which is admissible and consistent for the metric used at preprocessing
+// time. On hierarchical road networks ALT settles far fewer vertices than
+// plain Dijkstra and, unlike the geometric A* heuristic, works for custom
+// metrics such as the simulated drivers' personalised costs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "routing/cost_model.h"
+#include "routing/path.h"
+
+namespace pathrank::routing {
+
+/// Preprocessed ALT engine for one (network, metric) pair.
+class AltRouter {
+ public:
+  /// Preprocesses `num_landmarks` landmarks under `cost`. O(L * E log V).
+  AltRouter(const RoadNetwork& network, const EdgeCostFn& cost,
+            int num_landmarks = 8);
+
+  /// Exact shortest path under the preprocessing metric.
+  std::optional<Path> ShortestPath(VertexId source, VertexId target);
+
+  /// Vertices settled by the last query.
+  size_t last_settled_count() const { return settled_count_; }
+
+  /// The selected landmark vertices (diagnostics/tests).
+  const std::vector<VertexId>& landmarks() const { return landmarks_; }
+
+ private:
+  struct QueueEntry {
+    double f;
+    double g;
+    VertexId vertex;
+    bool operator>(const QueueEntry& o) const { return f > o.f; }
+  };
+
+  double Heuristic(VertexId v, VertexId target) const;
+
+  const RoadNetwork* network_;
+  EdgeCostFn cost_;
+  std::vector<VertexId> landmarks_;
+  // dist_from_[l][v] = d(landmark_l -> v); dist_to_[l][v] = d(v -> landmark_l).
+  std::vector<std::vector<double>> dist_from_;
+  std::vector<std::vector<double>> dist_to_;
+
+  std::vector<double> dist_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+  size_t settled_count_ = 0;
+};
+
+}  // namespace pathrank::routing

@@ -1,0 +1,90 @@
+#include "routing/astar.h"
+
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace pathrank::routing {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+AStar::AStar(const RoadNetwork& network)
+    : network_(&network),
+      dist_(network.num_vertices(), kInf),
+      parent_edge_(network.num_vertices(), graph::kInvalidEdge),
+      stamp_(network.num_vertices(), 0) {}
+
+std::optional<Path> AStar::ShortestPath(VertexId source, VertexId target,
+                                        const EdgeCostFn& cost) {
+  PR_CHECK(source < network_->num_vertices());
+  PR_CHECK(target < network_->num_vertices());
+  ++epoch_;
+  settled_count_ = 0;
+
+  const graph::Coordinate goal = network_->coordinate(target);
+  const double inv_max_speed =
+      network_->max_speed_mps() > 0.0 ? 1.0 / network_->max_speed_mps() : 0.0;
+  auto heuristic = [&](VertexId v) -> double {
+    if (cost.is_length()) {
+      // FastDistanceMeters slightly underestimates haversine at regional
+      // scale; scale down a hair to keep it admissible in all cases.
+      return 0.995 * graph::FastDistanceMeters(network_->coordinate(v), goal);
+    }
+    if (cost.is_travel_time()) {
+      return 0.995 * graph::FastDistanceMeters(network_->coordinate(v), goal) *
+             inv_max_speed;
+    }
+    return 0.0;
+  };
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  dist_[source] = 0.0;
+  parent_edge_[source] = graph::kInvalidEdge;
+  stamp_[source] = epoch_;
+  queue.push({heuristic(source), 0.0, source});
+
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    const VertexId u = top.vertex;
+    if (stamp_[u] != epoch_ || top.g > dist_[u]) continue;
+    ++settled_count_;
+    if (u == target) {
+      Path path;
+      path.cost = top.g;
+      std::vector<EdgeId> rev;
+      VertexId cur = target;
+      while (parent_edge_[cur] != graph::kInvalidEdge) {
+        const EdgeId e = parent_edge_[cur];
+        rev.push_back(e);
+        cur = network_->edge(e).from;
+      }
+      path.edges.assign(rev.rbegin(), rev.rend());
+      path.vertices.reserve(path.edges.size() + 1);
+      path.vertices.push_back(cur);
+      for (EdgeId e : path.edges) {
+        path.vertices.push_back(network_->edge(e).to);
+      }
+      RecomputeTotals(*network_, &path);
+      return path;
+    }
+    for (EdgeId e : network_->OutEdges(u)) {
+      const auto& rec = network_->edge(e);
+      const VertexId v = rec.to;
+      const double ng = top.g + cost(e);
+      if (stamp_[v] != epoch_ || ng < dist_[v]) {
+        stamp_[v] = epoch_;
+        dist_[v] = ng;
+        parent_edge_[v] = e;
+        queue.push({ng + heuristic(v), ng, v});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pathrank::routing

@@ -1,0 +1,36 @@
+// Temporarily banned vertices/edges for spur-path computations (Yen).
+// Uses epoch stamping so Clear() is O(1) across the many thousands of
+// Dijkstra calls a single Yen enumeration performs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace pathrank::routing {
+
+/// O(1)-clear set of banned vertices and edges.
+class BanSet {
+ public:
+  BanSet(size_t num_vertices, size_t num_edges)
+      : vertex_epoch_(num_vertices, 0), edge_epoch_(num_edges, 0) {}
+
+  void BanVertex(graph::VertexId v) { vertex_epoch_[v] = epoch_; }
+  void BanEdge(graph::EdgeId e) { edge_epoch_[e] = epoch_; }
+
+  bool IsVertexBanned(graph::VertexId v) const {
+    return vertex_epoch_[v] == epoch_;
+  }
+  bool IsEdgeBanned(graph::EdgeId e) const { return edge_epoch_[e] == epoch_; }
+
+  /// Un-bans everything in O(1).
+  void Clear() { ++epoch_; }
+
+ private:
+  uint32_t epoch_ = 1;
+  std::vector<uint32_t> vertex_epoch_;
+  std::vector<uint32_t> edge_epoch_;
+};
+
+}  // namespace pathrank::routing

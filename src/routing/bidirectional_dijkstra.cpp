@@ -1,0 +1,124 @@
+#include "routing/bidirectional_dijkstra.h"
+
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace pathrank::routing {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+BidirectionalDijkstra::BidirectionalDijkstra(const RoadNetwork& network)
+    : network_(&network),
+      dist_fwd_(network.num_vertices(), kInf),
+      dist_bwd_(network.num_vertices(), kInf),
+      parent_fwd_(network.num_vertices(), graph::kInvalidEdge),
+      parent_bwd_(network.num_vertices(), graph::kInvalidEdge),
+      stamp_fwd_(network.num_vertices(), 0),
+      stamp_bwd_(network.num_vertices(), 0) {}
+
+std::optional<Path> BidirectionalDijkstra::ShortestPath(
+    VertexId source, VertexId target, const EdgeCostFn& cost) {
+  PR_CHECK(source < network_->num_vertices());
+  PR_CHECK(target < network_->num_vertices());
+  ++epoch_;
+  settled_count_ = 0;
+  if (source == target) {
+    Path p;
+    p.vertices.push_back(source);
+    return p;
+  }
+
+  using Queue = std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                                    std::greater<QueueEntry>>;
+  Queue fwd_queue;
+  Queue bwd_queue;
+  dist_fwd_[source] = 0.0;
+  stamp_fwd_[source] = epoch_;
+  parent_fwd_[source] = graph::kInvalidEdge;
+  fwd_queue.push({0.0, source});
+  dist_bwd_[target] = 0.0;
+  stamp_bwd_[target] = epoch_;
+  parent_bwd_[target] = graph::kInvalidEdge;
+  bwd_queue.push({0.0, target});
+
+  double best = kInf;
+  VertexId meet = graph::kInvalidVertex;
+
+  auto try_meet = [&](VertexId v) {
+    if (stamp_fwd_[v] == epoch_ && stamp_bwd_[v] == epoch_) {
+      const double total = dist_fwd_[v] + dist_bwd_[v];
+      if (total < best) {
+        best = total;
+        meet = v;
+      }
+    }
+  };
+
+  double top_fwd = 0.0;
+  double top_bwd = 0.0;
+  while (!fwd_queue.empty() || !bwd_queue.empty()) {
+    top_fwd = fwd_queue.empty() ? kInf : fwd_queue.top().dist;
+    top_bwd = bwd_queue.empty() ? kInf : bwd_queue.top().dist;
+    // Termination: the meeting-point path cannot improve once the sum of
+    // the two frontier minima exceeds the best meeting cost.
+    if (top_fwd + top_bwd >= best) break;
+
+    const bool expand_fwd = top_fwd <= top_bwd;
+    Queue& queue = expand_fwd ? fwd_queue : bwd_queue;
+    auto& dist = expand_fwd ? dist_fwd_ : dist_bwd_;
+    auto& stamp = expand_fwd ? stamp_fwd_ : stamp_bwd_;
+    auto& parent = expand_fwd ? parent_fwd_ : parent_bwd_;
+
+    const QueueEntry top = queue.top();
+    queue.pop();
+    const VertexId u = top.vertex;
+    if (stamp[u] != epoch_ || top.dist > dist[u]) continue;
+    ++settled_count_;
+
+    const auto edges = expand_fwd ? network_->OutEdges(u)
+                                  : network_->InEdges(u);
+    for (EdgeId e : edges) {
+      const auto& rec = network_->edge(e);
+      const VertexId v = expand_fwd ? rec.to : rec.from;
+      const double nd = top.dist + cost(e);
+      if (stamp[v] != epoch_ || nd < dist[v]) {
+        stamp[v] = epoch_;
+        dist[v] = nd;
+        parent[v] = e;
+        queue.push({nd, v});
+        try_meet(v);
+      }
+    }
+  }
+
+  if (meet == graph::kInvalidVertex) return std::nullopt;
+
+  Path path;
+  path.cost = best;
+  // Forward half (reversed parent walk).
+  std::vector<EdgeId> rev;
+  VertexId cur = meet;
+  while (parent_fwd_[cur] != graph::kInvalidEdge) {
+    const EdgeId e = parent_fwd_[cur];
+    rev.push_back(e);
+    cur = network_->edge(e).from;
+  }
+  path.edges.assign(rev.rbegin(), rev.rend());
+  // Backward half (already forward-oriented edges over in-parents).
+  cur = meet;
+  while (parent_bwd_[cur] != graph::kInvalidEdge) {
+    const EdgeId e = parent_bwd_[cur];
+    path.edges.push_back(e);
+    cur = network_->edge(e).to;
+  }
+  path.vertices.reserve(path.edges.size() + 1);
+  path.vertices.push_back(source);
+  for (EdgeId e : path.edges) path.vertices.push_back(network_->edge(e).to);
+  RecomputeTotals(*network_, &path);
+  return path;
+}
+
+}  // namespace pathrank::routing

@@ -1,0 +1,66 @@
+// Dijkstra shortest paths with target early-exit, reusable state (epoch
+// trick), and optional vertex/edge bans (required by Yen's algorithm).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "routing/ban_set.h"
+#include "routing/cost_model.h"
+#include "routing/path.h"
+
+namespace pathrank::routing {
+
+/// Reusable single-source shortest-path engine. Not thread-safe; create one
+/// instance per thread.
+class Dijkstra {
+ public:
+  explicit Dijkstra(const RoadNetwork& network);
+
+  /// Point-to-point query; returns std::nullopt when `target` is
+  /// unreachable. `bans` (optional) excludes vertices/edges from the search;
+  /// the source itself must not be banned.
+  std::optional<Path> ShortestPath(VertexId source, VertexId target,
+                                   const EdgeCostFn& cost,
+                                   const BanSet* bans = nullptr);
+
+  /// Full one-to-all relaxation from `source`. After the call,
+  /// DistanceTo/PathTo answer queries for any target.
+  void ComputeAllFrom(VertexId source, const EdgeCostFn& cost);
+
+  /// Distance from the last ComputeAllFrom source; +inf when unreachable.
+  double DistanceTo(VertexId v) const;
+
+  /// True when v was reached by the last search.
+  bool Reached(VertexId v) const;
+
+  /// Reconstructs the path to `v` after ComputeAllFrom (empty optional when
+  /// unreachable).
+  std::optional<Path> PathTo(VertexId v) const;
+
+  /// Number of vertices settled by the last search (for benchmarks).
+  size_t last_settled_count() const { return settled_count_; }
+
+ private:
+  struct QueueEntry {
+    double dist;
+    VertexId vertex;
+    bool operator>(const QueueEntry& o) const { return dist > o.dist; }
+  };
+
+  void Reset();
+  std::optional<Path> Run(VertexId source, VertexId target,
+                          const EdgeCostFn& cost, const BanSet* bans);
+  Path Reconstruct(VertexId target, double dist) const;
+
+  const RoadNetwork* network_;
+  const EdgeCostFn* cost_ = nullptr;
+  std::vector<double> dist_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<uint32_t> stamp_;  // epoch per vertex
+  uint32_t epoch_ = 0;
+  size_t settled_count_ = 0;
+  VertexId last_source_ = graph::kInvalidVertex;
+};
+
+}  // namespace pathrank::routing

@@ -1,0 +1,54 @@
+#include "routing/diversified.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "routing/path_similarity.h"
+#include "routing/yen.h"
+
+namespace pathrank::routing {
+
+std::vector<Path> DiversifiedTopK(const RoadNetwork& network, VertexId source,
+                                  VertexId target, const EdgeCostFn& cost,
+                                  const DiversifiedOptions& options) {
+  PR_CHECK(options.k >= 1);
+  PR_CHECK(options.similarity_threshold >= 0.0 &&
+           options.similarity_threshold <= 1.0);
+
+  YenEnumerator yen(network, source, target, cost);
+  std::vector<Path> accepted;
+  std::vector<Path> rejected;
+  int enumerated = 0;
+  while (static_cast<int>(accepted.size()) < options.k &&
+         enumerated < options.max_enumerated) {
+    auto next = yen.Next();
+    if (!next.has_value()) break;
+    ++enumerated;
+    bool diverse = true;
+    for (const Path& a : accepted) {
+      if (WeightedJaccard(network, next->edges, a.edges) >
+          options.similarity_threshold) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) {
+      accepted.push_back(std::move(*next));
+    } else if (options.pad_with_rejected) {
+      rejected.push_back(std::move(*next));
+    }
+  }
+
+  if (options.pad_with_rejected) {
+    // Rejected paths arrive in cost order; take the cheapest ones.
+    for (Path& p : rejected) {
+      if (static_cast<int>(accepted.size()) >= options.k) break;
+      accepted.push_back(std::move(p));
+    }
+    std::sort(accepted.begin(), accepted.end(),
+              [](const Path& a, const Path& b) { return a.cost < b.cost; });
+  }
+  return accepted;
+}
+
+}  // namespace pathrank::routing

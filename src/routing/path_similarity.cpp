@@ -1,0 +1,97 @@
+#include "routing/path_similarity.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace pathrank::routing {
+namespace {
+
+template <typename Id>
+std::vector<Id> SortedUnique(std::span<const Id> ids) {
+  std::vector<Id> v(ids.begin(), ids.end());
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+double WeightedJaccard(const graph::RoadNetwork& network,
+                       std::span<const graph::EdgeId> a,
+                       std::span<const graph::EdgeId> b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const auto sa = SortedUnique(a);
+  const auto sb = SortedUnique(b);
+  double inter = 0.0;
+  double uni = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] == sb[j]) {
+      const double len = network.edge(sa[i]).length_m;
+      inter += len;
+      uni += len;
+      ++i;
+      ++j;
+    } else if (sa[i] < sb[j]) {
+      uni += network.edge(sa[i]).length_m;
+      ++i;
+    } else {
+      uni += network.edge(sb[j]).length_m;
+      ++j;
+    }
+  }
+  for (; i < sa.size(); ++i) uni += network.edge(sa[i]).length_m;
+  for (; j < sb.size(); ++j) uni += network.edge(sb[j]).length_m;
+  return uni > 0.0 ? inter / uni : 1.0;
+}
+
+double EdgeJaccard(std::span<const graph::EdgeId> a,
+                   std::span<const graph::EdgeId> b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const auto sa = SortedUnique(a);
+  const auto sb = SortedUnique(b);
+  size_t inter = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] == sb[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (sa[i] < sb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni)
+                 : 1.0;
+}
+
+double VertexJaccard(std::span<const graph::VertexId> a,
+                     std::span<const graph::VertexId> b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const auto sa = SortedUnique(a);
+  const auto sb = SortedUnique(b);
+  size_t inter = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] == sb[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (sa[i] < sb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni)
+                 : 1.0;
+}
+
+}  // namespace pathrank::routing

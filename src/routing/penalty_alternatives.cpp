@@ -1,0 +1,58 @@
+#include "routing/penalty_alternatives.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "routing/dijkstra.h"
+
+namespace pathrank::routing {
+
+std::vector<Path> PenaltyAlternatives(const graph::RoadNetwork& network,
+                                      VertexId source, VertexId target,
+                                      const EdgeCostFn& cost,
+                                      const PenaltyOptions& options) {
+  PR_CHECK(options.k >= 1);
+  PR_CHECK(options.penalty_factor > 1.0);
+
+  // Working copy of the weights that accumulates penalties.
+  std::vector<double> weights(network.num_edges());
+  for (graph::EdgeId e = 0; e < network.num_edges(); ++e) {
+    weights[e] = cost(e);
+  }
+
+  Dijkstra dijkstra(network);
+  std::vector<Path> found;
+  std::set<std::vector<VertexId>> seen;
+  for (int iter = 0;
+       iter < options.max_iterations &&
+       static_cast<int>(found.size()) < options.k;
+       ++iter) {
+    const auto penalised = EdgeCostFn::Custom(network, weights);
+    auto path = dijkstra.ShortestPath(source, target, penalised);
+    if (!path.has_value() || path->edges.empty()) break;
+
+    // Penalise the edges of this path (and their reverse twins, so the
+    // next iteration does not simply drive the same street backwards).
+    for (graph::EdgeId e : path->edges) {
+      weights[e] *= options.penalty_factor;
+      const auto& rec = network.edge(e);
+      const graph::EdgeId twin = network.FindEdge(rec.to, rec.from);
+      if (twin != graph::kInvalidEdge) {
+        weights[twin] *= options.penalty_factor;
+      }
+    }
+
+    if (!seen.insert(path->vertices).second) continue;  // repeat
+    // Report the true (unpenalised) cost.
+    double true_cost = 0.0;
+    for (graph::EdgeId e : path->edges) true_cost += cost(e);
+    path->cost = true_cost;
+    found.push_back(std::move(*path));
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Path& a, const Path& b) { return a.cost < b.cost; });
+  return found;
+}
+
+}  // namespace pathrank::routing

@@ -1,0 +1,35 @@
+// Penalty-based alternative routes (iterative penalty method, cf. the
+// alternative-routing literature the paper's candidate generators compete
+// with): repeatedly compute the shortest path, then multiply the weights
+// of its edges by a penalty factor so the next iteration is pushed onto
+// different roads. Cheaper than Yen for small k and produces naturally
+// diverse alternatives; included as a third candidate-generation baseline.
+#pragma once
+
+#include <vector>
+
+#include "routing/cost_model.h"
+#include "routing/path.h"
+
+namespace pathrank::routing {
+
+/// Options for the penalty method.
+struct PenaltyOptions {
+  /// Number of distinct paths requested.
+  int k = 10;
+  /// Multiplier applied to the weights of every edge on each found path.
+  double penalty_factor = 1.35;
+  /// Iteration budget (a path repeating an earlier vertex sequence does
+  /// not count towards k).
+  int max_iterations = 60;
+};
+
+/// Returns up to k distinct paths. The first is always the true shortest
+/// path under `cost`; later paths are progressively more different.
+/// Paths are reported with their *unpenalised* cost and sorted by it.
+std::vector<Path> PenaltyAlternatives(const graph::RoadNetwork& network,
+                                      VertexId source, VertexId target,
+                                      const EdgeCostFn& cost,
+                                      const PenaltyOptions& options);
+
+}  // namespace pathrank::routing

@@ -1,0 +1,118 @@
+#include "routing/yen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pathrank::routing {
+
+YenEnumerator::YenEnumerator(const RoadNetwork& network, VertexId source,
+                             VertexId target, const EdgeCostFn& cost)
+    : network_(&network),
+      source_(source),
+      target_(target),
+      cost_(cost),
+      dijkstra_(network),
+      bans_(network.num_vertices(), network.num_edges()) {}
+
+uint64_t YenEnumerator::HashVertexSeq(
+    const std::vector<VertexId>& seq) const {
+  // FNV-1a over the raw vertex ids; collisions are vanishingly unlikely at
+  // the path counts Yen enumerates (hundreds), and a collision merely
+  // suppresses one candidate.
+  uint64_t h = 1469598103934665603ULL;
+  for (VertexId v : seq) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::optional<Path> YenEnumerator::Next() {
+  if (exhausted_) return std::nullopt;
+
+  if (!first_done_) {
+    first_done_ = true;
+    auto sp = dijkstra_.ShortestPath(source_, target_, cost_);
+    if (!sp.has_value() || sp->edges.empty()) {
+      exhausted_ = true;
+      return std::nullopt;
+    }
+    accepted_.push_back(std::move(*sp));
+    seen_hash_.insert(HashVertexSeq(accepted_.back().vertices));
+    return accepted_.back();
+  }
+
+  // Generate deviations of the most recently accepted path, then pop the
+  // cheapest candidate overall.
+  GenerateSpurs(accepted_.back());
+  if (candidates_.empty()) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  auto it = candidates_.begin();
+  accepted_.push_back(it->path);
+  candidates_.erase(it);
+  return accepted_.back();
+}
+
+void YenEnumerator::GenerateSpurs(const Path& base) {
+  // For each spur position i on the base path: root = base[0..i],
+  // ban (a) the i-th edge of every accepted path sharing that root and
+  // (b) all root vertices except the spur node, then search spur->target.
+  for (size_t i = 0; i + 1 < base.vertices.size(); ++i) {
+    const VertexId spur = base.vertices[i];
+
+    bans_.Clear();
+    for (const Path& p : accepted_) {
+      if (p.vertices.size() > i &&
+          std::equal(p.vertices.begin(), p.vertices.begin() + i + 1,
+                     base.vertices.begin())) {
+        if (i < p.edges.size()) bans_.BanEdge(p.edges[i]);
+      }
+    }
+    for (size_t j = 0; j < i; ++j) {
+      bans_.BanVertex(base.vertices[j]);
+    }
+
+    auto spur_path = dijkstra_.ShortestPath(spur, target_, cost_, &bans_);
+    if (!spur_path.has_value()) continue;
+
+    Candidate cand;
+    cand.spur_index = i;
+    cand.path.edges.assign(base.edges.begin(), base.edges.begin() + i);
+    cand.path.edges.insert(cand.path.edges.end(), spur_path->edges.begin(),
+                           spur_path->edges.end());
+    cand.path.vertices.assign(base.vertices.begin(),
+                              base.vertices.begin() + i);
+    cand.path.vertices.insert(cand.path.vertices.end(),
+                              spur_path->vertices.begin(),
+                              spur_path->vertices.end());
+    const uint64_t h = HashVertexSeq(cand.path.vertices);
+    if (!seen_hash_.insert(h).second) continue;  // already generated
+
+    double root_cost = 0.0;
+    for (size_t j = 0; j < i; ++j) root_cost += cost_(base.edges[j]);
+    cand.path.cost = root_cost + spur_path->cost;
+    cand.cost = cand.path.cost;
+    RecomputeTotals(*network_, &cand.path);
+    candidates_.insert(std::move(cand));
+  }
+}
+
+std::vector<Path> TopKShortestPaths(const RoadNetwork& network,
+                                    VertexId source, VertexId target,
+                                    const EdgeCostFn& cost, int k) {
+  PR_CHECK(k >= 1) << "k must be positive";
+  YenEnumerator yen(network, source, target, cost);
+  std::vector<Path> out;
+  out.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    auto p = yen.Next();
+    if (!p.has_value()) break;
+    out.push_back(std::move(*p));
+  }
+  return out;
+}
+
+}  // namespace pathrank::routing

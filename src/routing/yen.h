@@ -1,0 +1,68 @@
+// Yen's algorithm for k shortest loopless paths, exposed both as a one-shot
+// TopKShortestPaths() and as an incremental enumerator (YenEnumerator) that
+// yields simple paths in non-decreasing cost order. The enumerator form is
+// what the diversified top-k generator consumes: it keeps pulling paths
+// until enough mutually-dissimilar ones have been accepted.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "routing/ban_set.h"
+#include "routing/cost_model.h"
+#include "routing/dijkstra.h"
+#include "routing/path.h"
+
+namespace pathrank::routing {
+
+/// Incremental k-shortest-simple-paths enumerator (Yen 1971, with the
+/// standard root-path sharing optimisation). Create one per (source,
+/// target) query; call Next() repeatedly.
+class YenEnumerator {
+ public:
+  YenEnumerator(const RoadNetwork& network, VertexId source, VertexId target,
+                const EdgeCostFn& cost);
+
+  /// Returns the next shortest simple path, or std::nullopt when the path
+  /// space is exhausted. The first call returns the shortest path.
+  std::optional<Path> Next();
+
+  /// Paths returned so far.
+  const std::vector<Path>& accepted() const { return accepted_; }
+
+ private:
+  struct Candidate {
+    double cost;
+    // Deviation position: index into the parent path where the spur starts.
+    size_t spur_index;
+    Path path;
+    bool operator<(const Candidate& o) const {
+      if (cost != o.cost) return cost < o.cost;
+      return path.vertices < o.path.vertices;
+    }
+  };
+
+  void GenerateSpurs(const Path& base);
+  uint64_t HashVertexSeq(const std::vector<VertexId>& seq) const;
+
+  const RoadNetwork* network_;
+  VertexId source_;
+  VertexId target_;
+  EdgeCostFn cost_;
+  Dijkstra dijkstra_;
+  BanSet bans_;
+  std::vector<Path> accepted_;
+  std::set<Candidate> candidates_;          // ordered pool (B set)
+  std::unordered_set<uint64_t> seen_hash_;  // dedup of generated paths
+  bool exhausted_ = false;
+  bool first_done_ = false;
+};
+
+/// One-shot convenience: up to k shortest simple paths in cost order.
+std::vector<Path> TopKShortestPaths(const RoadNetwork& network,
+                                    VertexId source, VertexId target,
+                                    const EdgeCostFn& cost, int k);
+
+}  // namespace pathrank::routing

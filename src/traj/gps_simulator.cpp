@@ -1,0 +1,62 @@
+#include "traj/gps_simulator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pathrank::traj {
+namespace {
+
+constexpr double kMetersPerDegLat = 111320.0;
+
+/// Linear interpolation between coordinates (adequate at edge scale).
+graph::Coordinate Lerp(const graph::Coordinate& a, const graph::Coordinate& b,
+                       double t) {
+  return {a.lat + (b.lat - a.lat) * t, a.lon + (b.lon - a.lon) * t};
+}
+
+}  // namespace
+
+Trajectory SimulateGps(const graph::RoadNetwork& network,
+                       const TripPath& trip, const GpsSimulatorConfig& config,
+                       pathrank::Rng& rng) {
+  PR_CHECK(config.sample_interval_s > 0.0);
+  PR_CHECK(config.speed_factor > 0.0);
+  Trajectory out;
+  out.driver_id = trip.driver_id;
+  if (trip.path.edges.empty()) return out;
+
+  const double mean_lat = network.coordinate(trip.path.vertices[0]).lat;
+  const double meters_per_deg_lon =
+      kMetersPerDegLat * std::cos(mean_lat * 3.14159265358979323846 / 180.0);
+  auto noisy = [&](const graph::Coordinate& c) {
+    graph::Coordinate n = c;
+    n.lat += rng.NextGaussian(0.0, config.noise_sigma_m) / kMetersPerDegLat;
+    n.lon += rng.NextGaussian(0.0, config.noise_sigma_m) / meters_per_deg_lon;
+    return n;
+  };
+
+  double t = 0.0;              // current simulated time
+  double next_sample = 0.0;    // next emission time
+  for (size_t i = 0; i < trip.path.edges.size(); ++i) {
+    const auto& rec = network.edge(trip.path.edges[i]);
+    const double edge_duration =
+        rec.travel_time_s / config.speed_factor;
+    const graph::Coordinate& from = network.coordinate(rec.from);
+    const graph::Coordinate& to = network.coordinate(rec.to);
+    while (next_sample <= t + edge_duration) {
+      const double frac =
+          edge_duration > 0.0 ? (next_sample - t) / edge_duration : 0.0;
+      out.points.push_back({noisy(Lerp(from, to, frac)), next_sample});
+      next_sample += config.sample_interval_s;
+    }
+    t += edge_duration;
+  }
+  // Always emit the final position so short trips have >= 2 fixes.
+  const graph::Coordinate& last =
+      network.coordinate(trip.path.vertices.back());
+  out.points.push_back({noisy(last), t});
+  return out;
+}
+
+}  // namespace pathrank::traj

@@ -1,0 +1,28 @@
+// Converts a trip path into a raw GPS trace: the vehicle moves along the
+// path geometry at free-flow speed and emits a fix every `sample_interval_s`
+// seconds with isotropic Gaussian position noise. Together with the HMM map
+// matcher this closes the raw-GPS loop the paper's data pipeline performs.
+#pragma once
+
+#include "common/rng.h"
+#include "graph/road_network.h"
+#include "traj/trajectory.h"
+
+namespace pathrank::traj {
+
+/// GPS emission parameters.
+struct GpsSimulatorConfig {
+  /// Seconds between consecutive fixes (the paper's data is 1 Hz).
+  double sample_interval_s = 5.0;
+  /// Standard deviation of position noise, metres.
+  double noise_sigma_m = 15.0;
+  /// Speed factor applied to free-flow travel times (1.0 = free flow).
+  double speed_factor = 1.0;
+};
+
+/// Simulates the GPS trace of driving `trip` at free-flow speeds.
+Trajectory SimulateGps(const graph::RoadNetwork& network,
+                       const TripPath& trip, const GpsSimulatorConfig& config,
+                       pathrank::Rng& rng);
+
+}  // namespace pathrank::traj

@@ -1,0 +1,205 @@
+#include "traj/map_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "routing/cost_model.h"
+#include "routing/dijkstra.h"
+
+namespace pathrank::traj {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct LayerState {
+  graph::VertexId vertex;
+  double emission_nll;  // negative log emission probability (up to consts)
+};
+
+}  // namespace
+
+MapMatcher::MapMatcher(const graph::RoadNetwork& network,
+                       const graph::GridIndex& index,
+                       const MapMatcherConfig& config)
+    : network_(&network), index_(&index), config_(config) {}
+
+std::optional<routing::Path> MapMatcher::Match(
+    const Trajectory& trajectory) const {
+  if (trajectory.points.size() < 2) return std::nullopt;
+
+  // 1. Thin the trace and build candidate layers.
+  std::vector<const GpsPoint*> kept;
+  for (const GpsPoint& p : trajectory.points) {
+    if (!kept.empty() &&
+        graph::FastDistanceMeters(kept.back()->position, p.position) <
+            config_.min_point_spacing_m) {
+      continue;
+    }
+    kept.push_back(&p);
+  }
+  if (kept.size() < 2) return std::nullopt;
+
+  std::vector<std::vector<LayerState>> layers;
+  layers.reserve(kept.size());
+  const double inv_2sigma2 =
+      1.0 / (2.0 * config_.emission_sigma_m * config_.emission_sigma_m);
+  for (const GpsPoint* p : kept) {
+    auto cands = index_->VerticesWithin(p->position, config_.candidate_radius_m);
+    if (cands.empty()) continue;  // drop fixes with no nearby network
+    std::sort(cands.begin(), cands.end(),
+              [&](graph::VertexId a, graph::VertexId b) {
+                return graph::FastDistanceMeters(p->position,
+                                                 network_->coordinate(a)) <
+                       graph::FastDistanceMeters(p->position,
+                                                 network_->coordinate(b));
+              });
+    if (static_cast<int>(cands.size()) > config_.max_candidates) {
+      cands.resize(static_cast<size_t>(config_.max_candidates));
+    }
+    std::vector<LayerState> layer;
+    layer.reserve(cands.size());
+    for (graph::VertexId v : cands) {
+      const double d =
+          graph::FastDistanceMeters(p->position, network_->coordinate(v));
+      layer.push_back({v, d * d * inv_2sigma2});
+    }
+    layers.push_back(std::move(layer));
+  }
+  if (layers.size() < 2) return std::nullopt;
+
+  // Record the great-circle distances between the fixes whose layers
+  // survived (needed for the transition model).
+  std::vector<double> crow;  // crow[i] = distance between layer i and i+1
+  {
+    // Re-derive which kept points produced layers: redo the loop cheaply.
+    std::vector<const GpsPoint*> layer_points;
+    for (const GpsPoint* p : kept) {
+      auto cands =
+          index_->VerticesWithin(p->position, config_.candidate_radius_m);
+      if (!cands.empty()) layer_points.push_back(p);
+    }
+    PR_CHECK(layer_points.size() == layers.size());
+    for (size_t i = 0; i + 1 < layer_points.size(); ++i) {
+      crow.push_back(graph::FastDistanceMeters(layer_points[i]->position,
+                                               layer_points[i + 1]->position));
+    }
+  }
+
+  // 2. Viterbi.
+  routing::Dijkstra dijkstra(*network_);
+  const auto cost_fn = routing::EdgeCostFn::Length(*network_);
+  const size_t num_layers = layers.size();
+  std::vector<std::vector<double>> best(num_layers);
+  std::vector<std::vector<int>> back(num_layers);
+  best[0].resize(layers[0].size());
+  back[0].assign(layers[0].size(), -1);
+  for (size_t j = 0; j < layers[0].size(); ++j) {
+    best[0][j] = layers[0][j].emission_nll;
+  }
+
+  for (size_t i = 1; i < num_layers; ++i) {
+    best[i].assign(layers[i].size(), kInf);
+    back[i].assign(layers[i].size(), -1);
+    // Route distances from every layer i-1 candidate to layer i candidates.
+    for (size_t a = 0; a < layers[i - 1].size(); ++a) {
+      if (best[i - 1][a] == kInf) continue;
+      dijkstra.ComputeAllFrom(layers[i - 1][a].vertex, cost_fn);
+      for (size_t b = 0; b < layers[i].size(); ++b) {
+        const double route = dijkstra.DistanceTo(layers[i][b].vertex);
+        if (route == kInf) continue;
+        const double transition_nll =
+            std::abs(route - crow[i - 1]) / config_.transition_beta_m;
+        const double total =
+            best[i - 1][a] + transition_nll + layers[i][b].emission_nll;
+        if (total < best[i][b]) {
+          best[i][b] = total;
+          back[i][b] = static_cast<int>(a);
+        }
+      }
+    }
+    // All transitions unreachable: fall back to restarting at this layer
+    // (keeps matching robust to gaps).
+    bool any = false;
+    for (double v : best[i]) any = any || v != kInf;
+    if (!any) {
+      for (size_t b = 0; b < layers[i].size(); ++b) {
+        best[i][b] = layers[i][b].emission_nll;
+        back[i][b] = -1;
+      }
+    }
+  }
+
+  // 3. Backtrack the vertex sequence.
+  size_t arg = 0;
+  for (size_t b = 1; b < best.back().size(); ++b) {
+    if (best.back()[b] < best.back()[arg]) arg = b;
+  }
+  std::vector<graph::VertexId> matched(num_layers, graph::kInvalidVertex);
+  int cur = static_cast<int>(arg);
+  for (size_t i = num_layers; i-- > 0;) {
+    if (cur < 0) {
+      // Restart boundary: take the locally best state for earlier layers.
+      size_t local = 0;
+      for (size_t b = 1; b < best[i].size(); ++b) {
+        if (best[i][b] < best[i][local]) local = b;
+      }
+      cur = static_cast<int>(local);
+    }
+    matched[i] = layers[i][static_cast<size_t>(cur)].vertex;
+    cur = back[i][static_cast<size_t>(cur)];
+  }
+
+  // 4. Stitch consecutive matched vertices with shortest-path segments.
+  routing::Path full;
+  full.vertices.push_back(matched[0]);
+  for (size_t i = 1; i < matched.size(); ++i) {
+    if (matched[i] == full.vertices.back()) continue;
+    auto seg =
+        dijkstra.ShortestPath(full.vertices.back(), matched[i], cost_fn);
+    if (!seg.has_value()) continue;  // disconnected; skip this hop
+    full.edges.insert(full.edges.end(), seg->edges.begin(), seg->edges.end());
+    full.vertices.insert(full.vertices.end(), seg->vertices.begin() + 1,
+                         seg->vertices.end());
+  }
+  if (full.edges.empty()) return std::nullopt;
+  RemoveCycles(*network_, &full);
+  routing::RecomputeTotals(*network_, &full);
+  full.cost = full.length_m;
+  return full;
+}
+
+void RemoveCycles(const graph::RoadNetwork& network, routing::Path* path) {
+  std::unordered_map<graph::VertexId, size_t> first_pos;
+  std::vector<graph::VertexId> vertices;
+  std::vector<graph::EdgeId> edges;
+  vertices.reserve(path->vertices.size());
+  edges.reserve(path->edges.size());
+
+  vertices.push_back(path->vertices[0]);
+  first_pos[path->vertices[0]] = 0;
+  for (size_t i = 0; i < path->edges.size(); ++i) {
+    const graph::VertexId next = path->vertices[i + 1];
+    auto it = first_pos.find(next);
+    if (it != first_pos.end()) {
+      // Splice out the loop: rewind to the first occurrence.
+      const size_t keep = it->second;
+      for (size_t j = keep + 1; j < vertices.size(); ++j) {
+        first_pos.erase(vertices[j]);
+      }
+      vertices.resize(keep + 1);
+      edges.resize(keep);
+    } else {
+      edges.push_back(path->edges[i]);
+      vertices.push_back(next);
+      first_pos[next] = vertices.size() - 1;
+    }
+  }
+  path->vertices = std::move(vertices);
+  path->edges = std::move(edges);
+  routing::RecomputeTotals(network, path);
+}
+
+}  // namespace pathrank::traj

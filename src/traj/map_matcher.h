@@ -1,0 +1,52 @@
+// HMM map matching (Newson & Krumm style, vertex-based).
+//
+// Hidden states per GPS point are nearby network vertices; emission
+// probability is Gaussian in the point-to-vertex distance; transition
+// probability decays exponentially in the difference between on-network
+// route distance and great-circle distance of consecutive fixes. Viterbi
+// decoding yields the most probable vertex sequence, which is stitched into
+// a connected path with shortest-path segments and de-looped.
+#pragma once
+
+#include <optional>
+
+#include "graph/grid_index.h"
+#include "graph/road_network.h"
+#include "traj/trajectory.h"
+
+namespace pathrank::traj {
+
+/// Matching parameters.
+struct MapMatcherConfig {
+  /// Candidate-vertex search radius around each fix, metres.
+  double candidate_radius_m = 80.0;
+  /// At most this many nearest candidates per fix.
+  int max_candidates = 8;
+  /// Emission noise sigma, metres (should match GPS noise).
+  double emission_sigma_m = 20.0;
+  /// Transition scale beta, metres: larger = more tolerant of detours.
+  double transition_beta_m = 60.0;
+  /// Fixes more frequent than this are skipped to keep layers informative.
+  double min_point_spacing_m = 30.0;
+};
+
+/// Matches a raw trajectory onto the network. Returns std::nullopt when no
+/// fix has candidates or Viterbi finds no connected state sequence.
+class MapMatcher {
+ public:
+  MapMatcher(const graph::RoadNetwork& network,
+             const graph::GridIndex& index, const MapMatcherConfig& config);
+
+  std::optional<routing::Path> Match(const Trajectory& trajectory) const;
+
+ private:
+  const graph::RoadNetwork* network_;
+  const graph::GridIndex* index_;
+  MapMatcherConfig config_;
+};
+
+/// Removes cycles from a path in place (keeps the first occurrence of each
+/// repeated vertex and splices out the loop). Exposed for testing.
+void RemoveCycles(const graph::RoadNetwork& network, routing::Path* path);
+
+}  // namespace pathrank::traj

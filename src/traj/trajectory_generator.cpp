@@ -1,0 +1,105 @@
+#include "traj/trajectory_generator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "routing/cost_model.h"
+#include "routing/dijkstra.h"
+
+namespace pathrank::traj {
+
+TrajectoryGenerator::TrajectoryGenerator(
+    const graph::RoadNetwork& network,
+    const TrajectoryGeneratorConfig& config)
+    : network_(&network), config_(config), rng_(config.seed) {
+  PR_CHECK(config_.num_drivers >= 1);
+  PR_CHECK(config_.num_trips >= 1);
+  drivers_.reserve(static_cast<size_t>(config_.num_drivers));
+  const PopulationPreferences population =
+      SamplePopulationPreferences(rng_);
+  for (int d = 0; d < config_.num_drivers; ++d) {
+    drivers_.push_back(SampleDriver(d, rng_, population));
+  }
+}
+
+std::vector<TripPath> TrajectoryGenerator::Generate() {
+  std::vector<TripPath> trips;
+  trips.reserve(static_cast<size_t>(config_.num_trips));
+
+  routing::Dijkstra dijkstra(*network_);
+  const size_t n = network_->num_vertices();
+  PR_CHECK(n >= 2);
+
+  // Personalised cost vectors are materialised lazily per driver and
+  // cached (drivers make many trips).
+  std::vector<std::vector<double>> cost_cache(drivers_.size());
+  // Per-driver pool of frequent OD pairs (commutes), filled lazily.
+  std::vector<std::vector<std::pair<graph::VertexId, graph::VertexId>>>
+      od_pools(drivers_.size());
+
+  auto endpoints_valid = [&](graph::VertexId s, graph::VertexId d) {
+    if (s == d) return false;
+    const double crow = graph::FastDistanceMeters(network_->coordinate(s),
+                                                  network_->coordinate(d));
+    if (crow < config_.min_trip_distance_m) return false;
+    if (config_.max_trip_distance_m > 0.0 &&
+        crow > config_.max_trip_distance_m) {
+      return false;
+    }
+    return true;
+  };
+
+  int attempts = 0;
+  const int max_attempts = config_.num_trips * 50;
+  while (static_cast<int>(trips.size()) < config_.num_trips &&
+         attempts < max_attempts) {
+    ++attempts;
+    const int driver_id =
+        static_cast<int>(rng_.NextBounded(drivers_.size()));
+
+    graph::VertexId s;
+    graph::VertexId d;
+    const bool commute = config_.od_pairs_per_driver > 0 &&
+                         rng_.NextBernoulli(config_.commute_fraction);
+    if (commute) {
+      auto& pool = od_pools[static_cast<size_t>(driver_id)];
+      while (static_cast<int>(pool.size()) < config_.od_pairs_per_driver) {
+        const auto ps = static_cast<graph::VertexId>(rng_.NextBounded(n));
+        const auto pd = static_cast<graph::VertexId>(rng_.NextBounded(n));
+        if (endpoints_valid(ps, pd)) pool.emplace_back(ps, pd);
+      }
+      const auto& od = pool[rng_.NextBounded(pool.size())];
+      s = od.first;
+      d = od.second;
+    } else {
+      s = static_cast<graph::VertexId>(rng_.NextBounded(n));
+      d = static_cast<graph::VertexId>(rng_.NextBounded(n));
+      if (!endpoints_valid(s, d)) continue;
+    }
+
+    auto& costs = cost_cache[static_cast<size_t>(driver_id)];
+    if (costs.empty()) {
+      costs = PersonalizedEdgeCosts(*network_, drivers_[driver_id]);
+    }
+    const auto cost_fn = routing::EdgeCostFn::Custom(*network_, costs);
+    auto path = dijkstra.ShortestPath(s, d, cost_fn);
+    if (!path.has_value() || path->edges.empty()) continue;
+    if (config_.max_path_vertices > 0 &&
+        static_cast<int>(path->vertices.size()) > config_.max_path_vertices) {
+      continue;
+    }
+
+    TripPath trip;
+    trip.driver_id = driver_id;
+    trip.path = std::move(*path);
+    trips.push_back(std::move(trip));
+  }
+  PR_CHECK(static_cast<int>(trips.size()) == config_.num_trips)
+      << "could not generate enough trips; network too small or "
+         "min_trip_distance too large";
+  PR_LOG_DEBUG << "generated " << trips.size() << " trips in " << attempts
+               << " attempts";
+  return trips;
+}
+
+}  // namespace pathrank::traj

@@ -1,0 +1,65 @@
+// Trajectory (trip-path) simulation.
+//
+// Substitutes the paper's 180M-GPS-record North Jutland trajectory corpus:
+// a population of heterogeneous drivers (see driver_model.h) makes trips
+// between gravity-sampled source/destination pairs; each trip's ground
+// truth path is the shortest path under that driver's personalised costs.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/road_network.h"
+#include "traj/driver_model.h"
+#include "traj/trajectory.h"
+
+namespace pathrank::traj {
+
+/// Parameters of the simulated trajectory corpus.
+struct TrajectoryGeneratorConfig {
+  /// Number of distinct drivers (the paper has 183 vehicles).
+  int num_drivers = 60;
+  /// Number of trips to generate.
+  int num_trips = 600;
+  /// Minimum great-circle distance between trip endpoints, metres;
+  /// very short trips carry no ranking signal.
+  double min_trip_distance_m = 3000.0;
+  /// Maximum great-circle distance between endpoints, metres (0 = off).
+  double max_trip_distance_m = 0.0;
+  /// Maximum path length in vertices; longer trips are resampled to keep
+  /// downstream RNN sequences bounded (0 = off).
+  int max_path_vertices = 120;
+  /// Commute structure: each driver owns a pool of frequent
+  /// origin-destination pairs (home-work, school runs). Real GPS corpora —
+  /// including the paper's — are dominated by such repeated trips, which
+  /// is what makes driver preferences learnable per corridor. 0 disables
+  /// the pool (every trip gets a fresh random OD pair).
+  int od_pairs_per_driver = 5;
+  /// Fraction of trips drawn from the driver's OD pool; the rest are
+  /// fresh random trips (errands, one-offs).
+  double commute_fraction = 0.85;
+  /// RNG seed.
+  uint64_t seed = 1234;
+};
+
+/// Generates a deterministic corpus of trip paths.
+class TrajectoryGenerator {
+ public:
+  TrajectoryGenerator(const graph::RoadNetwork& network,
+                      const TrajectoryGeneratorConfig& config);
+
+  /// Runs the simulation, returning `num_trips` trip paths. Each trip is a
+  /// simple path with at least 2 vertices.
+  std::vector<TripPath> Generate();
+
+  /// Driver profiles used by the simulation (index = driver_id).
+  const std::vector<DriverPreferences>& drivers() const { return drivers_; }
+
+ private:
+  const graph::RoadNetwork* network_;
+  TrajectoryGeneratorConfig config_;
+  std::vector<DriverPreferences> drivers_;
+  pathrank::Rng rng_;
+};
+
+}  // namespace pathrank::traj

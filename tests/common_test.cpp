@@ -1,0 +1,224 @@
+// Unit tests for the common utilities: RNG, CSV, strings, env, logging.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "common/csv.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace pathrank {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(9);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 12345ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextBounded(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 500);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sq / kN, 1.0, 0.02);
+}
+
+TEST(Rng, IntRangeInclusive) {
+  Rng rng(15);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(19);
+  Rng child = parent.Fork();
+  // Child should not replay the parent's stream.
+  Rng parent2(19);
+  parent2.Fork();
+  EXPECT_NE(child.NextU64(), parent.NextU64());
+}
+
+TEST(Csv, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(EscapeCsvField("hello"), "hello");
+}
+
+TEST(Csv, EscapeQuotesAndCommas) {
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, ParseSimpleLine) {
+  const auto fields = ParseCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Csv, ParseQuotedWithEmbeddedComma) {
+  const auto fields = ParseCsvLine("x,\"a,b\",y");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "a,b");
+}
+
+TEST(Csv, ParseEscapedQuote) {
+  const auto fields = ParseCsvLine("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(Csv, ParseEmptyFields) {
+  const auto fields = ParseCsvLine("a,,b,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Csv, RoundTripFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pr_csv_test.csv").string();
+  {
+    CsvWriter w(path);
+    w.WriteRow({"id", "name"});
+    w.WriteRow({"1", "with,comma"});
+    w.WriteRow({"2", "with \"quote\""});
+  }
+  CsvReader r(path);
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.row(1)[1], "with,comma");
+  EXPECT_EQ(r.row(2)[1], "with \"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(StringUtil, Split) {
+  const auto parts = Split("a:b::c", ':');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(Trim("  x \t\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtil, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(StartsWith("pathrank", "path"));
+  EXPECT_FALSE(StartsWith("path", "pathrank"));
+}
+
+TEST(Env, FallbacksWhenUnset) {
+  EXPECT_EQ(EnvString("PATHRANK_TEST_UNSET_VAR", "dflt"), "dflt");
+  EXPECT_EQ(EnvInt("PATHRANK_TEST_UNSET_VAR", 42), 42);
+  EXPECT_DOUBLE_EQ(EnvDouble("PATHRANK_TEST_UNSET_VAR", 2.5), 2.5);
+  EXPECT_TRUE(EnvBool("PATHRANK_TEST_UNSET_VAR", true));
+}
+
+TEST(Env, ParsesSetValues) {
+  setenv("PATHRANK_TEST_VAR", "17", 1);
+  EXPECT_EQ(EnvInt("PATHRANK_TEST_VAR", 0), 17);
+  setenv("PATHRANK_TEST_VAR", "3.25", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("PATHRANK_TEST_VAR", 0.0), 3.25);
+  setenv("PATHRANK_TEST_VAR", "yes", 1);
+  EXPECT_TRUE(EnvBool("PATHRANK_TEST_VAR", false));
+  setenv("PATHRANK_TEST_VAR", "off", 1);
+  EXPECT_FALSE(EnvBool("PATHRANK_TEST_VAR", true));
+  unsetenv("PATHRANK_TEST_VAR");
+}
+
+TEST(Logging, ParseLevels) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("bogus"), LogLevel::kInfo);
+}
+
+TEST(Logging, CheckThrowsOnFailure) {
+  EXPECT_THROW([] { PR_CHECK(1 == 2) << "should throw"; }(),
+               std::logic_error);
+}
+
+TEST(Logging, CheckPassesSilently) {
+  EXPECT_NO_THROW([] { PR_CHECK(1 == 1) << "fine"; }());
+}
+
+}  // namespace
+}  // namespace pathrank

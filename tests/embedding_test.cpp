@@ -1,0 +1,211 @@
+// node2vec substrate: alias sampling, biased walks, SGNS embedding quality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "embedding/alias_table.h"
+#include "embedding/node2vec.h"
+#include "embedding/random_walk.h"
+#include "embedding/skipgram.h"
+#include "graph/network_builder.h"
+
+namespace pathrank::embedding {
+namespace {
+
+using graph::BuildTestNetwork;
+using graph::RoadNetwork;
+
+TEST(AliasTable, SingleOutcome) {
+  const std::vector<double> w{1.0};
+  AliasTable t(w);
+  pathrank::Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(t.Sample(rng), 0u);
+}
+
+TEST(AliasTable, RejectsInvalidWeights) {
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(AliasTable{zero}, std::logic_error);
+  const std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW(AliasTable{negative}, std::logic_error);
+}
+
+class AliasDistribution : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AliasDistribution, MatchesTargetWithinChiSquare) {
+  pathrank::Rng rng(GetParam());
+  std::vector<double> weights;
+  const size_t n = 3 + rng.NextBounded(8);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    weights.push_back(rng.NextUniform(0.1, 5.0));
+    total += weights.back();
+  }
+  AliasTable table(weights);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[table.Sample(rng)];
+  double chi2 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double expected = kDraws * weights[i] / total;
+    const double diff = counts[i] - expected;
+    chi2 += diff * diff / expected;
+  }
+  // dof <= 9; chi2 beyond 30 would indicate a broken sampler.
+  EXPECT_LT(chi2, 30.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AliasDistribution,
+                         ::testing::Values(2, 12, 22, 32));
+
+TEST(RandomWalker, WalksFollowEdges) {
+  const RoadNetwork net = BuildTestNetwork();
+  RandomWalkConfig cfg;
+  cfg.walk_length = 20;
+  RandomWalker walker(net, cfg);
+  pathrank::Rng rng(5);
+  for (graph::VertexId start = 0; start < 20; ++start) {
+    const auto walk = walker.Walk(start, rng);
+    ASSERT_GE(walk.size(), 2u);
+    EXPECT_EQ(walk[0], start);
+    for (size_t i = 1; i < walk.size(); ++i) {
+      EXPECT_NE(net.FindEdge(walk[i - 1], walk[i]), graph::kInvalidEdge)
+          << "walk used a non-edge";
+    }
+  }
+}
+
+TEST(RandomWalker, RespectsWalkLength) {
+  const RoadNetwork net = BuildTestNetwork();
+  RandomWalkConfig cfg;
+  cfg.walk_length = 12;
+  RandomWalker walker(net, cfg);
+  pathrank::Rng rng(6);
+  const auto walk = walker.Walk(0, rng);
+  EXPECT_EQ(walk.size(), 12u);  // connected grid: no dead ends
+}
+
+TEST(RandomWalker, CorpusSizeMatchesConfig) {
+  const RoadNetwork net = BuildTestNetwork();
+  RandomWalkConfig cfg;
+  cfg.walk_length = 8;
+  cfg.walks_per_vertex = 3;
+  RandomWalker walker(net, cfg);
+  pathrank::Rng rng(7);
+  const auto corpus = walker.GenerateCorpus(rng);
+  EXPECT_EQ(corpus.size(), net.num_vertices() * 3);
+}
+
+TEST(RandomWalker, LowPIncreasesBacktracking) {
+  const RoadNetwork net = BuildTestNetwork();
+  RandomWalkConfig backtrack;
+  backtrack.walk_length = 30;
+  backtrack.p = 0.05;  // strongly encourages returning
+  backtrack.q = 1.0;
+  RandomWalkConfig explore;
+  explore.walk_length = 30;
+  explore.p = 20.0;  // strongly discourages returning
+  explore.q = 1.0;
+  RandomWalker walker_b(net, backtrack);
+  RandomWalker walker_e(net, explore);
+  pathrank::Rng rng_b(8);
+  pathrank::Rng rng_e(8);
+  int returns_b = 0;
+  int returns_e = 0;
+  for (graph::VertexId v = 0; v < net.num_vertices(); ++v) {
+    const auto wb = walker_b.Walk(v, rng_b);
+    const auto we = walker_e.Walk(v, rng_e);
+    for (size_t i = 2; i < wb.size(); ++i) {
+      if (wb[i] == wb[i - 2]) ++returns_b;
+    }
+    for (size_t i = 2; i < we.size(); ++i) {
+      if (we[i] == we[i - 2]) ++returns_e;
+    }
+  }
+  EXPECT_GT(returns_b, returns_e * 2);
+}
+
+TEST(SkipGram, EmbeddingShapeAndFiniteness) {
+  const RoadNetwork net = BuildTestNetwork();
+  RandomWalkConfig walk_cfg;
+  walk_cfg.walk_length = 15;
+  walk_cfg.walks_per_vertex = 4;
+  RandomWalker walker(net, walk_cfg);
+  pathrank::Rng rng(9);
+  const auto corpus = walker.GenerateCorpus(rng);
+  SkipGramConfig sg;
+  sg.dims = 16;
+  sg.epochs = 1;
+  const nn::Matrix emb = TrainSkipGram(corpus, net.num_vertices(), sg, rng);
+  ASSERT_EQ(emb.rows(), net.num_vertices());
+  ASSERT_EQ(emb.cols(), 16u);
+  for (size_t i = 0; i < emb.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(emb.data()[i]));
+  }
+}
+
+TEST(Node2Vec, NeighborsMoreSimilarThanDistantPairs) {
+  const RoadNetwork net = BuildTestNetwork();
+  Node2VecConfig cfg;
+  cfg.walk.walk_length = 25;
+  cfg.walk.walks_per_vertex = 12;
+  cfg.skipgram.dims = 32;
+  cfg.skipgram.epochs = 3;
+  cfg.seed = 10;
+  const nn::Matrix emb = TrainNode2Vec(net, cfg);
+
+  // Mean cosine similarity between adjacent vertices must exceed the mean
+  // over far-apart pairs: topology must be captured.
+  double adj_sim = 0.0;
+  int adj_count = 0;
+  for (graph::VertexId v = 0; v < net.num_vertices(); ++v) {
+    for (graph::EdgeId e : net.OutEdges(v)) {
+      adj_sim += CosineSimilarity(emb, v, net.edge(e).to);
+      ++adj_count;
+    }
+  }
+  adj_sim /= adj_count;
+
+  // The test network is an 8x8 grid: vertex 0 and vertex 63 are opposite
+  // corners; sample corner-to-corner style pairs.
+  double far_sim = 0.0;
+  int far_count = 0;
+  for (graph::VertexId a = 0; a < 8; ++a) {
+    for (graph::VertexId b = 56; b < 64; ++b) {
+      far_sim += CosineSimilarity(emb, a, b);
+      ++far_count;
+    }
+  }
+  far_sim /= far_count;
+  EXPECT_GT(adj_sim, far_sim + 0.1);
+}
+
+TEST(Node2Vec, DeterministicUnderSeed) {
+  const RoadNetwork net = BuildTestNetwork();
+  Node2VecConfig cfg;
+  cfg.walk.walk_length = 10;
+  cfg.walk.walks_per_vertex = 2;
+  cfg.skipgram.dims = 8;
+  cfg.skipgram.epochs = 1;
+  cfg.seed = 11;
+  const nn::Matrix a = TrainNode2Vec(net, cfg);
+  const nn::Matrix b = TrainNode2Vec(net, cfg);
+  ASSERT_TRUE(a.SameShape(b));
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(CosineSimilarity, SelfSimilarityIsOne) {
+  nn::Matrix m(2, 4);
+  pathrank::Rng rng(12);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.NextUniform(-1, 1));
+  }
+  EXPECT_NEAR(CosineSimilarity(m, 0, 0), 1.0, 1e-6);
+  EXPECT_NEAR(CosineSimilarity(m, 1, 1), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace pathrank::embedding

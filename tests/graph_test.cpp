@@ -1,0 +1,290 @@
+// Tests for the spatial graph substrate: CSR road network, the synthetic
+// network generator, and graph I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <queue>
+#include <set>
+
+#include "graph/graph_io.h"
+#include "graph/network_builder.h"
+#include "graph/road_network.h"
+
+namespace pathrank::graph {
+namespace {
+
+RoadNetwork MakeTriangle() {
+  RoadNetworkBuilder b;
+  const VertexId v0 = b.AddVertex({57.0, 9.9});
+  const VertexId v1 = b.AddVertex({57.01, 9.9});
+  const VertexId v2 = b.AddVertex({57.0, 9.92});
+  b.AddBidirectionalEdge(v0, v1, 1000.0, RoadCategory::kResidential);
+  b.AddBidirectionalEdge(v1, v2, 1500.0, RoadCategory::kPrimary);
+  b.AddEdge(v2, v0, 2000.0, RoadCategory::kMotorway);
+  return b.Build();
+}
+
+TEST(RoadNetwork, CountsAreConsistent) {
+  const RoadNetwork net = MakeTriangle();
+  EXPECT_EQ(net.num_vertices(), 3u);
+  EXPECT_EQ(net.num_edges(), 5u);
+}
+
+TEST(RoadNetwork, OutAndInEdgesPartitionEdges) {
+  const RoadNetwork net = MakeTriangle();
+  size_t out_total = 0;
+  size_t in_total = 0;
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    out_total += net.OutEdges(v).size();
+    in_total += net.InEdges(v).size();
+  }
+  EXPECT_EQ(out_total, net.num_edges());
+  EXPECT_EQ(in_total, net.num_edges());
+}
+
+TEST(RoadNetwork, EdgeEndpointsMatchAdjacency) {
+  const RoadNetwork net = MakeTriangle();
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    for (EdgeId e : net.OutEdges(v)) {
+      EXPECT_EQ(net.edge(e).from, v);
+    }
+    for (EdgeId e : net.InEdges(v)) {
+      EXPECT_EQ(net.edge(e).to, v);
+    }
+  }
+}
+
+TEST(RoadNetwork, FindEdgePresentAndAbsent) {
+  const RoadNetwork net = MakeTriangle();
+  EXPECT_NE(net.FindEdge(0, 1), kInvalidEdge);
+  EXPECT_NE(net.FindEdge(2, 0), kInvalidEdge);
+  EXPECT_EQ(net.FindEdge(0, 2), kInvalidEdge);  // directed: only 2->0 exists
+  EXPECT_EQ(net.FindEdge(1, 1), kInvalidEdge);
+}
+
+TEST(RoadNetwork, DefaultTravelTimeUsesCategorySpeed) {
+  const RoadNetwork net = MakeTriangle();
+  const EdgeId e = net.FindEdge(2, 0);
+  ASSERT_NE(e, kInvalidEdge);
+  const double expected_s = 2000.0 / (DefaultSpeedKmh(RoadCategory::kMotorway) / 3.6);
+  EXPECT_NEAR(net.edge(e).travel_time_s, expected_s, 1e-6);
+}
+
+TEST(RoadNetwork, PathAggregates) {
+  const RoadNetwork net = MakeTriangle();
+  const EdgeId e01 = net.FindEdge(0, 1);
+  const EdgeId e12 = net.FindEdge(1, 2);
+  const std::vector<EdgeId> edges{e01, e12};
+  EXPECT_NEAR(net.PathLengthMeters(edges), 2500.0, 1e-9);
+  EXPECT_GT(net.PathTravelTimeSeconds(edges), 0.0);
+}
+
+TEST(RoadNetwork, MaxSpeedReflectsFastestEdge) {
+  const RoadNetwork net = MakeTriangle();
+  EXPECT_NEAR(net.max_speed_mps(), 110.0 / 3.6, 1e-6);
+}
+
+TEST(RoadNetwork, BoundsContainAllVertices) {
+  const RoadNetwork net = MakeTriangle();
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    EXPECT_TRUE(net.bounds().Contains(net.coordinate(v)));
+  }
+}
+
+TEST(Types, HaversineKnownDistance) {
+  // Aalborg to Copenhagen is roughly 223.5 km in a straight line.
+  const Coordinate aalborg{57.0488, 9.9217};
+  const Coordinate copenhagen{55.6761, 12.5683};
+  const double d = HaversineMeters(aalborg, copenhagen);
+  EXPECT_NEAR(d, 223500.0, 3000.0);
+}
+
+TEST(Types, FastDistanceCloseToHaversineRegionally) {
+  const Coordinate a{57.0, 9.9};
+  const Coordinate b{57.05, 9.98};
+  const double h = HaversineMeters(a, b);
+  const double f = FastDistanceMeters(a, b);
+  EXPECT_NEAR(f / h, 1.0, 0.005);
+}
+
+TEST(Types, CategoryNamesRoundTrip) {
+  for (int i = 0; i < kNumRoadCategories; ++i) {
+    const auto cat = static_cast<RoadCategory>(i);
+    EXPECT_EQ(ParseRoadCategory(RoadCategoryName(cat)), cat);
+  }
+  EXPECT_THROW(ParseRoadCategory("hyperloop"), std::invalid_argument);
+}
+
+TEST(Types, SpeedsDecreaseDownTheHierarchy) {
+  EXPECT_GT(DefaultSpeedKmh(RoadCategory::kMotorway),
+            DefaultSpeedKmh(RoadCategory::kPrimary));
+  EXPECT_GT(DefaultSpeedKmh(RoadCategory::kPrimary),
+            DefaultSpeedKmh(RoadCategory::kResidential));
+  EXPECT_GT(DefaultSpeedKmh(RoadCategory::kResidential),
+            DefaultSpeedKmh(RoadCategory::kService));
+}
+
+/// BFS reachability over directed edges.
+size_t ReachableFrom(const RoadNetwork& net, VertexId start) {
+  std::vector<bool> seen(net.num_vertices(), false);
+  std::queue<VertexId> queue;
+  queue.push(start);
+  seen[start] = true;
+  size_t count = 1;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop();
+    for (EdgeId e : net.OutEdges(u)) {
+      const VertexId v = net.edge(e).to;
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        queue.push(v);
+      }
+    }
+  }
+  return count;
+}
+
+class SyntheticNetworkSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SyntheticNetworkSeeds, StronglyConnected) {
+  SyntheticNetworkConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 16;
+  cfg.seed = GetParam();
+  const RoadNetwork net = BuildSyntheticNetwork(cfg);
+  // All roads are bidirectional, so reachability from vertex 0 must cover
+  // the whole network.
+  EXPECT_EQ(ReachableFrom(net, 0), net.num_vertices());
+}
+
+TEST_P(SyntheticNetworkSeeds, DeterministicUnderSeed) {
+  SyntheticNetworkConfig cfg;
+  cfg.rows = 10;
+  cfg.cols = 10;
+  cfg.seed = GetParam();
+  const RoadNetwork a = BuildSyntheticNetwork(cfg);
+  const RoadNetwork b = BuildSyntheticNetwork(cfg);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).from, b.edge(e).from);
+    EXPECT_EQ(a.edge(e).to, b.edge(e).to);
+    EXPECT_DOUBLE_EQ(a.edge(e).length_m, b.edge(e).length_m);
+  }
+}
+
+TEST_P(SyntheticNetworkSeeds, EdgeLengthsArePlausible) {
+  SyntheticNetworkConfig cfg;
+  cfg.rows = 12;
+  cfg.cols = 12;
+  cfg.seed = GetParam();
+  const RoadNetwork net = BuildSyntheticNetwork(cfg);
+  for (EdgeId e = 0; e < net.num_edges(); ++e) {
+    EXPECT_GT(net.edge(e).length_m, 0.0);
+    EXPECT_LT(net.edge(e).length_m, 20000.0);
+    EXPECT_GT(net.edge(e).travel_time_s, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticNetworkSeeds,
+                         ::testing::Values(1, 7, 42, 1234, 987654321));
+
+TEST(SyntheticNetwork, HasHierarchy) {
+  SyntheticNetworkConfig cfg;
+  cfg.rows = 24;
+  cfg.cols = 24;
+  const RoadNetwork net = BuildSyntheticNetwork(cfg);
+  std::set<RoadCategory> seen;
+  for (EdgeId e = 0; e < net.num_edges(); ++e) {
+    seen.insert(net.edge(e).category);
+  }
+  EXPECT_TRUE(seen.count(RoadCategory::kMotorway));
+  EXPECT_TRUE(seen.count(RoadCategory::kPrimary));
+  EXPECT_TRUE(seen.count(RoadCategory::kResidential));
+}
+
+TEST(SyntheticNetwork, DegreeDistributionLooksLikeRoads) {
+  SyntheticNetworkConfig cfg;
+  cfg.rows = 24;
+  cfg.cols = 24;
+  const RoadNetwork net = BuildSyntheticNetwork(cfg);
+  double mean_degree = 0.0;
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    mean_degree += static_cast<double>(net.OutDegree(v));
+  }
+  mean_degree /= static_cast<double>(net.num_vertices());
+  // Road intersections average between 2 and 4 outgoing segments.
+  EXPECT_GT(mean_degree, 2.0);
+  EXPECT_LT(mean_degree, 4.5);
+}
+
+TEST(SyntheticNetwork, TestNetworkIsSmallAndConnected) {
+  const RoadNetwork net = BuildTestNetwork();
+  EXPECT_EQ(net.num_vertices(), 64u);
+  EXPECT_EQ(ReachableFrom(net, 0), net.num_vertices());
+}
+
+TEST(GraphIo, CsvRoundTrip) {
+  const RoadNetwork original = BuildTestNetwork();
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "pr_net").string();
+  SaveNetworkCsv(original, prefix);
+  const RoadNetwork loaded = LoadNetworkCsv(prefix);
+  ASSERT_EQ(loaded.num_vertices(), original.num_vertices());
+  ASSERT_EQ(loaded.num_edges(), original.num_edges());
+  for (EdgeId e = 0; e < original.num_edges(); ++e) {
+    EXPECT_EQ(loaded.edge(e).from, original.edge(e).from);
+    EXPECT_EQ(loaded.edge(e).to, original.edge(e).to);
+    EXPECT_NEAR(loaded.edge(e).length_m, original.edge(e).length_m, 1e-3);
+    EXPECT_EQ(loaded.edge(e).category, original.edge(e).category);
+  }
+  std::remove((prefix + "_vertices.csv").c_str());
+  std::remove((prefix + "_edges.csv").c_str());
+}
+
+TEST(GraphIo, BinaryRoundTripExact) {
+  const RoadNetwork original = BuildTestNetwork(123);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pr_net.bin").string();
+  SaveNetworkBinary(original, path);
+  const RoadNetwork loaded = LoadNetworkBinary(path);
+  ASSERT_EQ(loaded.num_vertices(), original.num_vertices());
+  ASSERT_EQ(loaded.num_edges(), original.num_edges());
+  for (VertexId v = 0; v < original.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(loaded.coordinate(v).lat, original.coordinate(v).lat);
+    EXPECT_DOUBLE_EQ(loaded.coordinate(v).lon, original.coordinate(v).lon);
+  }
+  for (EdgeId e = 0; e < original.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(loaded.edge(e).length_m, original.edge(e).length_m);
+    EXPECT_DOUBLE_EQ(loaded.edge(e).travel_time_s,
+                     original.edge(e).travel_time_s);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, BinaryLoadRejectsGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pr_garbage.bin").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    const char junk[] = "not a network";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(LoadNetworkBinary(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Builder, RejectsInvalidEdges) {
+  RoadNetworkBuilder b;
+  b.AddVertex({57.0, 9.9});
+  EXPECT_THROW(b.AddEdge(0, 5, 100.0, RoadCategory::kResidential),
+               std::logic_error);
+  EXPECT_THROW(b.AddEdge(0, 0, -1.0, RoadCategory::kResidential),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace pathrank::graph

@@ -1,0 +1,91 @@
+// GridIndex correctness: nearest-vertex and radius queries compared against
+// brute force over randomised query points.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+#include "graph/grid_index.h"
+#include "graph/network_builder.h"
+
+namespace pathrank::graph {
+namespace {
+
+VertexId BruteForceNearest(const RoadNetwork& net, const Coordinate& q) {
+  VertexId best = kInvalidVertex;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    const double d = FastDistanceMeters(q, net.coordinate(v));
+    if (d < best_d) {
+      best_d = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+class GridIndexProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridIndexProperty, NearestMatchesBruteForce) {
+  const RoadNetwork net = BuildTestNetwork(GetParam());
+  const GridIndex index(net, 300.0);
+  pathrank::Rng rng(GetParam() * 31 + 7);
+  const BoundingBox& bb = net.bounds();
+  for (int i = 0; i < 200; ++i) {
+    Coordinate q;
+    // Include points slightly outside the bounds.
+    q.lat = rng.NextUniform(bb.min_lat - 0.01, bb.max_lat + 0.01);
+    q.lon = rng.NextUniform(bb.min_lon - 0.01, bb.max_lon + 0.01);
+    const VertexId got = index.NearestVertex(q);
+    const VertexId want = BruteForceNearest(net, q);
+    // Allow distance ties between distinct vertices.
+    const double d_got = FastDistanceMeters(q, net.coordinate(got));
+    const double d_want = FastDistanceMeters(q, net.coordinate(want));
+    EXPECT_NEAR(d_got, d_want, 1e-9);
+  }
+}
+
+TEST_P(GridIndexProperty, RadiusQueryMatchesBruteForce) {
+  const RoadNetwork net = BuildTestNetwork(GetParam());
+  const GridIndex index(net, 250.0);
+  pathrank::Rng rng(GetParam() * 17 + 3);
+  const BoundingBox& bb = net.bounds();
+  for (int i = 0; i < 50; ++i) {
+    Coordinate q;
+    q.lat = rng.NextUniform(bb.min_lat, bb.max_lat);
+    q.lon = rng.NextUniform(bb.min_lon, bb.max_lon);
+    const double radius = rng.NextUniform(100.0, 1500.0);
+    auto got = index.VerticesWithin(q, radius);
+    std::sort(got.begin(), got.end());
+    std::vector<VertexId> want;
+    for (VertexId v = 0; v < net.num_vertices(); ++v) {
+      if (FastDistanceMeters(q, net.coordinate(v)) <= radius) {
+        want.push_back(v);
+      }
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridIndexProperty,
+                         ::testing::Values(3, 11, 29, 57));
+
+TEST(GridIndex, EmptyRadiusOutsideNetwork) {
+  const RoadNetwork net = BuildTestNetwork();
+  const GridIndex index(net);
+  // ~100 km north of the network.
+  const auto hits = index.VerticesWithin({58.0, 9.9}, 500.0);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(GridIndex, NearestFromFarAwayStillWorks) {
+  const RoadNetwork net = BuildTestNetwork();
+  const GridIndex index(net);
+  const VertexId v = index.NearestVertex({58.0, 9.9});
+  EXPECT_NE(v, kInvalidVertex);
+  EXPECT_EQ(v, BruteForceNearest(net, {58.0, 9.9}));
+}
+
+}  // namespace
+}  // namespace pathrank::graph

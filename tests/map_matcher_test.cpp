@@ -1,0 +1,112 @@
+// HMM map matcher: recovery of the true path from noisy simulated GPS and
+// the cycle-removal helper.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/grid_index.h"
+#include "graph/network_builder.h"
+#include "routing/cost_model.h"
+#include "routing/dijkstra.h"
+#include "routing/path_similarity.h"
+#include "traj/gps_simulator.h"
+#include "traj/map_matcher.h"
+#include "traj/trajectory_generator.h"
+
+namespace pathrank::traj {
+namespace {
+
+using graph::BuildTestNetwork;
+using graph::RoadNetwork;
+
+class MapMatcherRecovery : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MapMatcherRecovery, RecoversSimulatedTrips) {
+  const RoadNetwork net = BuildTestNetwork(GetParam());
+  const graph::GridIndex index(net, 300.0);
+  TrajectoryGeneratorConfig cfg;
+  cfg.num_drivers = 4;
+  cfg.num_trips = 8;
+  cfg.min_trip_distance_m = 1500.0;
+  cfg.seed = GetParam() * 3 + 2;
+  const auto trips = TrajectoryGenerator(net, cfg).Generate();
+
+  pathrank::Rng rng(GetParam() + 55);
+  GpsSimulatorConfig gps_cfg;
+  gps_cfg.sample_interval_s = 4.0;
+  gps_cfg.noise_sigma_m = 12.0;
+  MapMatcherConfig mm_cfg;
+  mm_cfg.emission_sigma_m = 15.0;
+  const MapMatcher matcher(net, index, mm_cfg);
+
+  double total_similarity = 0.0;
+  int matched_count = 0;
+  for (const TripPath& trip : trips) {
+    const Trajectory gps = SimulateGps(net, trip, gps_cfg, rng);
+    const auto matched = matcher.Match(gps);
+    if (!matched.has_value()) continue;
+    ++matched_count;
+    EXPECT_TRUE(routing::ValidatePath(net, *matched).empty());
+    total_similarity +=
+        routing::WeightedJaccard(net, matched->edges, trip.path.edges);
+  }
+  ASSERT_GE(matched_count, 6);  // nearly all trips should match
+  // Average recovery quality must be high (>= 0.75 weighted Jaccard).
+  EXPECT_GE(total_similarity / matched_count, 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapMatcherRecovery,
+                         ::testing::Values(7, 13, 23));
+
+TEST(MapMatcher, TooFewPointsReturnsNullopt) {
+  const RoadNetwork net = BuildTestNetwork();
+  const graph::GridIndex index(net);
+  const MapMatcher matcher(net, index, {});
+  Trajectory t;
+  t.points.push_back({net.coordinate(0), 0.0});
+  EXPECT_FALSE(matcher.Match(t).has_value());
+}
+
+TEST(MapMatcher, FarAwayTraceReturnsNullopt) {
+  const RoadNetwork net = BuildTestNetwork();
+  const graph::GridIndex index(net);
+  const MapMatcher matcher(net, index, {});
+  Trajectory t;
+  // Points hundreds of km away from the network.
+  t.points.push_back({{60.0, 15.0}, 0.0});
+  t.points.push_back({{60.01, 15.0}, 10.0});
+  t.points.push_back({{60.02, 15.0}, 20.0});
+  EXPECT_FALSE(matcher.Match(t).has_value());
+}
+
+TEST(RemoveCycles, SplicesOutLoop) {
+  const RoadNetwork net = BuildTestNetwork();
+  // Construct a path 0 -> 1 -> 0 -> 8 artificially (if edges exist).
+  const graph::EdgeId e01 = net.FindEdge(0, 1);
+  const graph::EdgeId e10 = net.FindEdge(1, 0);
+  const graph::EdgeId e08 = net.FindEdge(0, 8);
+  ASSERT_NE(e01, graph::kInvalidEdge);
+  ASSERT_NE(e10, graph::kInvalidEdge);
+  ASSERT_NE(e08, graph::kInvalidEdge);
+  routing::Path p;
+  p.vertices = {0, 1, 0, 8};
+  p.edges = {e01, e10, e08};
+  routing::RecomputeTotals(net, &p);
+  RemoveCycles(net, &p);
+  EXPECT_EQ(p.vertices, (std::vector<graph::VertexId>{0, 8}));
+  EXPECT_EQ(p.edges, (std::vector<graph::EdgeId>{e08}));
+  EXPECT_TRUE(routing::ValidatePath(net, p).empty());
+}
+
+TEST(RemoveCycles, NoOpOnSimplePath) {
+  const RoadNetwork net = BuildTestNetwork();
+  routing::Dijkstra dijkstra(net);
+  const auto cost = routing::EdgeCostFn::Length(net);
+  auto p = dijkstra.ShortestPath(0, 63, cost);
+  ASSERT_TRUE(p.has_value());
+  const auto original_vertices = p->vertices;
+  RemoveCycles(net, &*p);
+  EXPECT_EQ(p->vertices, original_vertices);
+}
+
+}  // namespace
+}  // namespace pathrank::traj

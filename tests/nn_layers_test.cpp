@@ -1,0 +1,247 @@
+// Behavioural tests of the layers: shapes, masking semantics, freezing,
+// determinism, sequence-batch utilities, losses and serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/embedding_layer.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/recurrent.h"
+#include "nn/sequence_batch.h"
+#include "nn/serialize.h"
+
+namespace pathrank::nn {
+namespace {
+
+TEST(SequenceBatch, PadsAndRecordsLengths) {
+  const std::vector<std::vector<int32_t>> seqs{{1, 2, 3}, {4, 5}, {6}};
+  const auto batch = SequenceBatch::FromSequences(seqs);
+  EXPECT_EQ(batch.batch_size, 3u);
+  EXPECT_EQ(batch.max_len, 3u);
+  EXPECT_EQ(batch.id_at(0, 2), 3);
+  EXPECT_EQ(batch.id_at(1, 1), 5);
+  EXPECT_EQ(batch.id_at(1, 2), 0);  // padding
+  EXPECT_EQ(batch.lengths[2], 1);
+}
+
+TEST(SequenceBatch, ReversedReversesPrefixOnly) {
+  const std::vector<std::vector<int32_t>> seqs{{1, 2, 3}, {4, 5}};
+  const auto rev = SequenceBatch::FromSequences(seqs).Reversed();
+  EXPECT_EQ(rev.id_at(0, 0), 3);
+  EXPECT_EQ(rev.id_at(0, 2), 1);
+  EXPECT_EQ(rev.id_at(1, 0), 5);
+  EXPECT_EQ(rev.id_at(1, 1), 4);
+  EXPECT_EQ(rev.id_at(1, 2), 0);  // padding untouched
+}
+
+TEST(SequenceBatch, RejectsEmptySequence) {
+  const std::vector<std::vector<int32_t>> seqs{{1}, {}};
+  EXPECT_THROW(SequenceBatch::FromSequences(seqs), std::logic_error);
+}
+
+TEST(EmbeddingLayer, LookupReturnsTableRows) {
+  pathrank::Rng rng(2);
+  EmbeddingLayer emb(10, 4, rng);
+  const auto batch = SequenceBatch::FromSequences({{3, 7}, {1, 1}});
+  Matrix x;
+  emb.Lookup(batch, 0, &x);
+  ASSERT_EQ(x.rows(), 2u);
+  ASSERT_EQ(x.cols(), 4u);
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(x.at(0, c), emb.table().at(3, c));
+    EXPECT_EQ(x.at(1, c), emb.table().at(1, c));
+  }
+}
+
+TEST(EmbeddingLayer, GradSkipsPadding) {
+  pathrank::Rng rng(3);
+  EmbeddingLayer emb(10, 2, rng);
+  const auto batch = SequenceBatch::FromSequences({{3, 7}, {1}});
+  Matrix d(2, 2);
+  d.Fill(1.0f);
+  emb.parameter().ZeroGrad();
+  emb.AccumulateGrad(batch, 1, d);  // t=1: row 1 is padding
+  EXPECT_EQ(emb.parameter().grad.at(7, 0), 1.0f);
+  // Padded token id is 0: its row must stay zero.
+  EXPECT_EQ(emb.parameter().grad.at(0, 0), 0.0f);
+  EXPECT_EQ(emb.parameter().grad.at(1, 0), 0.0f);
+}
+
+TEST(EmbeddingLayer, LoadTableValidatesShape) {
+  pathrank::Rng rng(4);
+  EmbeddingLayer emb(5, 3, rng);
+  Matrix good(5, 3);
+  EXPECT_NO_THROW(emb.LoadTable(good));
+  Matrix bad(5, 4);
+  EXPECT_THROW(emb.LoadTable(bad), std::logic_error);
+}
+
+TEST(LinearLayer, ForwardIsAffine) {
+  pathrank::Rng rng(5);
+  LinearLayer fc(3, 2, rng);
+  // Overwrite parameters with known values.
+  fc.Parameters()[0]->value.Fill(1.0f);  // W all ones
+  fc.Parameters()[1]->value.Fill(0.5f);  // b
+  Matrix x(1, 3);
+  x.at(0, 0) = 1.0f;
+  x.at(0, 1) = 2.0f;
+  x.at(0, 2) = 3.0f;
+  Matrix y;
+  fc.Forward(x, &y);
+  EXPECT_NEAR(y.at(0, 0), 6.5f, 1e-6f);
+  EXPECT_NEAR(y.at(0, 1), 6.5f, 1e-6f);
+}
+
+class RecurrentShapes : public ::testing::TestWithParam<CellType> {};
+
+TEST_P(RecurrentShapes, FinalStateShapeAndDeterminism) {
+  pathrank::Rng rng(6);
+  auto cell = MakeRecurrentLayer(GetParam(), 3, 5, rng, "cell");
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->input_size(), 3u);
+  EXPECT_EQ(cell->hidden_size(), 5u);
+
+  std::vector<Matrix> x_steps(4, Matrix(2, 3));
+  pathrank::Rng data_rng(7);
+  for (auto& x : x_steps) {
+    for (size_t i = 0; i < x.size(); ++i) {
+      x.data()[i] = static_cast<float>(data_rng.NextUniform(-1, 1));
+    }
+  }
+  const std::vector<int32_t> lengths{4, 2};
+  Matrix h1;
+  cell->Forward(x_steps, lengths, &h1);
+  ASSERT_EQ(h1.rows(), 2u);
+  ASSERT_EQ(h1.cols(), 5u);
+  Matrix h2;
+  cell->Forward(x_steps, lengths, &h2);
+  for (size_t i = 0; i < h1.size(); ++i) {
+    EXPECT_EQ(h1.data()[i], h2.data()[i]);
+  }
+}
+
+TEST_P(RecurrentShapes, MaskingMatchesTruncatedSequence) {
+  // Row with length L inside a longer padded batch must produce the same
+  // final state as running the truncated sequence alone.
+  pathrank::Rng rng(8);
+  auto cell = MakeRecurrentLayer(GetParam(), 2, 4, rng, "cell");
+
+  pathrank::Rng data_rng(9);
+  std::vector<Matrix> x_long(5, Matrix(1, 2));
+  for (auto& x : x_long) {
+    for (size_t i = 0; i < x.size(); ++i) {
+      x.data()[i] = static_cast<float>(data_rng.NextUniform(-1, 1));
+    }
+  }
+  // Padded run: length 3 of 5.
+  Matrix h_padded;
+  cell->Forward(x_long, {3}, &h_padded);
+  // Truncated run: only the first 3 steps.
+  std::vector<Matrix> x_short(x_long.begin(), x_long.begin() + 3);
+  Matrix h_short;
+  cell->Forward(x_short, {3}, &h_short);
+  for (size_t i = 0; i < h_short.size(); ++i) {
+    EXPECT_NEAR(h_padded.data()[i], h_short.data()[i], 1e-6f);
+  }
+}
+
+TEST_P(RecurrentShapes, BackwardRequiresForward) {
+  pathrank::Rng rng(10);
+  auto cell = MakeRecurrentLayer(GetParam(), 2, 3, rng, "cell");
+  Matrix d(1, 3);
+  std::vector<Matrix> dx;
+  EXPECT_THROW(cell->Backward(d, &dx), std::logic_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, RecurrentShapes,
+                         ::testing::Values(CellType::kGru, CellType::kRnn,
+                                           CellType::kLstm));
+
+TEST(CellType, NamesRoundTrip) {
+  for (CellType t : {CellType::kGru, CellType::kRnn, CellType::kLstm}) {
+    EXPECT_EQ(ParseCellType(CellTypeName(t)), t);
+  }
+  EXPECT_THROW(ParseCellType("transformer"), std::invalid_argument);
+}
+
+TEST(Loss, MseValueAndGradient) {
+  const std::vector<float> p{1.0f, 0.0f};
+  const std::vector<float> t{0.0f, 0.0f};
+  std::vector<float> d;
+  const double loss = MseLoss(p, t, &d);
+  EXPECT_NEAR(loss, 0.5, 1e-6);  // (1 + 0) / 2
+  EXPECT_NEAR(d[0], 1.0f, 1e-6f);  // 2*1/2
+  EXPECT_NEAR(d[1], 0.0f, 1e-6f);
+}
+
+TEST(Loss, MaeValueAndGradient) {
+  const std::vector<float> p{1.0f, -1.0f};
+  const std::vector<float> t{0.0f, 0.0f};
+  std::vector<float> d;
+  const double loss = MaeLoss(p, t, &d);
+  EXPECT_NEAR(loss, 1.0, 1e-6);
+  EXPECT_NEAR(d[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(d[1], -0.5f, 1e-6f);
+}
+
+TEST(Loss, HuberBlendsRegimes) {
+  const std::vector<float> small_err{0.05f};
+  const std::vector<float> big_err{1.0f};
+  const std::vector<float> t{0.0f};
+  std::vector<float> d;
+  const double l_small = HuberLoss(small_err, t, 0.1f, &d);
+  EXPECT_NEAR(l_small, 0.5 * 0.05 * 0.05, 1e-9);  // quadratic zone
+  const double l_big = HuberLoss(big_err, t, 0.1f, &d);
+  EXPECT_NEAR(l_big, 0.1 * (1.0 - 0.05), 1e-6);  // linear zone
+  EXPECT_NEAR(d[0], 0.1f, 1e-6f);
+}
+
+TEST(Serialize, MatrixRoundTrip) {
+  Matrix m(3, 5);
+  pathrank::Rng rng(11);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.NextUniform(-2, 2));
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pr_mat.bin").string();
+  SaveMatrix(m, path);
+  const Matrix loaded = LoadMatrix(path);
+  ASSERT_TRUE(loaded.SameShape(m));
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(loaded.data()[i], m.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ParametersRoundTripByName) {
+  Parameter a("layer.w", 2, 3);
+  Parameter b("layer.b", 1, 3);
+  a.value.Fill(1.5f);
+  b.value.Fill(-0.5f);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pr_params.bin").string();
+  SaveParameters({&a, &b}, path);
+  Parameter a2("layer.w", 2, 3);
+  Parameter b2("layer.b", 1, 3);
+  LoadParameters({&b2, &a2}, path);  // order independence
+  EXPECT_EQ(a2.value.at(1, 2), 1.5f);
+  EXPECT_EQ(b2.value.at(0, 0), -0.5f);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadRejectsMissingParameter) {
+  Parameter a("layer.w", 2, 2);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pr_params2.bin").string();
+  SaveParameters({&a}, path);
+  Parameter missing("layer.other", 2, 2);
+  EXPECT_THROW(LoadParameters({&missing}, path), std::runtime_error);
+  Parameter wrong_shape("layer.w", 3, 2);
+  EXPECT_THROW(LoadParameters({&wrong_shape}, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pathrank::nn

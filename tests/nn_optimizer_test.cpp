@@ -1,0 +1,150 @@
+// Optimizers: SGD step identity, momentum accumulation, Adam convergence,
+// frozen-parameter semantics and gradient clipping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "nn/parameter.h"
+#include "nn/scheduler.h"
+
+namespace pathrank::nn {
+namespace {
+
+TEST(Sgd, PlainStepIsAxpy) {
+  Parameter p("w", 1, 2);
+  p.value.Fill(1.0f);
+  p.grad.Fill(0.5f);
+  Sgd sgd(0.1);
+  sgd.Step({&p});
+  EXPECT_NEAR(p.value.at(0, 0), 0.95f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Parameter p("w", 1, 1);
+  p.value.Fill(0.0f);
+  p.grad.Fill(1.0f);
+  Sgd sgd(1.0, 0.9);
+  sgd.Step({&p});  // v=1, w=-1
+  EXPECT_NEAR(p.value.at(0, 0), -1.0f, 1e-6f);
+  sgd.Step({&p});  // v=1.9, w=-2.9
+  EXPECT_NEAR(p.value.at(0, 0), -2.9f, 1e-6f);
+}
+
+TEST(Sgd, FrozenParameterUntouched) {
+  Parameter p("w", 1, 1);
+  p.value.Fill(3.0f);
+  p.grad.Fill(1.0f);
+  p.frozen = true;
+  Sgd sgd(0.5);
+  sgd.Step({&p});
+  EXPECT_EQ(p.value.at(0, 0), 3.0f);
+}
+
+TEST(Adam, FirstStepHasUnitScale) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  Parameter p("w", 1, 1);
+  p.value.Fill(0.0f);
+  p.grad.Fill(123.0f);
+  Adam adam(0.01);
+  adam.Step({&p});
+  EXPECT_NEAR(p.value.at(0, 0), -0.01f, 1e-4f);
+}
+
+TEST(Adam, MinimisesQuadratic) {
+  // f(w) = 0.5 * (w - 3)^2; gradient w - 3.
+  Parameter p("w", 1, 1);
+  p.value.Fill(0.0f);
+  Adam adam(0.1);
+  for (int i = 0; i < 500; ++i) {
+    p.grad.at(0, 0) = p.value.at(0, 0) - 3.0f;
+    adam.Step({&p});
+  }
+  EXPECT_NEAR(p.value.at(0, 0), 3.0f, 0.05f);
+}
+
+TEST(Adam, FrozenParameterUntouched) {
+  Parameter p("w", 2, 2);
+  p.value.Fill(1.0f);
+  p.grad.Fill(5.0f);
+  p.frozen = true;
+  Adam adam(0.1);
+  adam.Step({&p});
+  for (size_t i = 0; i < p.value.size(); ++i) {
+    EXPECT_EQ(p.value.data()[i], 1.0f);
+  }
+}
+
+TEST(Adam, WeightDecayShrinksWeights) {
+  Parameter p("w", 1, 1);
+  p.value.Fill(10.0f);
+  p.grad.Fill(0.0f);
+  Adam adamw(0.1, 0.9, 0.999, 1e-8, 0.1);
+  adamw.Step({&p});
+  EXPECT_LT(p.value.at(0, 0), 10.0f);
+}
+
+TEST(Clip, NormAboveThresholdIsScaled) {
+  Parameter p("w", 1, 2);
+  p.grad.at(0, 0) = 3.0f;
+  p.grad.at(0, 1) = 4.0f;  // norm 5
+  const double pre = ClipGradientNorm({&p}, 1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-9);
+  EXPECT_NEAR(std::sqrt(p.grad.SquaredNorm()), 1.0, 1e-6);
+}
+
+TEST(Clip, NormBelowThresholdUntouched) {
+  Parameter p("w", 1, 2);
+  p.grad.at(0, 0) = 0.3f;
+  p.grad.at(0, 1) = 0.4f;
+  ClipGradientNorm({&p}, 1.0);
+  EXPECT_NEAR(p.grad.at(0, 0), 0.3f, 1e-7f);
+}
+
+TEST(ZeroGradients, ClearsAll) {
+  Parameter a("a", 2, 2);
+  Parameter b("b", 1, 4);
+  a.grad.Fill(1.0f);
+  b.grad.Fill(2.0f);
+  ZeroGradients({&a, &b});
+  EXPECT_DOUBLE_EQ(a.grad.SquaredNorm(), 0.0);
+  EXPECT_DOUBLE_EQ(b.grad.SquaredNorm(), 0.0);
+}
+
+TEST(Schedule, ConstantIsConstant) {
+  ScheduleConfig cfg;
+  cfg.type = ScheduleType::kConstant;
+  cfg.base_lr = 0.003;
+  EXPECT_DOUBLE_EQ(LearningRateAt(cfg, 0), 0.003);
+  EXPECT_DOUBLE_EQ(LearningRateAt(cfg, 100), 0.003);
+}
+
+TEST(Schedule, StepDecayHalves) {
+  ScheduleConfig cfg;
+  cfg.type = ScheduleType::kStepDecay;
+  cfg.base_lr = 1.0;
+  cfg.decay = 0.5;
+  cfg.step_every = 2;
+  EXPECT_DOUBLE_EQ(LearningRateAt(cfg, 0), 1.0);
+  EXPECT_DOUBLE_EQ(LearningRateAt(cfg, 1), 1.0);
+  EXPECT_DOUBLE_EQ(LearningRateAt(cfg, 2), 0.5);
+  EXPECT_DOUBLE_EQ(LearningRateAt(cfg, 4), 0.25);
+}
+
+TEST(Schedule, CosineAnnealsToMin) {
+  ScheduleConfig cfg;
+  cfg.type = ScheduleType::kCosine;
+  cfg.base_lr = 1.0;
+  cfg.min_lr = 0.1;
+  cfg.total_epochs = 11;
+  EXPECT_NEAR(LearningRateAt(cfg, 0), 1.0, 1e-12);
+  EXPECT_NEAR(LearningRateAt(cfg, 10), 0.1, 1e-12);
+  EXPECT_NEAR(LearningRateAt(cfg, 5), 0.55, 1e-12);  // midpoint
+  // Monotone decreasing.
+  for (int e = 1; e <= 10; ++e) {
+    EXPECT_LE(LearningRateAt(cfg, e), LearningRateAt(cfg, e - 1) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace pathrank::nn

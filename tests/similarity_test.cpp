@@ -1,0 +1,116 @@
+// Weighted Jaccard and plain Jaccard similarity properties.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/network_builder.h"
+#include "routing/cost_model.h"
+#include "routing/dijkstra.h"
+#include "routing/path_similarity.h"
+
+namespace pathrank::routing {
+namespace {
+
+using graph::BuildTestNetwork;
+using graph::EdgeId;
+using graph::RoadNetwork;
+
+TEST(WeightedJaccard, IdenticalPathsScoreOne) {
+  const RoadNetwork net = BuildTestNetwork();
+  Dijkstra dijkstra(net);
+  const auto cost = EdgeCostFn::Length(net);
+  const auto p = dijkstra.ShortestPath(0, 63, cost);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(WeightedJaccard(net, p->edges, p->edges), 1.0);
+}
+
+TEST(WeightedJaccard, DisjointPathsScoreZero) {
+  const RoadNetwork net = BuildTestNetwork();
+  // Two single-edge "paths" with different edges.
+  const std::vector<EdgeId> a{0};
+  const std::vector<EdgeId> b{5};
+  EXPECT_DOUBLE_EQ(WeightedJaccard(net, a, b), 0.0);
+}
+
+TEST(WeightedJaccard, EmptyVsEmptyIsOneEmptyVsNonEmptyZero) {
+  const RoadNetwork net = BuildTestNetwork();
+  const std::vector<EdgeId> empty;
+  const std::vector<EdgeId> one{3};
+  EXPECT_DOUBLE_EQ(WeightedJaccard(net, empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(WeightedJaccard(net, empty, one), 0.0);
+}
+
+TEST(WeightedJaccard, WeightsMatter) {
+  // Overlap on a long edge scores higher than overlap on a short edge of
+  // the same set sizes.
+  graph::RoadNetworkBuilder b;
+  for (int i = 0; i < 6; ++i) b.AddVertex({57.0 + 0.01 * i, 9.9});
+  const EdgeId long_shared =
+      b.AddEdge(0, 1, 1000.0, graph::RoadCategory::kResidential);
+  const EdgeId short_shared =
+      b.AddEdge(1, 2, 10.0, graph::RoadCategory::kResidential);
+  const EdgeId extra_a =
+      b.AddEdge(2, 3, 100.0, graph::RoadCategory::kResidential);
+  const EdgeId extra_b =
+      b.AddEdge(3, 4, 100.0, graph::RoadCategory::kResidential);
+  const RoadNetwork net = b.Build();
+
+  const std::vector<EdgeId> a1{long_shared, extra_a};
+  const std::vector<EdgeId> b1{long_shared, extra_b};
+  const std::vector<EdgeId> a2{short_shared, extra_a};
+  const std::vector<EdgeId> b2{short_shared, extra_b};
+  EXPECT_GT(WeightedJaccard(net, a1, b1), WeightedJaccard(net, a2, b2));
+}
+
+class SimilarityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimilarityProperty, RangeAndSymmetry) {
+  const RoadNetwork net = BuildTestNetwork(GetParam());
+  pathrank::Rng rng(GetParam() * 3 + 11);
+  Dijkstra dijkstra(net);
+  const auto cost = EdgeCostFn::Length(net);
+  for (int i = 0; i < 20; ++i) {
+    const auto s1 = static_cast<VertexId>(rng.NextBounded(net.num_vertices()));
+    const auto t1 = static_cast<VertexId>(rng.NextBounded(net.num_vertices()));
+    const auto s2 = static_cast<VertexId>(rng.NextBounded(net.num_vertices()));
+    const auto t2 = static_cast<VertexId>(rng.NextBounded(net.num_vertices()));
+    if (s1 == t1 || s2 == t2) continue;
+    const auto p1 = dijkstra.ShortestPath(s1, t1, cost);
+    const auto p2 = dijkstra.ShortestPath(s2, t2, cost);
+    if (!p1.has_value() || !p2.has_value()) continue;
+    const double ab = WeightedJaccard(net, p1->edges, p2->edges);
+    const double ba = WeightedJaccard(net, p2->edges, p1->edges);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    // Weighted and unweighted Jaccard agree on the extremes.
+    const double ej = EdgeJaccard(p1->edges, p2->edges);
+    EXPECT_EQ(ab == 1.0, ej == 1.0);
+    EXPECT_EQ(ab == 0.0, ej == 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityProperty,
+                         ::testing::Values(4, 14, 24, 64));
+
+TEST(EdgeJaccard, CountsCorrectly) {
+  const std::vector<EdgeId> a{1, 2, 3};
+  const std::vector<EdgeId> b{2, 3, 4, 5};
+  // intersection 2, union 5.
+  EXPECT_DOUBLE_EQ(EdgeJaccard(a, b), 0.4);
+}
+
+TEST(EdgeJaccard, DuplicatesAreIgnored) {
+  const std::vector<EdgeId> a{1, 1, 2};
+  const std::vector<EdgeId> b{2, 2, 1};
+  EXPECT_DOUBLE_EQ(EdgeJaccard(a, b), 1.0);
+}
+
+TEST(VertexJaccard, BasicOverlap) {
+  const std::vector<graph::VertexId> a{10, 11, 12};
+  const std::vector<graph::VertexId> b{12, 13};
+  // intersection 1, union 4.
+  EXPECT_DOUBLE_EQ(VertexJaccard(a, b), 0.25);
+}
+
+}  // namespace
+}  // namespace pathrank::routing

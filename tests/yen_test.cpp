@@ -1,0 +1,216 @@
+// Yen's k-shortest-paths and the diversified top-k generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "graph/network_builder.h"
+#include "routing/cost_model.h"
+#include "routing/diversified.h"
+#include "routing/path_similarity.h"
+#include "routing/yen.h"
+
+namespace pathrank::routing {
+namespace {
+
+using graph::BuildTestNetwork;
+using graph::RoadCategory;
+using graph::RoadNetwork;
+using graph::RoadNetworkBuilder;
+
+/// Small diamond graph with known path spectrum between 0 and 3:
+///   0->1->3 cost 2, 0->2->3 cost 4, 0->1->2->3 cost 5, 0->2->1->3 ... etc.
+RoadNetwork MakeDiamond() {
+  RoadNetworkBuilder b;
+  for (int i = 0; i < 4; ++i) b.AddVertex({57.0 + 0.01 * i, 9.9});
+  b.AddBidirectionalEdge(0, 1, 1.0, RoadCategory::kResidential);
+  b.AddBidirectionalEdge(1, 3, 1.0, RoadCategory::kResidential);
+  b.AddBidirectionalEdge(0, 2, 2.0, RoadCategory::kResidential);
+  b.AddBidirectionalEdge(2, 3, 2.0, RoadCategory::kResidential);
+  b.AddBidirectionalEdge(1, 2, 2.0, RoadCategory::kResidential);
+  return b.Build();
+}
+
+TEST(Yen, DiamondSpectrumInOrder) {
+  const RoadNetwork net = MakeDiamond();
+  const auto cost = EdgeCostFn::Length(net);
+  const auto paths = TopKShortestPaths(net, 0, 3, cost, 4);
+  ASSERT_EQ(paths.size(), 4u);
+  EXPECT_NEAR(paths[0].cost, 2.0, 1e-9);  // 0-1-3
+  EXPECT_NEAR(paths[1].cost, 4.0, 1e-9);  // 0-2-3
+  EXPECT_NEAR(paths[2].cost, 5.0, 1e-9);  // 0-1-2-3
+  EXPECT_NEAR(paths[3].cost, 5.0, 1e-9);  // 0-2-1-3
+}
+
+TEST(Yen, FirstPathIsShortest) {
+  const RoadNetwork net = BuildTestNetwork();
+  const auto cost = EdgeCostFn::Length(net);
+  Dijkstra dijkstra(net);
+  const auto sp = dijkstra.ShortestPath(0, 63, cost);
+  const auto paths = TopKShortestPaths(net, 0, 63, cost, 5);
+  ASSERT_FALSE(paths.empty());
+  ASSERT_TRUE(sp.has_value());
+  EXPECT_NEAR(paths[0].cost, sp->cost, 1e-9);
+}
+
+class YenProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(YenProperty, PathsAreSortedSimpleDistinctAndValid) {
+  const RoadNetwork net = BuildTestNetwork(GetParam());
+  const auto cost = EdgeCostFn::Length(net);
+  pathrank::Rng rng(GetParam() * 13 + 1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto s = static_cast<VertexId>(rng.NextBounded(net.num_vertices()));
+    const auto t = static_cast<VertexId>(rng.NextBounded(net.num_vertices()));
+    if (s == t) continue;
+    const auto paths = TopKShortestPaths(net, s, t, cost, 8);
+    ASSERT_FALSE(paths.empty());
+    std::set<std::vector<VertexId>> seen;
+    double prev_cost = 0.0;
+    for (const Path& p : paths) {
+      EXPECT_TRUE(ValidatePath(net, p).empty()) << ValidatePath(net, p);
+      EXPECT_TRUE(IsSimplePath(p));
+      EXPECT_EQ(p.source(), s);
+      EXPECT_EQ(p.destination(), t);
+      EXPECT_GE(p.cost, prev_cost - 1e-9);  // non-decreasing
+      prev_cost = p.cost;
+      EXPECT_TRUE(seen.insert(p.vertices).second) << "duplicate path";
+    }
+  }
+}
+
+TEST_P(YenProperty, EnumeratorMatchesOneShot) {
+  const RoadNetwork net = BuildTestNetwork(GetParam() + 50);
+  const auto cost = EdgeCostFn::Length(net);
+  YenEnumerator yen(net, 0, 63, cost);
+  std::vector<Path> incremental;
+  for (int i = 0; i < 6; ++i) {
+    auto p = yen.Next();
+    if (!p.has_value()) break;
+    incremental.push_back(*p);
+  }
+  const auto oneshot = TopKShortestPaths(net, 0, 63, cost, 6);
+  ASSERT_EQ(incremental.size(), oneshot.size());
+  for (size_t i = 0; i < oneshot.size(); ++i) {
+    EXPECT_NEAR(incremental[i].cost, oneshot[i].cost, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, YenProperty, ::testing::Values(2, 8, 18, 44));
+
+TEST(Yen, ExhaustsFiniteGraph) {
+  // Line graph: exactly one simple path between the endpoints.
+  RoadNetworkBuilder b;
+  for (int i = 0; i < 4; ++i) b.AddVertex({57.0 + 0.01 * i, 9.9});
+  for (int i = 0; i < 3; ++i) {
+    b.AddBidirectionalEdge(static_cast<VertexId>(i),
+                           static_cast<VertexId>(i + 1), 1.0,
+                           RoadCategory::kResidential);
+  }
+  const RoadNetwork net = b.Build();
+  const auto cost = EdgeCostFn::Length(net);
+  const auto paths = TopKShortestPaths(net, 0, 3, cost, 10);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(Yen, UnreachableYieldsEmpty) {
+  RoadNetworkBuilder b;
+  b.AddVertex({57.0, 9.9});
+  b.AddVertex({57.1, 9.9});
+  b.AddEdge(1, 0, 10.0, RoadCategory::kResidential);
+  const RoadNetwork net = b.Build();
+  const auto cost = EdgeCostFn::Length(net);
+  EXPECT_TRUE(TopKShortestPaths(net, 0, 1, cost, 3).empty());
+}
+
+class DiversifiedProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiversifiedProperty, PairwiseSimilarityRespectsThreshold) {
+  const RoadNetwork net = BuildTestNetwork(77);
+  const auto cost = EdgeCostFn::Length(net);
+  DiversifiedOptions options;
+  options.k = 6;
+  options.similarity_threshold = GetParam();
+  options.pad_with_rejected = false;  // strict mode for the property
+  pathrank::Rng rng(91);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto s = static_cast<VertexId>(rng.NextBounded(net.num_vertices()));
+    const auto t = static_cast<VertexId>(rng.NextBounded(net.num_vertices()));
+    if (s == t) continue;
+    const auto paths = DiversifiedTopK(net, s, t, cost, options);
+    for (size_t i = 0; i < paths.size(); ++i) {
+      for (size_t j = i + 1; j < paths.size(); ++j) {
+        EXPECT_LE(WeightedJaccard(net, paths[i].edges, paths[j].edges),
+                  GetParam() + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, DiversifiedProperty,
+                         ::testing::Values(0.3, 0.5, 0.8));
+
+TEST(Diversified, FirstPathIsShortest) {
+  const RoadNetwork net = BuildTestNetwork(5);
+  const auto cost = EdgeCostFn::Length(net);
+  Dijkstra dijkstra(net);
+  const auto sp = dijkstra.ShortestPath(3, 60, cost);
+  DiversifiedOptions options;
+  options.k = 5;
+  const auto paths = DiversifiedTopK(net, 3, 60, cost, options);
+  ASSERT_FALSE(paths.empty());
+  ASSERT_TRUE(sp.has_value());
+  EXPECT_NEAR(paths[0].cost, sp->cost, 1e-9);
+}
+
+TEST(Diversified, PaddingFillsUpToK) {
+  const RoadNetwork net = BuildTestNetwork(6);
+  const auto cost = EdgeCostFn::Length(net);
+  DiversifiedOptions strict;
+  strict.k = 8;
+  strict.similarity_threshold = 0.05;  // extremely strict
+  strict.pad_with_rejected = false;
+  DiversifiedOptions padded = strict;
+  padded.pad_with_rejected = true;
+  const auto strict_paths = DiversifiedTopK(net, 0, 63, cost, strict);
+  const auto padded_paths = DiversifiedTopK(net, 0, 63, cost, padded);
+  EXPECT_GE(padded_paths.size(), strict_paths.size());
+  EXPECT_LE(padded_paths.size(), 8u);
+  // Padded output stays sorted by cost.
+  for (size_t i = 1; i < padded_paths.size(); ++i) {
+    EXPECT_GE(padded_paths[i].cost, padded_paths[i - 1].cost - 1e-9);
+  }
+}
+
+TEST(Diversified, MoreDiverseThanTopK) {
+  const RoadNetwork net = BuildTestNetwork(9);
+  const auto cost = EdgeCostFn::Length(net);
+  DiversifiedOptions options;
+  options.k = 6;
+  options.similarity_threshold = 0.6;
+  pathrank::Rng rng(17);
+  double topk_sim = 0.0;
+  double div_sim = 0.0;
+  int pairs = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto s = static_cast<VertexId>(rng.NextBounded(net.num_vertices()));
+    const auto t = static_cast<VertexId>(rng.NextBounded(net.num_vertices()));
+    if (s == t) continue;
+    const auto topk = TopKShortestPaths(net, s, t, cost, options.k);
+    const auto div = DiversifiedTopK(net, s, t, cost, options);
+    const size_t n = std::min(topk.size(), div.size());
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        topk_sim += WeightedJaccard(net, topk[i].edges, topk[j].edges);
+        div_sim += WeightedJaccard(net, div[i].edges, div[j].edges);
+        ++pairs;
+      }
+    }
+  }
+  ASSERT_GT(pairs, 0);
+  // The diversified sets must be meaningfully less self-similar.
+  EXPECT_LT(div_sim, topk_sim);
+}
+
+}  // namespace
+}  // namespace pathrank::routing

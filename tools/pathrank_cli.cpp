@@ -1,0 +1,233 @@
+// pathrank_cli — command-line front end for the full pipeline, with file
+// persistence between stages so each step can run as a separate process:
+//
+//   pathrank_cli network  --rows 20 --cols 20 --seed 1 --out net
+//   pathrank_cli simulate --network net --trips 700 --drivers 40 \
+//                         --out trips.csv
+//   pathrank_cli train    --network net --trips trips.csv --m 64 \
+//                         --strategy dtkdi --epochs 20 --out model.bin
+//   pathrank_cli evaluate --network net --trips trips.csv --model model.bin
+//   pathrank_cli rank     --network net --model model.bin --from 12 --to 245
+//
+// Networks are stored as the CSV pair written by graph::SaveNetworkCsv,
+// trips as traj::SaveTrips CSV, models as core::SaveModel checkpoints.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "core/model_io.h"
+#include "core/pathrank.h"
+#include "graph/graph_io.h"
+#include "traj/trip_io.h"
+
+namespace {
+
+using namespace pathrank;
+
+/// Minimal --flag value parser; every flag takes exactly one value.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+        std::exit(2);
+      }
+      values_[key.substr(2)] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it != values_.end() ? it->second : fallback;
+  }
+
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it != values_.end() ? std::stoi(it->second) : fallback;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it != values_.end() ? std::stod(it->second) : fallback;
+  }
+
+  std::string Require(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+data::CandidateStrategy ParseStrategy(const std::string& name) {
+  if (name == "tkdi" || name == "topk") return data::CandidateStrategy::kTopK;
+  if (name == "dtkdi" || name == "div") {
+    return data::CandidateStrategy::kDiversifiedTopK;
+  }
+  if (name == "penalty") return data::CandidateStrategy::kPenalty;
+  std::fprintf(stderr, "unknown strategy: %s (tkdi|dtkdi|penalty)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+int CmdNetwork(const Args& args) {
+  graph::SyntheticNetworkConfig cfg;
+  cfg.rows = args.GetInt("rows", 20);
+  cfg.cols = args.GetInt("cols", 20);
+  cfg.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const auto network = graph::BuildSyntheticNetwork(cfg);
+  const std::string out = args.Require("out");
+  graph::SaveNetworkCsv(network, out);
+  std::printf("wrote %s_vertices.csv / %s_edges.csv (%s)\n", out.c_str(),
+              out.c_str(), network.Summary().c_str());
+  return 0;
+}
+
+int CmdSimulate(const Args& args) {
+  const auto network = graph::LoadNetworkCsv(args.Require("network"));
+  traj::TrajectoryGeneratorConfig cfg;
+  cfg.num_trips = args.GetInt("trips", 700);
+  cfg.num_drivers = args.GetInt("drivers", 40);
+  cfg.min_trip_distance_m = args.GetDouble("min-distance", 2500.0);
+  cfg.max_path_vertices = args.GetInt("max-vertices", 60);
+  cfg.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  const auto trips = traj::TrajectoryGenerator(network, cfg).Generate();
+  const std::string out = args.Require("out");
+  traj::SaveTrips(trips, out);
+  std::printf("wrote %zu trips to %s\n", trips.size(), out.c_str());
+  return 0;
+}
+
+data::RankingDataset BuildDataset(const graph::RoadNetwork& network,
+                                  const std::vector<traj::TripPath>& trips,
+                                  const Args& args) {
+  data::CandidateGenConfig gen;
+  gen.strategy = ParseStrategy(args.Get("strategy", "dtkdi"));
+  gen.k = args.GetInt("k", 10);
+  gen.similarity_threshold = args.GetDouble("threshold", 0.6);
+  data::RankingDataset dataset;
+  dataset.queries = data::GenerateQueries(network, trips, gen);
+  return dataset;
+}
+
+int CmdTrain(const Args& args) {
+  const auto network = graph::LoadNetworkCsv(args.Require("network"));
+  const auto trips = traj::LoadTrips(network, args.Require("trips"));
+  auto dataset = BuildDataset(network, trips, args);
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 11)));
+  const auto split = data::SplitDataset(dataset, 0.8, 0.1, rng);
+
+  const int m = args.GetInt("m", 64);
+  embedding::Node2VecConfig n2v;
+  n2v.skipgram.dims = m;
+  n2v.seed = static_cast<uint64_t>(args.GetInt("seed", 11)) + 1;
+  std::printf("training node2vec (%d dims)...\n", m);
+  const auto table = embedding::TrainNode2Vec(network, n2v);
+
+  core::PathRankConfig model_cfg;
+  model_cfg.embedding_dim = static_cast<size_t>(m);
+  model_cfg.hidden_size = static_cast<size_t>(args.GetInt("hidden", 64));
+  model_cfg.finetune_embedding = args.GetInt("finetune", 1) != 0;
+  model_cfg.multi_task = args.GetInt("multitask", 0) != 0;
+  core::PathRankModel model(network.num_vertices(), model_cfg);
+  model.InitializeEmbedding(table);
+
+  core::TrainerConfig train_cfg;
+  train_cfg.epochs = args.GetInt("epochs", 20);
+  train_cfg.learning_rate = args.GetDouble("lr", 3e-3);
+  train_cfg.verbose = true;
+  SetLogLevel(LogLevel::kInfo);
+  std::printf("training PathRank (%s)...\n",
+              model_cfg.VariantName().c_str());
+  core::TrainPathRank(model, split.train, split.validation, train_cfg);
+
+  const auto result = core::Evaluate(model, split.test);
+  std::printf("held-out test: %s\n", result.ToString().c_str());
+  const std::string out = args.Require("out");
+  core::SaveModel(model, out);
+  std::printf("wrote model checkpoint to %s\n", out.c_str());
+  return 0;
+}
+
+int CmdEvaluate(const Args& args) {
+  const auto network = graph::LoadNetworkCsv(args.Require("network"));
+  const auto trips = traj::LoadTrips(network, args.Require("trips"));
+  auto dataset = BuildDataset(network, trips, args);
+  auto model = core::LoadModel(args.Require("model"));
+  if (model->vocab_size() != network.num_vertices()) {
+    std::fprintf(stderr, "model/network vertex-count mismatch\n");
+    return 1;
+  }
+  const auto result = core::Evaluate(*model, dataset);
+  std::printf("%s\n", result.ToString().c_str());
+  return 0;
+}
+
+int CmdRank(const Args& args) {
+  const auto network = graph::LoadNetworkCsv(args.Require("network"));
+  auto model = core::LoadModel(args.Require("model"));
+  const auto from = static_cast<graph::VertexId>(args.GetInt("from", 0));
+  const auto to = static_cast<graph::VertexId>(
+      args.GetInt("to", static_cast<int>(network.num_vertices()) - 1));
+  if (from >= network.num_vertices() || to >= network.num_vertices()) {
+    std::fprintf(stderr, "vertex id out of range\n");
+    return 1;
+  }
+  core::Ranker ranker(network, *model);
+  data::CandidateGenConfig gen;
+  gen.strategy = ParseStrategy(args.Get("strategy", "dtkdi"));
+  gen.k = args.GetInt("k", 10);
+  const auto ranked = ranker.Rank(from, to, gen);
+  std::printf("%zu candidates for %u -> %u:\n", ranked.size(), from, to);
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    std::printf("#%zu score=%.4f length=%.0fm time=%.0fs vertices=%zu\n",
+                i + 1, ranked[i].score, ranked[i].path.length_m,
+                ranked[i].path.time_s, ranked[i].path.num_vertices());
+  }
+  return 0;
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: pathrank_cli <command> [--flag value ...]\n"
+      "commands:\n"
+      "  network   --out PREFIX [--rows N --cols N --seed S]\n"
+      "  simulate  --network PREFIX --out TRIPS.csv [--trips N --drivers N]\n"
+      "  train     --network PREFIX --trips TRIPS.csv --out MODEL.bin\n"
+      "            [--strategy tkdi|dtkdi|penalty --k K --m M --hidden H\n"
+      "             --epochs E --lr LR --finetune 0|1 --multitask 0|1]\n"
+      "  evaluate  --network PREFIX --trips TRIPS.csv --model MODEL.bin\n"
+      "  rank      --network PREFIX --model MODEL.bin --from V --to V\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (command == "network") return CmdNetwork(args);
+    if (command == "simulate") return CmdSimulate(args);
+    if (command == "train") return CmdTrain(args);
+    if (command == "evaluate") return CmdEvaluate(args);
+    if (command == "rank") return CmdRank(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  PrintUsage();
+  return 2;
+}
