@@ -1,0 +1,268 @@
+// Throughput benchmark for the parallel compute engine: GEMM GFLOP/s,
+// training epoch time, random-walk generation and candidate generation at
+// 1/2/4/N threads. Emits BENCH_throughput.json (override the path with
+// PATHRANK_BENCH_OUT) so the perf trajectory is tracked across PRs.
+//
+//   bench_throughput                  run and write the JSON
+//   bench_throughput --check BASELINE additionally compare every metric
+//                                     against the committed baseline with
+//                                     a relative tolerance
+//                                     (PATHRANK_BENCH_TOLERANCE, def 0.30)
+//                                     and exit non-zero on regression.
+//
+// PATHRANK_BENCH_SCALE (tiny|small|paper) sizes the workload.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "experiment_common.h"
+
+namespace {
+
+using namespace pathrank;
+
+/// Flat metric map: name -> value. Names ending in "_per_s" or containing
+/// "gflops" are throughput (higher is better); names ending in "_s" are
+/// seconds (lower is better).
+using Metrics = std::map<std::string, double>;
+
+std::vector<size_t> ThreadCounts() {
+  const size_t hw = std::max<unsigned>(1, std::thread::hardware_concurrency());
+  std::vector<size_t> counts = {1, 2, 4, hw};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+void BenchGemm(const std::vector<size_t>& thread_counts, Metrics* metrics) {
+  constexpr size_t kDim = 256;
+  Rng rng(1);
+  nn::Matrix a(kDim, kDim);
+  nn::Matrix b(kDim, kDim);
+  nn::Matrix c(kDim, kDim);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.NextUniform(-1, 1));
+    b.data()[i] = static_cast<float>(rng.NextUniform(-1, 1));
+  }
+  const double flops_per_call = 2.0 * kDim * kDim * kDim;
+  for (size_t threads : thread_counts) {
+    SetNumThreads(threads);
+    nn::GemmNN(a, b, &c);  // warm-up
+    int reps = 0;
+    Stopwatch watch;
+    while (watch.ElapsedSeconds() < 0.5) {
+      nn::GemmNN(a, b, &c);
+      ++reps;
+    }
+    const double seconds = watch.ElapsedSeconds();
+    const double gflops = flops_per_call * reps / seconds * 1e-9;
+    (*metrics)["gemm256_gflops_t" + std::to_string(threads)] = gflops;
+    std::printf("gemm 256^3  threads=%zu  %.2f GFLOP/s\n", threads, gflops);
+  }
+}
+
+void BenchTraining(const bench::ExperimentScale& scale,
+                   const bench::Workload& workload,
+                   const std::vector<size_t>& thread_counts,
+                   Metrics* metrics) {
+  const int epochs = 2;
+  for (size_t threads : thread_counts) {
+    SetNumThreads(threads);
+    core::PathRankConfig model_cfg;
+    model_cfg.embedding_dim = 64;
+    model_cfg.hidden_size = scale.hidden_size;
+    model_cfg.seed = 7;
+    core::PathRankModel model(workload.network.num_vertices(), model_cfg);
+
+    core::TrainerConfig train_cfg;
+    train_cfg.epochs = epochs;
+    train_cfg.batch_size = 32;
+    train_cfg.seed = 17;
+
+    Stopwatch watch;
+    // Empty validation set: measures the pure training path.
+    const auto history = core::TrainPathRank(model, workload.split.train,
+                                             data::RankingDataset{},
+                                             train_cfg);
+    const double per_epoch =
+        watch.ElapsedSeconds() / static_cast<double>(history.epochs.size());
+    (*metrics)["train_epoch_s_t" + std::to_string(threads)] = per_epoch;
+    std::printf("train epoch threads=%zu  %.3f s/epoch (loss %.5f)\n",
+                threads, per_epoch, history.epochs.back().train_loss);
+  }
+}
+
+void BenchWalks(const bench::ExperimentScale& scale,
+                const bench::Workload& workload,
+                const std::vector<size_t>& thread_counts, Metrics* metrics) {
+  embedding::RandomWalkConfig cfg;
+  cfg.walk_length = scale.node2vec_walk_length;
+  cfg.walks_per_vertex = scale.node2vec_walks;
+  const embedding::RandomWalker walker(workload.network, cfg);
+  for (size_t threads : thread_counts) {
+    SetNumThreads(threads);
+    Rng rng(99);
+    Stopwatch watch;
+    size_t walks = 0;
+    do {
+      walks += walker.GenerateCorpus(rng).size();
+    } while (watch.ElapsedSeconds() < 0.5);
+    const double rate = static_cast<double>(walks) / watch.ElapsedSeconds();
+    (*metrics)["walks_per_s_t" + std::to_string(threads)] = rate;
+    std::printf("walks       threads=%zu  %.0f walks/s\n", threads, rate);
+  }
+}
+
+void BenchCandidates(const bench::ExperimentScale& scale,
+                     const bench::Workload& workload,
+                     const std::vector<size_t>& thread_counts,
+                     Metrics* metrics) {
+  data::CandidateGenConfig cfg;
+  cfg.strategy = data::CandidateStrategy::kDiversifiedTopK;
+  cfg.k = scale.candidates_k;
+  cfg.similarity_threshold = 0.6;
+  cfg.max_enumerated = 300;
+  // A slice of the workload's trips keeps the serial run bounded.
+  const size_t num_trips = std::min<size_t>(workload.trips.size(), 64);
+  const std::vector<traj::TripPath> trips(
+      workload.trips.begin(), workload.trips.begin() + num_trips);
+  for (size_t threads : thread_counts) {
+    SetNumThreads(threads);
+    Stopwatch watch;
+    const auto queries = data::GenerateQueries(workload.network, trips, cfg);
+    size_t candidates = 0;
+    for (const auto& query : queries) candidates += query.candidates.size();
+    const double rate =
+        static_cast<double>(candidates) / watch.ElapsedSeconds();
+    (*metrics)["candidates_per_s_t" + std::to_string(threads)] = rate;
+    std::printf("candidates  threads=%zu  %.0f candidates/s\n", threads,
+                rate);
+  }
+}
+
+void WriteJson(const std::string& path, const std::string& scale_name,
+               const Metrics& metrics) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"scale\": \"" << scale_name << "\",\n";
+  out << "  \"hardware_concurrency\": "
+      << std::max<unsigned>(1, std::thread::hardware_concurrency()) << ",\n";
+  out << "  \"metrics\": {\n";
+  size_t i = 0;
+  char buf[64];
+  for (const auto& [name, value] : metrics) {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out << "    \"" << name << "\": " << buf
+        << (++i < metrics.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Minimal reader for the "metrics" object this tool writes: scans for
+/// `"name": number` pairs. Good enough for regression checking without a
+/// JSON dependency.
+Metrics ReadMetrics(const std::string& path) {
+  Metrics metrics;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+    return metrics;
+  }
+  std::string line;
+  bool in_metrics = false;
+  while (std::getline(in, line)) {
+    if (line.find("\"metrics\"") != std::string::npos) {
+      in_metrics = true;
+      continue;
+    }
+    if (!in_metrics) continue;
+    const size_t q1 = line.find('"');
+    if (q1 == std::string::npos) continue;
+    const size_t q2 = line.find('"', q1 + 1);
+    const size_t colon = line.find(':', q2);
+    if (q2 == std::string::npos || colon == std::string::npos) continue;
+    const std::string name = line.substr(q1 + 1, q2 - q1 - 1);
+    metrics[name] = std::strtod(line.c_str() + colon + 1, nullptr);
+  }
+  return metrics;
+}
+
+bool HigherIsBetter(const std::string& name) {
+  return name.find("_per_s") != std::string::npos ||
+         name.find("gflops") != std::string::npos;
+}
+
+int CheckAgainstBaseline(const Metrics& fresh, const std::string& baseline_path,
+                         double tolerance) {
+  const Metrics baseline = ReadMetrics(baseline_path);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "no baseline metrics found in %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  int failures = 0;
+  for (const auto& [name, base_value] : baseline) {
+    const auto it = fresh.find(name);
+    if (it == fresh.end()) {
+      std::fprintf(stderr, "MISSING  %s (in baseline, not measured)\n",
+                   name.c_str());
+      ++failures;
+      continue;
+    }
+    const double value = it->second;
+    bool ok;
+    if (HigherIsBetter(name)) {
+      ok = value >= base_value * (1.0 - tolerance);
+    } else {
+      ok = value <= base_value * (1.0 + tolerance);
+    }
+    std::printf("%-8s %-28s base=%-12.6g now=%-12.6g\n",
+                ok ? "OK" : "REGRESSED", name.c_str(), base_value, value);
+    if (!ok) ++failures;
+  }
+  return failures > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+
+  const bench::ExperimentScale scale = bench::ResolveScale();
+  std::printf("scale=%s hardware_concurrency=%u\n", scale.name.c_str(),
+              std::max<unsigned>(1, std::thread::hardware_concurrency()));
+  const bench::Workload workload = bench::BuildWorkload(
+      scale, data::CandidateStrategy::kDiversifiedTopK);
+  const std::vector<size_t> thread_counts = ThreadCounts();
+
+  Metrics metrics;
+  BenchGemm(thread_counts, &metrics);
+  BenchWalks(scale, workload, thread_counts, &metrics);
+  BenchCandidates(scale, workload, thread_counts, &metrics);
+  BenchTraining(scale, workload, thread_counts, &metrics);
+
+  const std::string out_path =
+      EnvString("PATHRANK_BENCH_OUT", "BENCH_throughput.json");
+  WriteJson(out_path, scale.name, metrics);
+
+  if (!baseline_path.empty()) {
+    const double tolerance = EnvDouble("PATHRANK_BENCH_TOLERANCE", 0.30);
+    return CheckAgainstBaseline(metrics, baseline_path, tolerance);
+  }
+  return 0;
+}

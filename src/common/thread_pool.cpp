@@ -1,0 +1,268 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+
+namespace pathrank {
+namespace {
+
+/// True while this thread is executing chunks of a parallel region (pool
+/// worker or the region's caller); nested regions are collapsed to serial
+/// execution instead of deadlocking the pool.
+thread_local bool t_in_parallel_region = false;
+
+/// One blocking parallel region: workers and the caller pull chunk indices
+/// from a shared counter until exhausted. A fresh Batch lives on the
+/// caller's stack per region; the pool threads persist.
+struct Batch {
+  size_t num_chunks = 0;
+  std::function<void(size_t)> run_chunk;  // invoked with the chunk index
+
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> done_chunks{0};
+  std::atomic<size_t> active_workers{0};  // pool workers inside Work()
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  /// Claims and runs chunks until none remain.
+  void Work() {
+    const bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    for (;;) {
+      const size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) break;
+      try {
+        run_chunk(chunk);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      done_chunks.fetch_add(1, std::memory_order_release);
+    }
+    t_in_parallel_region = was_in_region;
+  }
+
+  bool Finished() const {
+    return done_chunks.load(std::memory_order_acquire) == num_chunks;
+  }
+};
+
+class ThreadPool {
+ public:
+  static ThreadPool& Global() {
+    static ThreadPool* pool = new ThreadPool();  // leaked: outlives statics
+    return *pool;
+  }
+
+  size_t num_threads() const { return num_threads_; }
+
+  void Resize(size_t n) {
+    if (n == 0) n = DefaultThreads();
+    std::lock_guard<std::mutex> region_lock(region_mutex_);
+    if (n == num_threads_) return;
+    StopWorkers();
+    num_threads_ = n;
+    StartWorkers();
+  }
+
+  /// Executes `batch`; the calling thread participates. Blocks until every
+  /// chunk finished, then rethrows the first chunk exception, if any.
+  void Run(Batch& batch) {
+    std::unique_lock<std::mutex> region_lock(region_mutex_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      current_ = &batch;
+    }
+    wake_.notify_all();
+    batch.Work();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // Wait for the last chunk AND for every worker to step out of the
+      // batch, so it can be destroyed as soon as Run returns.
+      finished_.wait(lock, [&] {
+        return batch.Finished() &&
+               batch.active_workers.load(std::memory_order_acquire) == 0;
+      });
+      current_ = nullptr;
+      ++region_seq_;
+    }
+    idle_.notify_all();
+    if (batch.first_error) std::rethrow_exception(batch.first_error);
+  }
+
+ private:
+  ThreadPool() {
+    const int64_t env = EnvInt("PATHRANK_THREADS", 0);
+    num_threads_ = env > 0 ? static_cast<size_t>(env) : DefaultThreads();
+    StartWorkers();
+  }
+
+  static size_t DefaultThreads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<size_t>(hw) : 1;
+  }
+
+  void StartWorkers() {
+    stop_ = false;
+    // The caller participates in every region, so N threads of compute
+    // need only N - 1 pool workers.
+    const size_t helpers = num_threads_ > 0 ? num_threads_ - 1 : 0;
+    workers_.reserve(helpers);
+    for (size_t i = 0; i < helpers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void StopWorkers() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    idle_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      Batch* batch = nullptr;
+      uint64_t my_region = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] {
+          return stop_ || (current_ != nullptr && !current_->Finished());
+        });
+        if (stop_) return;
+        batch = current_;
+        my_region = region_seq_;
+        // Registered under the mutex: the region owner cannot observe
+        // completion (and destroy the batch) before this worker is
+        // counted in.
+        batch->active_workers.fetch_add(1, std::memory_order_acq_rel);
+      }
+      batch->Work();
+      batch->active_workers.fetch_sub(1, std::memory_order_acq_rel);
+      // Lock-then-notify so the completion cannot slip into the window
+      // between the region owner's predicate check and its sleep.
+      { std::lock_guard<std::mutex> lock(mutex_); }
+      finished_.notify_all();
+      // Park until this region is retired (or shutdown); otherwise the
+      // wake_ predicate would spin on the still-current batch.
+      std::unique_lock<std::mutex> lock(mutex_);
+      idle_.wait(lock, [&] { return stop_ || region_seq_ != my_region; });
+      if (stop_) return;
+    }
+  }
+
+  std::mutex region_mutex_;  // serialises Run()/Resize() callers
+  std::mutex mutex_;
+  std::condition_variable wake_;      // new region available or shutdown
+  std::condition_variable finished_;  // last chunk of a region done
+  std::condition_variable idle_;      // region retired
+  Batch* current_ = nullptr;
+  uint64_t region_seq_ = 0;  // bumped when a region retires
+  bool stop_ = false;
+  size_t num_threads_ = 1;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+size_t GetNumThreads() { return ThreadPool::Global().num_threads(); }
+
+void SetNumThreads(size_t n) { ThreadPool::Global().Resize(n); }
+
+size_t NumShardsFor(size_t range, size_t max_shards) {
+  if (range == 0) return 0;
+  size_t shards = max_shards > 0 ? max_shards : GetNumThreads();
+  return std::min(shards > 0 ? shards : 1, range);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t range = end - begin;
+  if (grain == 0) grain = 1;
+  const size_t threads = GetNumThreads();
+  size_t num_chunks = (range + grain - 1) / grain;
+  // A few chunks per worker load-balances uneven work without flooding
+  // the chunk counter.
+  num_chunks = std::min(num_chunks, threads * 4);
+
+  if (threads == 1 || num_chunks <= 1 || t_in_parallel_region) {
+    const bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    try {
+      fn(begin, end);
+    } catch (...) {
+      t_in_parallel_region = was_in_region;
+      throw;
+    }
+    t_in_parallel_region = was_in_region;
+    return;
+  }
+
+  const size_t chunk_size = (range + num_chunks - 1) / num_chunks;
+  Batch batch;
+  batch.num_chunks = (range + chunk_size - 1) / chunk_size;
+  batch.run_chunk = [&](size_t chunk) {
+    const size_t lo = begin + chunk * chunk_size;
+    const size_t hi = std::min(end, lo + chunk_size);
+    fn(lo, hi);
+  };
+  ThreadPool::Global().Run(batch);
+}
+
+void ParallelForShards(
+    size_t begin, size_t end,
+    const std::function<void(size_t, size_t, size_t)>& fn,
+    size_t max_shards) {
+  if (begin >= end) return;
+  const size_t range = end - begin;
+  const size_t shards = NumShardsFor(range, max_shards);
+  // Fixed decomposition: depends only on (range, shards), never on which
+  // worker runs which shard, so shard-ordered reductions are
+  // bit-reproducible for a fixed shard count.
+  const size_t base = range / shards;
+  const size_t extra = range % shards;
+  auto shard_bounds = [&](size_t s) {
+    const size_t lo = begin + s * base + std::min(s, extra);
+    return std::pair<size_t, size_t>(lo, lo + base + (s < extra ? 1 : 0));
+  };
+
+  if (shards == 1 || GetNumThreads() == 1 || t_in_parallel_region) {
+    const bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    try {
+      for (size_t s = 0; s < shards; ++s) {
+        const auto [lo, hi] = shard_bounds(s);
+        fn(s, lo, hi);
+      }
+    } catch (...) {
+      t_in_parallel_region = was_in_region;
+      throw;
+    }
+    t_in_parallel_region = was_in_region;
+    return;
+  }
+
+  Batch batch;
+  batch.num_chunks = shards;
+  batch.run_chunk = [&](size_t s) {
+    const auto [lo, hi] = shard_bounds(s);
+    fn(s, lo, hi);
+  };
+  ThreadPool::Global().Run(batch);
+}
+
+}  // namespace pathrank

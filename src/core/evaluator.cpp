@@ -1,10 +1,44 @@
 #include "core/evaluator.h"
 
+#include <memory>
+
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "metrics/ranking_metrics.h"
 
 namespace pathrank::core {
+namespace {
+
+/// Scores one query's candidate set with `model`.
+void ScoreQuery(PathRankModel& model, const data::RankingQuery& query,
+                std::vector<double>* predicted, std::vector<double>* truth) {
+  std::vector<std::vector<int32_t>> seqs;
+  seqs.reserve(query.candidates.size());
+  truth->reserve(query.candidates.size());
+  for (const auto& cand : query.candidates) {
+    std::vector<int32_t> seq;
+    seq.reserve(cand.path.vertices.size());
+    for (graph::VertexId v : cand.path.vertices) {
+      seq.push_back(static_cast<int32_t>(v));
+    }
+    seqs.push_back(std::move(seq));
+    truth->push_back(cand.label);
+  }
+  const auto batch = nn::SequenceBatch::FromSequences(seqs);
+  const std::vector<float> scores = model.Forward(batch);
+  predicted->assign(scores.begin(), scores.end());
+}
+
+/// Single source of truth for the evaluation shard count: below 16
+/// queries the replica/dispatch overhead outweighs the parallelism.
+/// `max_shards` of 0 caps at the pool size.
+size_t EvalShards(size_t num_queries, size_t max_shards) {
+  if (num_queries < 16) return 1;
+  return std::max<size_t>(1, NumShardsFor(num_queries, max_shards));
+}
+
+}  // namespace
 
 std::string EvalResult::ToString() const {
   return StrFormat(
@@ -14,26 +48,54 @@ std::string EvalResult::ToString() const {
 
 EvalResult Evaluate(PathRankModel& model,
                     const data::RankingDataset& dataset) {
-  metrics::MetricAccumulator acc;
-  for (const auto& query : dataset.queries) {
-    if (query.candidates.empty()) continue;
-    std::vector<std::vector<int32_t>> seqs;
-    std::vector<double> truth;
-    seqs.reserve(query.candidates.size());
-    truth.reserve(query.candidates.size());
-    for (const auto& cand : query.candidates) {
-      std::vector<int32_t> seq;
-      seq.reserve(cand.path.vertices.size());
-      for (graph::VertexId v : cand.path.vertices) {
-        seq.push_back(static_cast<int32_t>(v));
-      }
-      seqs.push_back(std::move(seq));
-      truth.push_back(cand.label);
+  // Forward caches make a model non-reentrant, so parallel evaluation
+  // runs one replica per shard (shard 0 scores with the caller's model).
+  const size_t num_shards = EvalShards(dataset.queries.size(), 0);
+  std::vector<std::unique_ptr<PathRankModel>> replicas;
+  std::vector<PathRankModel*> models(num_shards, &model);
+  for (size_t s = 1; s < num_shards; ++s) {
+    replicas.push_back(std::make_unique<PathRankModel>(model.vocab_size(),
+                                                       model.config()));
+    replicas.back()->CopyParametersFrom(model);
+    models[s] = replicas.back().get();
+  }
+  return EvaluateWithReplicas(models, dataset);
+}
+
+EvalResult EvaluateWithReplicas(const std::vector<PathRankModel*>& models,
+                                const data::RankingDataset& dataset) {
+  PR_CHECK(!models.empty());
+  const size_t num_queries = dataset.queries.size();
+  // Scores are identical for any shard count — GEMM is bitwise stable and
+  // replicas share the exact parameter values — and metrics are
+  // accumulated in query order afterwards.
+  const size_t num_shards = EvalShards(num_queries, models.size());
+  std::vector<std::vector<double>> predicted(num_queries);
+  std::vector<std::vector<double>> truth(num_queries);
+
+  if (num_shards <= 1) {
+    for (size_t q = 0; q < num_queries; ++q) {
+      if (dataset.queries[q].candidates.empty()) continue;
+      ScoreQuery(*models[0], dataset.queries[q], &predicted[q], &truth[q]);
     }
-    const auto batch = nn::SequenceBatch::FromSequences(seqs);
-    const std::vector<float> scores = model.Forward(batch);
-    std::vector<double> predicted(scores.begin(), scores.end());
-    acc.AddQuery(predicted, truth);
+  } else {
+    ParallelForShards(
+        0, num_queries,
+        [&](size_t shard, size_t lo, size_t hi) {
+          PathRankModel& shard_model = *models[shard];
+          for (size_t q = lo; q < hi; ++q) {
+            if (dataset.queries[q].candidates.empty()) continue;
+            ScoreQuery(shard_model, dataset.queries[q], &predicted[q],
+                       &truth[q]);
+          }
+        },
+        num_shards);
+  }
+
+  metrics::MetricAccumulator acc;
+  for (size_t q = 0; q < num_queries; ++q) {
+    if (predicted[q].empty()) continue;
+    acc.AddQuery(predicted[q], truth[q]);
   }
 
   EvalResult result;

@@ -24,6 +24,14 @@ struct EvalResult {
 };
 
 /// Scores every query's candidates with `model` and accumulates metrics.
+/// Parallel shards evaluate on internally-constructed replicas.
 EvalResult Evaluate(PathRankModel& model, const data::RankingDataset& dataset);
+
+/// Same, but shards across caller-owned `models` — all entries must hold
+/// bitwise-identical parameters (e.g. the trainer's data-parallel
+/// replicas), which avoids rebuilding replicas on every call. models[0]
+/// is used for the serial path.
+EvalResult EvaluateWithReplicas(const std::vector<PathRankModel*>& models,
+                                const data::RankingDataset& dataset);
 
 }  // namespace pathrank::core

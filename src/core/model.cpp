@@ -35,10 +35,10 @@ void MeanPoolBackward(const nn::Matrix& d_pooled,
                       std::vector<nn::Matrix>* d_h_steps) {
   const size_t batch = d_pooled.rows();
   const size_t hidden = d_pooled.cols();
-  d_h_steps->assign(num_steps, nn::Matrix());
+  if (d_h_steps->size() != num_steps) d_h_steps->resize(num_steps);
   for (size_t t = 0; t < num_steps; ++t) {
     nn::Matrix& d = (*d_h_steps)[t];
-    d.Resize(batch, hidden);
+    d.Resize(batch, hidden);  // zero-fill: padded rows must carry 0 grad
     for (size_t b = 0; b < batch; ++b) {
       if (static_cast<int32_t>(t) >= lengths[b]) continue;
       const float inv = 1.0f / static_cast<float>(lengths[b]);
@@ -90,7 +90,7 @@ PathRankModel::Outputs PathRankModel::ForwardFull(
   const size_t B = batch.batch_size;
   const size_t H = config_.hidden_size;
 
-  x_steps_.assign(T, nn::Matrix());
+  if (x_steps_.size() != T) x_steps_.resize(T);
   for (size_t t = 0; t < T; ++t) {
     embedding_->Lookup(batch_, t, &x_steps_[t]);
   }
@@ -102,7 +102,7 @@ PathRankModel::Outputs PathRankModel::ForwardFull(
 
   if (config_.bidirectional) {
     batch_rev_ = batch_.Reversed();
-    x_steps_rev_.assign(T, nn::Matrix());
+    if (x_steps_rev_.size() != T) x_steps_rev_.resize(T);
     for (size_t t = 0; t < T; ++t) {
       embedding_->Lookup(batch_rev_, t, &x_steps_rev_[t]);
     }
@@ -112,7 +112,7 @@ PathRankModel::Outputs PathRankModel::ForwardFull(
       MeanPool(*bwd_cell_, batch_rev_.lengths, T, &repr_bwd);
     }
 
-    concat_h_.Resize(B, 2 * H);
+    concat_h_.ResizeNoZero(B, 2 * H);  // fully overwritten below
     for (size_t b = 0; b < B; ++b) {
       float* dst = concat_h_.row(b);
       std::copy(repr_fwd.row(b), repr_fwd.row(b) + H, dst);
@@ -227,6 +227,17 @@ void PathRankModel::BackwardFull(const std::vector<float>& d_scores,
     for (size_t t = 0; t < T; ++t) {
       embedding_->AccumulateGrad(batch_, t, d_x_steps[t]);
     }
+  }
+}
+
+void PathRankModel::CopyParametersFrom(PathRankModel& other) {
+  const nn::ParameterList src = other.Parameters();
+  const nn::ParameterList dst = Parameters();
+  PR_CHECK(src.size() == dst.size()) << "architecture mismatch";
+  for (size_t i = 0; i < src.size(); ++i) {
+    PR_CHECK(dst[i]->value.SameShape(src[i]->value))
+        << dst[i]->name << " shape mismatch";
+    dst[i]->value = src[i]->value;
   }
 }
 

@@ -58,6 +58,11 @@ class PathRankModel {
   /// All trainable parameters (embedding respects the PR-A1 freeze).
   nn::ParameterList Parameters();
 
+  /// Copies every parameter value from `other` (must share architecture).
+  /// Used to build data-parallel worker replicas that then stay bitwise in
+  /// sync by applying identical reduced-gradient updates.
+  void CopyParametersFrom(PathRankModel& other);
+
   const PathRankConfig& config() const { return config_; }
   size_t vocab_size() const { return embedding_->vocab_size(); }
 

@@ -1,21 +1,30 @@
 #include "core/trainer.h"
 
+#include <algorithm>
 #include <limits>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 
 namespace pathrank::core {
 namespace {
 
-/// Snapshot/restore of parameter values (for best-epoch restoration).
-std::vector<nn::Matrix> SnapshotValues(const nn::ParameterList& params) {
-  std::vector<nn::Matrix> snap;
-  snap.reserve(params.size());
-  for (const nn::Parameter* p : params) snap.push_back(p->value);
-  return snap;
+/// Copies parameter values into `snap`, reusing its storage (the snapshot
+/// is refreshed on every validation improvement, so reallocation here was
+/// measurable on small workloads).
+void SnapshotValuesInto(const nn::ParameterList& params,
+                        std::vector<nn::Matrix>* snap) {
+  snap->resize(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    nn::Matrix& dst = (*snap)[i];
+    const nn::Matrix& src = params[i]->value;
+    dst.ResizeNoZero(src.rows(), src.cols());
+    std::copy(src.data(), src.data() + src.size(), dst.data());
+  }
 }
 
 void RestoreValues(const nn::ParameterList& params,
@@ -25,6 +34,22 @@ void RestoreValues(const nn::ParameterList& params,
     params[i]->value = snap[i];
   }
 }
+
+/// Per-worker state for data-parallel training. Worker 0 aliases the
+/// caller's model; workers 1..W-1 own replicas initialised to identical
+/// values and refreshed by a value broadcast after each optimizer step,
+/// so all replicas stay bitwise equal throughout.
+struct Worker {
+  PathRankModel* model = nullptr;
+  std::unique_ptr<PathRankModel> owned;
+  nn::ParameterList params;
+  // Per-batch scratch (loss gradients) and per-group results.
+  std::vector<float> d_scores;
+  std::vector<float> d_aux_length;
+  std::vector<float> d_aux_time;
+  double group_loss = 0.0;     // loss * examples for the last shard
+  size_t group_examples = 0;
+};
 
 }  // namespace
 
@@ -36,77 +61,156 @@ TrainHistory TrainPathRank(PathRankModel& model,
   pathrank::Rng rng(config.seed);
   data::Batcher batcher(data::FlattenDataset(train), config.batch_size);
 
-  nn::Adam optimizer(config.learning_rate);
   nn::ScheduleConfig schedule;
   schedule.type = config.schedule;
   schedule.base_lr = config.learning_rate;
   schedule.total_epochs = config.epochs;
   schedule.min_lr = config.learning_rate * 0.01;
 
-  const nn::ParameterList params = model.Parameters();
+  // Data-parallel setup: W consecutive batches form one optimizer-step
+  // group; each worker computes gradients for one batch and the ordered
+  // mean over the group is applied everywhere. W == 1 reproduces the
+  // serial per-batch schedule exactly. Results depend on W (the effective
+  // batch size is W * batch_size) but are bit-reproducible for a fixed
+  // seed and thread count.
+  const size_t num_workers =
+      std::max<size_t>(1, NumShardsFor(batcher.num_batches()));
+  std::vector<Worker> workers(num_workers);
+  std::vector<PathRankModel*> worker_models(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    if (w == 0) {
+      workers[w].model = &model;
+    } else {
+      workers[w].owned = std::make_unique<PathRankModel>(model.vocab_size(),
+                                                         model.config());
+      workers[w].owned->CopyParametersFrom(model);
+      workers[w].model = workers[w].owned.get();
+    }
+    worker_models[w] = workers[w].model;
+    workers[w].params = workers[w].model->Parameters();
+  }
+  const nn::ParameterList& params = workers[0].params;
+  const size_t num_params = params.size();
+  nn::Adam optimizer(config.learning_rate);
+
   TrainHistory history;
   history.best_val_mae = std::numeric_limits<double>::infinity();
   std::vector<nn::Matrix> best_weights;
+  bool have_best = false;
   int epochs_since_best = 0;
   const bool use_validation = !validation.queries.empty();
 
-  std::vector<float> d_scores;
+  const bool multi_task = model.config().multi_task;
+  const auto aux_weight = static_cast<float>(model.config().aux_loss_weight);
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     pathrank::Stopwatch watch;
-    optimizer.set_learning_rate(nn::LearningRateAt(schedule, epoch));
+    const double lr = nn::LearningRateAt(schedule, epoch);
+    optimizer.set_learning_rate(lr);
     batcher.Reshuffle(rng);
 
-    const bool multi_task = model.config().multi_task;
-    const auto aux_weight = static_cast<float>(model.config().aux_loss_weight);
-    std::vector<float> d_aux_length;
-    std::vector<float> d_aux_time;
     double loss_sum = 0.0;
     size_t example_count = 0;
-    for (size_t b = 0; b < batcher.num_batches(); ++b) {
-      const data::ModelBatch batch = batcher.GetBatch(b);
-      const auto outputs = model.ForwardFull(batch.sequences);
-      double loss = nn::ComputeLoss(config.loss, outputs.scores,
-                                    batch.labels, &d_scores);
-      if (multi_task) {
-        // Auxiliary regression on the candidate's normalised length and
-        // travel time; gradients are scaled by the auxiliary weight.
-        loss += model.config().aux_loss_weight *
-                nn::ComputeLoss(config.loss, outputs.aux_length,
-                                batch.norm_lengths, &d_aux_length);
-        loss += model.config().aux_loss_weight *
-                nn::ComputeLoss(config.loss, outputs.aux_time,
-                                batch.norm_times, &d_aux_time);
-        for (float& g : d_aux_length) g *= aux_weight;
-        for (float& g : d_aux_time) g *= aux_weight;
-      }
-      loss_sum += loss * static_cast<double>(outputs.scores.size());
-      example_count += outputs.scores.size();
+    for (size_t g = 0; g < batcher.num_batches(); g += num_workers) {
+      const size_t group =
+          std::min(num_workers, batcher.num_batches() - g);
 
-      nn::ZeroGradients(params);
-      if (multi_task) {
-        model.BackwardFull(d_scores, d_aux_length, d_aux_time);
-      } else {
-        model.Backward(d_scores);
+      // Forward/backward one batch per worker; gradients land in each
+      // worker's own buffers.
+      ParallelForShards(
+          0, group,
+          [&](size_t shard, size_t lo, size_t hi) {
+            PR_CHECK(lo + 1 == hi);  // one batch per shard by construction
+            Worker& worker = workers[shard];
+            const data::ModelBatch batch = batcher.GetBatch(g + lo);
+            const auto outputs =
+                worker.model->ForwardFull(batch.sequences);
+            double loss = nn::ComputeLoss(config.loss, outputs.scores,
+                                          batch.labels, &worker.d_scores);
+            if (multi_task) {
+              // Auxiliary regression on the candidate's normalised length
+              // and travel time; gradients scaled by the auxiliary weight.
+              loss += aux_weight *
+                      nn::ComputeLoss(config.loss, outputs.aux_length,
+                                      batch.norm_lengths,
+                                      &worker.d_aux_length);
+              loss += aux_weight *
+                      nn::ComputeLoss(config.loss, outputs.aux_time,
+                                      batch.norm_times, &worker.d_aux_time);
+              for (float& grad : worker.d_aux_length) grad *= aux_weight;
+              for (float& grad : worker.d_aux_time) grad *= aux_weight;
+            }
+            worker.group_loss =
+                loss * static_cast<double>(outputs.scores.size());
+            worker.group_examples = outputs.scores.size();
+
+            nn::ZeroGradients(worker.params);
+            if (multi_task) {
+              worker.model->BackwardFull(worker.d_scores,
+                                         worker.d_aux_length,
+                                         worker.d_aux_time);
+            } else {
+              worker.model->Backward(worker.d_scores);
+            }
+          },
+          /*max_shards=*/group);
+
+      for (size_t s = 0; s < group; ++s) {
+        loss_sum += workers[s].group_loss;
+        example_count += workers[s].group_examples;
+      }
+
+      // Ordered reduction into worker 0: mean of the group's gradients,
+      // shard order fixed, so the result is independent of scheduling.
+      if (group > 1) {
+        const float inv_group = 1.0f / static_cast<float>(group);
+        ParallelFor(0, num_params, 1, [&](size_t lo, size_t hi) {
+          for (size_t p = lo; p < hi; ++p) {
+            if (params[p]->frozen) continue;  // optimizer never applies it
+            nn::Matrix& grad = params[p]->grad;
+            for (size_t s = 1; s < group; ++s) {
+              grad.Add(workers[s].params[p]->grad);
+            }
+            grad.Scale(inv_group);
+          }
+        });
       }
       if (config.clip_norm > 0.0) {
         nn::ClipGradientNorm(params, config.clip_norm);
       }
+
+      // One optimizer step on worker 0, then a value broadcast keeps the
+      // replicas bitwise equal (frozen parameters never change, so they
+      // are skipped).
       optimizer.Step(params);
+      if (num_workers > 1) {
+        ParallelForShards(1, num_workers, [&](size_t, size_t lo, size_t hi) {
+          for (size_t w = lo; w < hi; ++w) {
+            for (size_t p = 0; p < num_params; ++p) {
+              if (params[p]->frozen) continue;
+              workers[w].params[p]->value = params[p]->value;
+            }
+          }
+        });
+      }
     }
 
     EpochRecord record;
     record.epoch = epoch;
     record.train_loss = loss_sum / static_cast<double>(example_count);
-    record.learning_rate = optimizer.learning_rate();
+    record.learning_rate = lr;
 
     if (use_validation) {
-      const EvalResult val = Evaluate(model, validation);
+      // The workers are bitwise-identical replicas — shard validation
+      // across them instead of letting Evaluate() rebuild replicas.
+      const EvalResult val = EvaluateWithReplicas(worker_models, validation);
       record.val_mae = val.mae;
       record.val_tau = val.kendall_tau;
       if (val.mae < history.best_val_mae) {
         history.best_val_mae = val.mae;
         history.best_epoch = epoch;
-        best_weights = SnapshotValues(params);
+        SnapshotValuesInto(params, &best_weights);
+        have_best = true;
         epochs_since_best = 0;
       } else {
         ++epochs_since_best;
@@ -121,7 +225,7 @@ TrainHistory TrainPathRank(PathRankModel& model,
                           ? " val_mae=" + std::to_string(record.val_mae)
                           : "")
                   << " lr=" << record.learning_rate << " ("
-                  << record.seconds << "s)";
+                  << record.seconds << "s, " << num_workers << " workers)";
     }
     if (use_validation && config.patience > 0 &&
         epochs_since_best >= config.patience) {
@@ -129,7 +233,7 @@ TrainHistory TrainPathRank(PathRankModel& model,
     }
   }
 
-  if (use_validation && !best_weights.empty()) {
+  if (use_validation && have_best) {
     RestoreValues(params, best_weights);
   }
   return history;

@@ -1,6 +1,7 @@
 #include "data/candidate_generation.h"
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "routing/cost_model.h"
 #include "routing/path_similarity.h"
 #include "routing/penalty_alternatives.h"
@@ -76,12 +77,16 @@ std::vector<RankingQuery> GenerateQueries(
     const graph::RoadNetwork& network,
     const std::vector<traj::TripPath>& trips,
     const CandidateGenConfig& config) {
-  std::vector<RankingQuery> queries;
-  queries.reserve(trips.size());
-  int id = 0;
-  for (const auto& trip : trips) {
-    queries.push_back(GenerateQuery(network, trip, id++, config));
-  }
+  // Each query's enumeration (Yen / diversified / penalty search) is
+  // independent and draws no randomness, so the output is identical for
+  // any thread count.
+  std::vector<RankingQuery> queries(trips.size());
+  ParallelFor(0, trips.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      queries[i] =
+          GenerateQuery(network, trips[i], static_cast<int>(i), config);
+    }
+  });
   return queries;
 }
 

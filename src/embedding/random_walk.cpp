@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace pathrank::embedding {
 
@@ -83,17 +84,34 @@ std::vector<graph::VertexId> RandomWalker::Walk(graph::VertexId start,
 
 std::vector<std::vector<graph::VertexId>> RandomWalker::GenerateCorpus(
     pathrank::Rng& rng) const {
+  // Plan all start vertices serially (the shuffles consume the caller's
+  // stream), then walk in parallel with one forked Rng stream per shard.
+  // The corpus is deterministic for a fixed (seed, thread count).
   std::vector<graph::VertexId> order(network_->num_vertices());
   std::iota(order.begin(), order.end(), graph::VertexId{0});
-  std::vector<std::vector<graph::VertexId>> corpus;
-  corpus.reserve(order.size() *
+  std::vector<graph::VertexId> starts;
+  starts.reserve(order.size() *
                  static_cast<size_t>(config_.walks_per_vertex));
   for (int rep = 0; rep < config_.walks_per_vertex; ++rep) {
     rng.Shuffle(order);
-    for (graph::VertexId v : order) {
-      corpus.push_back(Walk(v, rng));
-    }
+    starts.insert(starts.end(), order.begin(), order.end());
   }
+
+  const size_t num_shards = NumShardsFor(starts.size());
+  std::vector<pathrank::Rng> shard_rngs;
+  shard_rngs.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) shard_rngs.push_back(rng.Fork());
+
+  std::vector<std::vector<graph::VertexId>> corpus(starts.size());
+  ParallelForShards(
+      0, starts.size(),
+      [&](size_t shard, size_t lo, size_t hi) {
+        pathrank::Rng& shard_rng = shard_rngs[shard];
+        for (size_t i = lo; i < hi; ++i) {
+          corpus[i] = Walk(starts[i], shard_rng);
+        }
+      },
+      num_shards);
   return corpus;
 }
 

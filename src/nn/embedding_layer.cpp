@@ -22,7 +22,7 @@ void EmbeddingLayer::Lookup(const SequenceBatch& batch, size_t t,
                             Matrix* out) const {
   const size_t b_size = batch.batch_size;
   const size_t d = dim();
-  if (out->rows() != b_size || out->cols() != d) out->Resize(b_size, d);
+  out->ResizeNoZero(b_size, d);  // every row is overwritten below
   for (size_t b = 0; b < b_size; ++b) {
     const auto id = static_cast<size_t>(batch.id_at(b, t));
     PR_CHECK(id < vocab_size()) << "token id out of range";

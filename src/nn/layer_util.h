@@ -17,6 +17,15 @@ inline void AddColumnSums(const Matrix& m, Matrix* bias_grad) {
   }
 }
 
+/// Sizes a per-timestep cache to `num_steps` matrices of [rows x cols]
+/// without zeroing, reusing buffers from previous calls. Every matrix the
+/// caller reads must be fully written first (activation caches are).
+inline void EnsureStepShapes(std::vector<Matrix>* steps, size_t num_steps,
+                             size_t rows, size_t cols) {
+  if (steps->size() != num_steps) steps->resize(num_steps);
+  for (Matrix& m : *steps) m.ResizeNoZero(rows, cols);
+}
+
 /// Per-row binary mask for timestep t: 1 when t < lengths[b].
 inline std::vector<float> StepMask(const std::vector<int32_t>& lengths,
                                    size_t t) {

@@ -1,6 +1,8 @@
 // Dense row-major float matrix and the linear-algebra kernels the neural
-// layers are built on. Single-threaded, cache-friendly loop orders that GCC
-// auto-vectorises; fast enough to train the paper's models on one core.
+// layers are built on. The GEMM kernels are register/cache blocked and
+// shard their independent output rows across the global thread pool above
+// a size threshold; per-element accumulation order is fixed, so results
+// are bitwise identical for any thread count (see docs/performance.md).
 #pragma once
 
 #include <cstddef>
@@ -43,8 +45,15 @@ class Matrix {
   /// Sets every element to zero.
   void Zero() { Fill(0.0f); }
 
-  /// Resizes (content becomes unspecified unless preserved sizes match).
+  /// Resizes and zero-fills: after the call every element is 0, even when
+  /// the shape is unchanged. Several callers (pooling, gradient
+  /// accumulators) rely on this; use ResizeNoZero for scratch buffers
+  /// whose contents are fully overwritten.
   void Resize(size_t rows, size_t cols);
+
+  /// Resizes without the zero-fill: contents are unspecified (a no-op when
+  /// the element count is unchanged). For scratch buffers only.
+  void ResizeNoZero(size_t rows, size_t cols);
 
   /// Element-wise in-place scale.
   void Scale(float factor);

@@ -6,7 +6,10 @@ namespace pathrank::nn {
 
 double GradientSquaredNorm(const ParameterList& params) {
   double sum = 0.0;
-  for (const Parameter* p : params) sum += p->grad.SquaredNorm();
+  for (const Parameter* p : params) {
+    if (p->frozen) continue;
+    sum += p->grad.SquaredNorm();
+  }
   return sum;
 }
 
@@ -14,7 +17,10 @@ double ClipGradientNorm(const ParameterList& params, double max_norm) {
   const double norm = std::sqrt(GradientSquaredNorm(params));
   if (norm > max_norm && norm > 0.0) {
     const float scale = static_cast<float>(max_norm / norm);
-    for (Parameter* p : params) p->grad.Scale(scale);
+    for (Parameter* p : params) {
+      if (p->frozen) continue;
+      p->grad.Scale(scale);
+    }
   }
   return norm;
 }

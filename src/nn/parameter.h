@@ -29,11 +29,13 @@ struct Parameter {
 /// Non-owning list of parameters (layers own their Parameter members).
 using ParameterList = std::vector<Parameter*>;
 
-/// Sum of squared gradient norms across a list.
+/// Sum of squared gradient norms across a list. Frozen parameters are
+/// excluded: optimizers never apply their gradients, so they must not
+/// consume clip budget either.
 double GradientSquaredNorm(const ParameterList& params);
 
-/// Scales all gradients so the global L2 norm is at most `max_norm`.
-/// Returns the pre-clip norm.
+/// Scales all non-frozen gradients so their global L2 norm is at most
+/// `max_norm`. Returns the pre-clip norm.
 double ClipGradientNorm(const ParameterList& params, double max_norm);
 
 /// Zeroes every gradient in the list.

@@ -1,5 +1,6 @@
 #include "nn/recurrent.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "nn/layer_util.h"
@@ -79,51 +80,53 @@ void GruLayer::Forward(const std::vector<Matrix>& x_steps,
 
   x_steps_ = &x_steps;
   lengths_ = lengths;
-  h_.assign(num_steps + 1, Matrix());
-  z_.assign(num_steps, Matrix());
-  r_.assign(num_steps, Matrix());
-  hhat_.assign(num_steps, Matrix());
-  rh_.assign(num_steps, Matrix());
-  h_[0].Resize(batch, hidden);  // zero initial state
+  // Caches persist across calls; only reshaped (never reallocated when the
+  // batch geometry repeats). Gates are computed directly into their cache
+  // slot, so each step allocates nothing.
+  EnsureStepShapes(&h_, num_steps + 1, batch, hidden);
+  EnsureStepShapes(&z_, num_steps, batch, hidden);
+  EnsureStepShapes(&r_, num_steps, batch, hidden);
+  EnsureStepShapes(&hhat_, num_steps, batch, hidden);
+  EnsureStepShapes(&rh_, num_steps, batch, hidden);
+  h_[0].Zero();  // zero initial state
 
-  Matrix az(batch, hidden);
-  Matrix ar(batch, hidden);
-  Matrix ah(batch, hidden);
   for (size_t t = 0; t < num_steps; ++t) {
     const Matrix& x = x_steps[t];
     const Matrix& h_prev = h_[t];
     PR_CHECK(x.cols() == input_size());
 
-    GemmNN(x, wz_.value, &az);
-    GemmNN(h_prev, uz_.value, &az, 1.0f, 1.0f);
-    AddRowBroadcast(bz_.value, &az);
-    SigmoidInPlace(&az);
-    z_[t] = az;
+    Matrix& z = z_[t];
+    GemmNN(x, wz_.value, &z);
+    GemmNN(h_prev, uz_.value, &z, 1.0f, 1.0f);
+    AddRowBroadcast(bz_.value, &z);
+    SigmoidInPlace(&z);
 
-    GemmNN(x, wr_.value, &ar);
-    GemmNN(h_prev, ur_.value, &ar, 1.0f, 1.0f);
-    AddRowBroadcast(br_.value, &ar);
-    SigmoidInPlace(&ar);
-    r_[t] = ar;
+    Matrix& r = r_[t];
+    GemmNN(x, wr_.value, &r);
+    GemmNN(h_prev, ur_.value, &r, 1.0f, 1.0f);
+    AddRowBroadcast(br_.value, &r);
+    SigmoidInPlace(&r);
 
-    Hadamard(ar, h_prev, &rh_[t]);
+    Hadamard(r, h_prev, &rh_[t]);
 
-    GemmNN(x, wh_.value, &ah);
-    GemmNN(rh_[t], uh_.value, &ah, 1.0f, 1.0f);
-    AddRowBroadcast(bh_.value, &ah);
-    TanhInPlace(&ah);
-    hhat_[t] = ah;
+    Matrix& hhat = hhat_[t];
+    GemmNN(x, wh_.value, &hhat);
+    GemmNN(rh_[t], uh_.value, &hhat, 1.0f, 1.0f);
+    AddRowBroadcast(bh_.value, &hhat);
+    TanhInPlace(&hhat);
 
     // h_new = h_prev + m*z*(hhat - h_prev): masked rows keep h_prev.
     const auto mask = StepMask(lengths_, t);
     Matrix& h_new = h_[t + 1];
-    h_new = h_prev;
     for (size_t b = 0; b < batch; ++b) {
-      if (mask[b] == 0.0f) continue;
       float* hn = h_new.row(b);
       const float* hp = h_prev.row(b);
-      const float* zz = z_[t].row(b);
-      const float* hh = hhat_[t].row(b);
+      if (mask[b] == 0.0f) {
+        std::copy(hp, hp + hidden, hn);
+        continue;
+      }
+      const float* zz = z.row(b);
+      const float* hh = hhat.row(b);
       for (size_t c = 0; c < hidden; ++c) {
         hn[c] = (1.0f - zz[c]) * hp[c] + zz[c] * hh[c];
       }
@@ -141,9 +144,10 @@ void GruLayer::BackwardImpl(const Matrix* d_final_h,
   const size_t batch = x_steps[0].rows();
   const size_t hidden = hidden_size();
 
-  d_x_steps->assign(num_steps, Matrix());
+  EnsureStepShapes(d_x_steps, num_steps, batch, input_size());
   Matrix dh(batch, hidden);
   if (d_final_h != nullptr) dh = *d_final_h;
+  // Scratch: every element is overwritten before use each step.
   Matrix dh_prev(batch, hidden);
   Matrix dhhat(batch, hidden);
   Matrix dz_raw(batch, hidden);
@@ -161,13 +165,9 @@ void GruLayer::BackwardImpl(const Matrix* d_final_h,
     const auto mask = StepMask(lengths_, t);
 
     Matrix& dx = (*d_x_steps)[t];
-    dx.Resize(batch, input_size());
 
     // dhhat = dh * z * m ;  dz_raw = dh * (hhat - h_prev) * m
     // dh_prev = dh * (1 - z*m)
-    dhhat.Resize(batch, hidden);
-    dz_raw.Resize(batch, hidden);
-    dh_prev.Resize(batch, hidden);
     for (size_t b = 0; b < batch; ++b) {
       const float m = mask[b];
       const float* pdh = dh.row(b);
@@ -248,26 +248,24 @@ void RnnLayer::Forward(const std::vector<Matrix>& x_steps,
 
   x_steps_ = &x_steps;
   lengths_ = lengths;
-  h_.assign(num_steps + 1, Matrix());
-  hnew_.assign(num_steps, Matrix());
-  h_[0].Resize(batch, hidden);
+  EnsureStepShapes(&h_, num_steps + 1, batch, hidden);
+  EnsureStepShapes(&hnew_, num_steps, batch, hidden);
+  h_[0].Zero();
 
-  Matrix a(batch, hidden);
   for (size_t t = 0; t < num_steps; ++t) {
     const Matrix& x = x_steps[t];
     const Matrix& h_prev = h_[t];
-    GemmNN(x, w_.value, &a);
-    GemmNN(h_prev, u_.value, &a, 1.0f, 1.0f);
-    AddRowBroadcast(b_.value, &a);
-    TanhInPlace(&a);
-    hnew_[t] = a;
+    Matrix& hnew = hnew_[t];
+    GemmNN(x, w_.value, &hnew);
+    GemmNN(h_prev, u_.value, &hnew, 1.0f, 1.0f);
+    AddRowBroadcast(b_.value, &hnew);
+    TanhInPlace(&hnew);
 
     const auto mask = StepMask(lengths_, t);
     Matrix& h_new = h_[t + 1];
-    h_new = h_prev;
     for (size_t bb = 0; bb < batch; ++bb) {
-      if (mask[bb] == 0.0f) continue;
-      std::copy(hnew_[t].row(bb), hnew_[t].row(bb) + hidden, h_new.row(bb));
+      const float* src = mask[bb] == 0.0f ? h_prev.row(bb) : hnew.row(bb);
+      std::copy(src, src + hidden, h_new.row(bb));
     }
   }
   *final_h = h_[num_steps];
@@ -282,9 +280,10 @@ void RnnLayer::BackwardImpl(const Matrix* d_final_h,
   const size_t batch = x_steps[0].rows();
   const size_t hidden = hidden_size();
 
-  d_x_steps->assign(num_steps, Matrix());
+  EnsureStepShapes(d_x_steps, num_steps, batch, input_size());
   Matrix dh(batch, hidden);
   if (d_final_h != nullptr) dh = *d_final_h;
+  // Scratch: fully overwritten each step.
   Matrix dh_prev(batch, hidden);
   Matrix dhnew(batch, hidden);
   Matrix da(batch, hidden);
@@ -295,8 +294,6 @@ void RnnLayer::BackwardImpl(const Matrix* d_final_h,
     const Matrix& h_prev = h_[t];
     const auto mask = StepMask(lengths_, t);
 
-    dhnew.Resize(batch, hidden);
-    dh_prev.Resize(batch, hidden);
     for (size_t bb = 0; bb < batch; ++bb) {
       const float m = mask[bb];
       const float* pdh = dh.row(bb);
@@ -313,7 +310,6 @@ void RnnLayer::BackwardImpl(const Matrix* d_final_h,
     GemmTN(h_prev, da, &u_.grad, 1.0f, 1.0f);
     AddColumnSums(da, &b_.grad);
     Matrix& dx = (*d_x_steps)[t];
-    dx.Resize(batch, input_size());
     GemmNT(da, w_.value, &dx, 1.0f, 0.0f);
     GemmNT(da, u_.value, &dh_prev, 1.0f, 1.0f);
 
@@ -356,30 +352,29 @@ void LstmLayer::Forward(const std::vector<Matrix>& x_steps,
 
   x_steps_ = &x_steps;
   lengths_ = lengths;
-  h_.assign(num_steps + 1, Matrix());
-  c_.assign(num_steps + 1, Matrix());
-  i_.assign(num_steps, Matrix());
-  f_.assign(num_steps, Matrix());
-  o_.assign(num_steps, Matrix());
-  g_.assign(num_steps, Matrix());
-  c_new_.assign(num_steps, Matrix());
-  tanh_c_new_.assign(num_steps, Matrix());
-  h_[0].Resize(batch, hidden);
-  c_[0].Resize(batch, hidden);
+  EnsureStepShapes(&h_, num_steps + 1, batch, hidden);
+  EnsureStepShapes(&c_, num_steps + 1, batch, hidden);
+  EnsureStepShapes(&i_, num_steps, batch, hidden);
+  EnsureStepShapes(&f_, num_steps, batch, hidden);
+  EnsureStepShapes(&o_, num_steps, batch, hidden);
+  EnsureStepShapes(&g_, num_steps, batch, hidden);
+  EnsureStepShapes(&c_new_, num_steps, batch, hidden);
+  EnsureStepShapes(&tanh_c_new_, num_steps, batch, hidden);
+  h_[0].Zero();
+  c_[0].Zero();
 
-  Matrix a(batch, hidden);
-  auto gate = [&](const Matrix& x, const Matrix& h_prev, const Parameter& w,
-                  const Parameter& u, const Parameter& b, bool is_tanh,
-                  Matrix* out) {
-    GemmNN(x, w.value, &a);
-    GemmNN(h_prev, u.value, &a, 1.0f, 1.0f);
-    AddRowBroadcast(b.value, &a);
+  // Gates are computed directly into their cache slot.
+  auto gate = [](const Matrix& x, const Matrix& h_prev, const Parameter& w,
+                 const Parameter& u, const Parameter& b, bool is_tanh,
+                 Matrix* out) {
+    GemmNN(x, w.value, out);
+    GemmNN(h_prev, u.value, out, 1.0f, 1.0f);
+    AddRowBroadcast(b.value, out);
     if (is_tanh) {
-      TanhInPlace(&a);
+      TanhInPlace(out);
     } else {
-      SigmoidInPlace(&a);
+      SigmoidInPlace(out);
     }
-    *out = a;
   };
 
   for (size_t t = 0; t < num_steps; ++t) {
@@ -392,7 +387,6 @@ void LstmLayer::Forward(const std::vector<Matrix>& x_steps,
     gate(x, h_prev, wg_, ug_, bg_, true, &g_[t]);
 
     Matrix& cn = c_new_[t];
-    cn.Resize(batch, hidden);
     for (size_t bb = 0; bb < batch; ++bb) {
       const float* pf = f_[t].row(bb);
       const float* pi = i_[t].row(bb);
@@ -409,15 +403,17 @@ void LstmLayer::Forward(const std::vector<Matrix>& x_steps,
     const auto mask = StepMask(lengths_, t);
     Matrix& h_next = h_[t + 1];
     Matrix& c_next = c_[t + 1];
-    h_next = h_prev;
-    c_next = c_prev;
     for (size_t bb = 0; bb < batch; ++bb) {
-      if (mask[bb] == 0.0f) continue;
+      float* ph = h_next.row(bb);
+      float* pc = c_next.row(bb);
+      if (mask[bb] == 0.0f) {
+        std::copy(h_prev.row(bb), h_prev.row(bb) + hidden, ph);
+        std::copy(c_prev.row(bb), c_prev.row(bb) + hidden, pc);
+        continue;
+      }
       const float* po = o_[t].row(bb);
       const float* ptc = tanh_c_new_[t].row(bb);
       const float* pcn = cn.row(bb);
-      float* ph = h_next.row(bb);
-      float* pc = c_next.row(bb);
       for (size_t cidx = 0; cidx < hidden; ++cidx) {
         ph[cidx] = po[cidx] * ptc[cidx];
         pc[cidx] = pcn[cidx];
@@ -436,14 +432,17 @@ void LstmLayer::BackwardImpl(const Matrix* d_final_h,
   const size_t batch = x_steps[0].rows();
   const size_t hidden = hidden_size();
 
-  d_x_steps->assign(num_steps, Matrix());
+  EnsureStepShapes(d_x_steps, num_steps, batch, input_size());
   Matrix dh(batch, hidden);
   if (d_final_h != nullptr) dh = *d_final_h;
   Matrix dc(batch, hidden);  // zero: loss reads h only
+  // Scratch: fully overwritten each step.
   Matrix dh_prev(batch, hidden);
   Matrix dc_prev(batch, hidden);
   Matrix dgate(batch, hidden);
   Matrix da(batch, hidden);
+  Matrix dc_new(batch, hidden);
+  Matrix dh_new(batch, hidden);
 
   for (size_t t = num_steps; t-- > 0;) {
     if (d_h_steps != nullptr) dh.Add((*d_h_steps)[t]);
@@ -453,13 +452,8 @@ void LstmLayer::BackwardImpl(const Matrix* d_final_h,
     const auto mask = StepMask(lengths_, t);
 
     Matrix& dx = (*d_x_steps)[t];
-    dx.Resize(batch, input_size());
-    dh_prev.Resize(batch, hidden);
-    dc_prev.Resize(batch, hidden);
 
     // Pointwise split of dh/dc across the mask, and cell backward.
-    Matrix dc_new(batch, hidden);
-    Matrix dh_new(batch, hidden);
     for (size_t bb = 0; bb < batch; ++bb) {
       const float m = mask[bb];
       const float* pdh = dh.row(bb);

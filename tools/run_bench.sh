@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Builds Release, runs bench_throughput and checks every metric against the
+# committed baseline (BENCH_throughput.json) with a relative tolerance.
+#
+#   tools/run_bench.sh                 check against the committed baseline
+#   tools/run_bench.sh --update        overwrite the committed baseline
+#
+# PATHRANK_BENCH_TOLERANCE (default 0.30) sets the allowed relative
+# regression; PATHRANK_BENCH_SCALE (tiny|small|paper) sizes the workload.
+# Baselines are machine-specific: regenerate with --update when benching
+# on new hardware before trusting the check.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-bench"
+BASELINE="$ROOT/BENCH_throughput.json"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j --target bench_throughput >/dev/null
+
+if [[ "${1:-}" == "--update" ]]; then
+  PATHRANK_BENCH_OUT="$BASELINE" "$BUILD/bench_throughput"
+  echo "baseline updated: $BASELINE"
+elif [[ -f "$BASELINE" ]]; then
+  PATHRANK_BENCH_OUT="$BUILD/BENCH_throughput.json" \
+    "$BUILD/bench_throughput" --check "$BASELINE"
+else
+  echo "no baseline at $BASELINE; writing one" >&2
+  PATHRANK_BENCH_OUT="$BASELINE" "$BUILD/bench_throughput"
+fi
