@@ -1,7 +1,8 @@
 // Throughput benchmark for the parallel compute engine: GEMM GFLOP/s,
-// training epoch time, random-walk generation and candidate generation at
-// 1/2/4/N threads. Emits BENCH_throughput.json (override the path with
-// PATHRANK_BENCH_OUT) so the perf trajectory is tracked across PRs.
+// training epoch time, random-walk generation, candidate generation and
+// ServingEngine rank latency/QPS at 1/2/4/N threads. Emits
+// BENCH_throughput.json (override the path with PATHRANK_BENCH_OUT) so the
+// perf trajectory is tracked across PRs.
 //
 //   bench_throughput                  run and write the JSON
 //   bench_throughput --check BASELINE additionally compare every metric
@@ -149,6 +150,76 @@ void BenchCandidates(const bench::ExperimentScale& scale,
   }
 }
 
+void BenchServing(const bench::ExperimentScale& scale,
+                  const bench::Workload& workload,
+                  const std::vector<size_t>& thread_counts,
+                  Metrics* metrics) {
+  core::PathRankConfig model_cfg;
+  model_cfg.embedding_dim = 64;
+  model_cfg.hidden_size = scale.hidden_size;
+  model_cfg.seed = 7;
+  // Latency does not depend on the weight values, so an untrained model
+  // measures the same serving path a trained deployment would.
+  const core::PathRankModel model(workload.network.num_vertices(), model_cfg,
+                                  core::InitMode::kRandomInit);
+  const auto snapshot = serving::ModelSnapshot::Capture(model);
+
+  serving::ServingOptions options;
+  options.candidates.k = scale.candidates_k;
+  options.candidates.similarity_threshold = 0.6;
+  options.candidates.max_enumerated = 300;
+
+  // Query mix: the workload trips' endpoints.
+  std::vector<serving::RankQuery> queries;
+  const size_t num_queries = std::min<size_t>(workload.trips.size(), 48);
+  queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    queries.push_back(
+        {workload.trips[i].source(), workload.trips[i].destination()});
+  }
+
+  for (size_t threads : thread_counts) {
+    SetNumThreads(threads);
+    const serving::ServingEngine engine(workload.network, snapshot, options);
+    // Warm-up: scratch allocation, pool spin-up.
+    engine.Rank(queries[0].source, queries[0].destination);
+
+    std::vector<double> latency;
+    size_t served = 0;
+    Stopwatch watch;
+    do {
+      std::vector<double> round(queries.size());
+      ParallelForShards(0, queries.size(),
+                        [&](size_t /*shard*/, size_t lo, size_t hi) {
+                          for (size_t q = lo; q < hi; ++q) {
+                            Stopwatch per_query;
+                            engine.Rank(queries[q].source,
+                                        queries[q].destination);
+                            round[q] = per_query.ElapsedSeconds();
+                          }
+                        });
+      latency.insert(latency.end(), round.begin(), round.end());
+      served += queries.size();
+    } while (watch.ElapsedSeconds() < 0.5);
+    const double wall = watch.ElapsedSeconds();
+
+    std::sort(latency.begin(), latency.end());
+    auto pct = [&](double p) {
+      return latency[std::min(latency.size() - 1,
+                              static_cast<size_t>(
+                                  p * static_cast<double>(latency.size())))];
+    };
+    const double qps = static_cast<double>(served) / wall;
+    const std::string suffix = "_t" + std::to_string(threads);
+    (*metrics)["serve_rank_p50_s" + suffix] = pct(0.50);
+    (*metrics)["serve_rank_p99_s" + suffix] = pct(0.99);
+    (*metrics)["serve_rank_per_s" + suffix] = qps;
+    std::printf(
+        "serve rank  threads=%zu  %.1f QPS  p50 %.2f ms  p99 %.2f ms\n",
+        threads, qps, pct(0.50) * 1e3, pct(0.99) * 1e3);
+  }
+}
+
 void WriteJson(const std::string& path, const std::string& scale_name,
                const Metrics& metrics) {
   std::ofstream out(path);
@@ -254,6 +325,7 @@ int main(int argc, char** argv) {
   BenchGemm(thread_counts, &metrics);
   BenchWalks(scale, workload, thread_counts, &metrics);
   BenchCandidates(scale, workload, thread_counts, &metrics);
+  BenchServing(scale, workload, thread_counts, &metrics);
   BenchTraining(scale, workload, thread_counts, &metrics);
 
   const std::string out_path =

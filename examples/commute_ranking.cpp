@@ -56,7 +56,9 @@ int main() {
   train_cfg.learning_rate = 3e-3;
   core::TrainPathRank(model, split.train, split.validation, train_cfg);
 
-  core::Ranker ranker(network, model);
+  // Deployment surface: immutable snapshot + thread-safe engine.
+  const serving::ServingEngine engine(network,
+                                      serving::ModelSnapshot::Capture(model));
   routing::Dijkstra dijkstra(network);
   const auto length_cost = routing::EdgeCostFn::Length(network);
   const auto time_cost = routing::EdgeCostFn::TravelTime(network);
@@ -79,7 +81,7 @@ int main() {
         dijkstra.ShortestPath(q.source, q.destination, length_cost);
     const auto fastest =
         dijkstra.ShortestPath(q.source, q.destination, time_cost);
-    const auto ranked = ranker.Rank(q.source, q.destination, gen_cfg);
+    const auto ranked = engine.Rank(q.source, q.destination, gen_cfg);
     if (!shortest.has_value() || !fastest.has_value() || ranked.empty()) {
       continue;
     }

@@ -6,7 +6,8 @@
 // Steps: (1) synthesise a road network, (2) simulate driver trajectories,
 // (3) generate labelled training candidates (D-TkDI), (4) train node2vec
 // vertex embeddings, (5) train PathRank (PR-A2), (6) evaluate on held-out
-// trajectories, (7) rank candidates for a fresh query.
+// trajectories, (7) deploy: snapshot the trained weights into a
+// thread-safe ServingEngine and rank candidates for a fresh query.
 #include <cstdio>
 
 #include "core/pathrank.h"
@@ -75,11 +76,16 @@ int main() {
   const auto result = core::Evaluate(model, split.test);
   std::printf("[6/7] test: %s\n", result.ToString().c_str());
 
-  // 7. Rank candidates for a fresh query.
+  // 7. Deployment: capture an immutable snapshot of the trained weights
+  // and serve it from a replica-pool engine. Any number of threads could
+  // now call engine.Rank / RankBatch concurrently on this one engine.
   const auto& query_trip = split.test.queries.front();
-  core::Ranker ranker(network, model);
+  serving::ServingOptions serve_opts;
+  serve_opts.candidates = gen_cfg;
+  const serving::ServingEngine engine(
+      network, serving::ModelSnapshot::Capture(model), serve_opts);
   const auto ranked =
-      ranker.Rank(query_trip.source, query_trip.destination, gen_cfg);
+      engine.Rank(query_trip.source, query_trip.destination);
   std::printf("[7/7] query %u -> %u, %zu candidates:\n", query_trip.source,
               query_trip.destination, ranked.size());
   for (size_t i = 0; i < ranked.size(); ++i) {

@@ -178,6 +178,12 @@ class ThreadPool {
 
 }  // namespace
 
+SerialRegionScope::SerialRegionScope() : previous_(t_in_parallel_region) {
+  t_in_parallel_region = true;
+}
+
+SerialRegionScope::~SerialRegionScope() { t_in_parallel_region = previous_; }
+
 size_t GetNumThreads() { return ThreadPool::Global().num_threads(); }
 
 void SetNumThreads(size_t n) { ThreadPool::Global().Resize(n); }

@@ -50,4 +50,23 @@ void ParallelForShards(
     const std::function<void(size_t, size_t, size_t)>& fn,
     size_t max_shards = 0);
 
+/// RAII guard that marks the current thread as already inside a parallel
+/// region: ParallelFor / ParallelForShards called on this thread run
+/// serially instead of dispatching to (and blocking on) the global pool.
+///
+/// Callers that manage their own concurrency — the serving engine scores
+/// queries on caller threads — use this so independent work neither
+/// serialises on the pool's one-region-at-a-time lock nor deadlocks when a
+/// pool region is waiting on a lock this thread holds.
+class SerialRegionScope {
+ public:
+  SerialRegionScope();
+  ~SerialRegionScope();
+  SerialRegionScope(const SerialRegionScope&) = delete;
+  SerialRegionScope& operator=(const SerialRegionScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
 }  // namespace pathrank

@@ -1,6 +1,6 @@
 #include "core/evaluator.h"
 
-#include <memory>
+#include <algorithm>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -10,8 +10,9 @@
 namespace pathrank::core {
 namespace {
 
-/// Scores one query's candidate set with `model`.
-void ScoreQuery(PathRankModel& model, const data::RankingQuery& query,
+/// Scores one query's candidate set through the const inference path.
+void ScoreQuery(const PathRankModel& model, InferenceScratch* scratch,
+                const data::RankingQuery& query,
                 std::vector<double>* predicted, std::vector<double>* truth) {
   std::vector<std::vector<int32_t>> seqs;
   seqs.reserve(query.candidates.size());
@@ -26,16 +27,15 @@ void ScoreQuery(PathRankModel& model, const data::RankingQuery& query,
     truth->push_back(cand.label);
   }
   const auto batch = nn::SequenceBatch::FromSequences(seqs);
-  const std::vector<float> scores = model.Forward(batch);
+  const std::vector<float> scores = model.ForwardInference(batch, scratch);
   predicted->assign(scores.begin(), scores.end());
 }
 
 /// Single source of truth for the evaluation shard count: below 16
-/// queries the replica/dispatch overhead outweighs the parallelism.
-/// `max_shards` of 0 caps at the pool size.
-size_t EvalShards(size_t num_queries, size_t max_shards) {
+/// queries the dispatch overhead outweighs the parallelism.
+size_t EvalShards(size_t num_queries) {
   if (num_queries < 16) return 1;
-  return std::max<size_t>(1, NumShardsFor(num_queries, max_shards));
+  return std::max<size_t>(1, NumShardsFor(num_queries, 0));
 }
 
 }  // namespace
@@ -46,47 +46,32 @@ std::string EvalResult::ToString() const {
       mae, mare, kendall_tau, spearman_rho, top1_accuracy, ndcg, num_queries);
 }
 
-EvalResult Evaluate(PathRankModel& model,
+EvalResult Evaluate(const PathRankModel& model,
                     const data::RankingDataset& dataset) {
-  // Forward caches make a model non-reentrant, so parallel evaluation
-  // runs one replica per shard (shard 0 scores with the caller's model).
-  const size_t num_shards = EvalShards(dataset.queries.size(), 0);
-  std::vector<std::unique_ptr<PathRankModel>> replicas;
-  std::vector<PathRankModel*> models(num_shards, &model);
-  for (size_t s = 1; s < num_shards; ++s) {
-    replicas.push_back(std::make_unique<PathRankModel>(model.vocab_size(),
-                                                       model.config()));
-    replicas.back()->CopyParametersFrom(model);
-    models[s] = replicas.back().get();
-  }
-  return EvaluateWithReplicas(models, dataset);
-}
-
-EvalResult EvaluateWithReplicas(const std::vector<PathRankModel*>& models,
-                                const data::RankingDataset& dataset) {
-  PR_CHECK(!models.empty());
   const size_t num_queries = dataset.queries.size();
-  // Scores are identical for any shard count — GEMM is bitwise stable and
-  // replicas share the exact parameter values — and metrics are
-  // accumulated in query order afterwards.
-  const size_t num_shards = EvalShards(num_queries, models.size());
+  // Scores are identical for any shard count — the inference kernels are
+  // bitwise stable and every shard reads the same shared parameters — and
+  // metrics are accumulated in query order afterwards.
+  const size_t num_shards = EvalShards(num_queries);
   std::vector<std::vector<double>> predicted(num_queries);
   std::vector<std::vector<double>> truth(num_queries);
 
   if (num_shards <= 1) {
+    InferenceScratch scratch;
     for (size_t q = 0; q < num_queries; ++q) {
       if (dataset.queries[q].candidates.empty()) continue;
-      ScoreQuery(*models[0], dataset.queries[q], &predicted[q], &truth[q]);
+      ScoreQuery(model, &scratch, dataset.queries[q], &predicted[q],
+                 &truth[q]);
     }
   } else {
+    std::vector<InferenceScratch> scratch(num_shards);
     ParallelForShards(
         0, num_queries,
         [&](size_t shard, size_t lo, size_t hi) {
-          PathRankModel& shard_model = *models[shard];
           for (size_t q = lo; q < hi; ++q) {
             if (dataset.queries[q].candidates.empty()) continue;
-            ScoreQuery(shard_model, dataset.queries[q], &predicted[q],
-                       &truth[q]);
+            ScoreQuery(model, &scratch[shard], dataset.queries[q],
+                       &predicted[q], &truth[q]);
           }
         },
         num_shards);
@@ -107,6 +92,15 @@ EvalResult EvaluateWithReplicas(const std::vector<PathRankModel*>& models,
   result.ndcg = acc.mean_ndcg();
   result.num_queries = acc.num_queries();
   return result;
+}
+
+EvalResult EvaluateWithReplicas(const std::vector<PathRankModel*>& models,
+                                const data::RankingDataset& dataset) {
+  PR_CHECK(!models.empty());
+  // The contract required all entries to hold bitwise-identical
+  // parameters, so scoring everything through models[0]'s const inference
+  // path produces the same result the sharded-replica version did.
+  return Evaluate(*models[0], dataset);
 }
 
 }  // namespace pathrank::core

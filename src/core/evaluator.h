@@ -4,6 +4,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/model.h"
 #include "data/dataset.h"
@@ -24,13 +25,16 @@ struct EvalResult {
 };
 
 /// Scores every query's candidates with `model` and accumulates metrics.
-/// Parallel shards evaluate on internally-constructed replicas.
-EvalResult Evaluate(PathRankModel& model, const data::RankingDataset& dataset);
+/// Parallel shards score through the model's const inference path with
+/// per-shard scratch — the model is shared, never copied or mutated, so
+/// repeated calls cost no replica rebuilds.
+EvalResult Evaluate(const PathRankModel& model,
+                    const data::RankingDataset& dataset);
 
-/// Same, but shards across caller-owned `models` — all entries must hold
-/// bitwise-identical parameters (e.g. the trainer's data-parallel
-/// replicas), which avoids rebuilding replicas on every call. models[0]
-/// is used for the serial path.
+/// DEPRECATED shim: the const inference path made caller-owned replicas
+/// unnecessary — only models[0] is read (entries were required to be
+/// bitwise identical, so results are unchanged). Kept for source
+/// compatibility; call Evaluate directly.
 EvalResult EvaluateWithReplicas(const std::vector<PathRankModel*>& models,
                                 const data::RankingDataset& dataset);
 

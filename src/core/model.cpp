@@ -7,14 +7,16 @@
 namespace pathrank::core {
 namespace {
 
-/// pooled[b] = mean over t < len_b of cell.hidden_state(t)[b].
-void MeanPool(const nn::RecurrentLayer& cell, const std::vector<int32_t>& lengths,
-              size_t num_steps, nn::Matrix* pooled) {
+/// pooled[b] = mean over t < len_b of hidden_at(t)[b]; `hidden_at(t)` is
+/// the [B x hidden] state after step t.
+template <typename HiddenAt>
+void MeanPoolImpl(const HiddenAt& hidden_at, size_t hidden,
+                  const std::vector<int32_t>& lengths, size_t num_steps,
+                  nn::Matrix* pooled) {
   const size_t batch = lengths.size();
-  const size_t hidden = cell.hidden_size();
   pooled->Resize(batch, hidden);
   for (size_t t = 0; t < num_steps; ++t) {
-    const nn::Matrix& h = cell.hidden_state(t);
+    const nn::Matrix& h = hidden_at(t);
     for (size_t b = 0; b < batch; ++b) {
       if (static_cast<int32_t>(t) >= lengths[b]) continue;
       const float* src = h.row(b);
@@ -27,6 +29,22 @@ void MeanPool(const nn::RecurrentLayer& cell, const std::vector<int32_t>& length
     float* dst = pooled->row(b);
     for (size_t c = 0; c < hidden; ++c) dst[c] *= inv;
   }
+}
+
+/// Training-path pooling over the cell's cached hidden states.
+void MeanPool(const nn::RecurrentLayer& cell, const std::vector<int32_t>& lengths,
+              size_t num_steps, nn::Matrix* pooled) {
+  MeanPoolImpl([&](size_t t) -> const nn::Matrix& { return cell.hidden_state(t); },
+               cell.hidden_size(), lengths, num_steps, pooled);
+}
+
+/// Inference-path pooling over a RecurrentScratch's hidden states
+/// (h[t + 1] is the state after step t).
+void MeanPoolScratch(const std::vector<nn::Matrix>& h, size_t hidden,
+                     const std::vector<int32_t>& lengths, size_t num_steps,
+                     nn::Matrix* pooled) {
+  MeanPoolImpl([&](size_t t) -> const nn::Matrix& { return h[t + 1]; },
+               hidden, lengths, num_steps, pooled);
 }
 
 /// Expands d(loss)/d(pooled) into per-step hidden-state gradients.
@@ -51,27 +69,51 @@ void MeanPoolBackward(const nn::Matrix& d_pooled,
 
 }  // namespace
 
-PathRankModel::PathRankModel(size_t vocab_size, const PathRankConfig& config)
+PathRankModel::PathRankModel(size_t vocab_size, const PathRankConfig& config,
+                             InitMode init)
     : config_(config) {
-  pathrank::Rng rng(config.seed);
-  embedding_ = std::make_unique<nn::EmbeddingLayer>(
-      vocab_size, config.embedding_dim, rng);
+  const size_t head_in =
+      config.bidirectional ? 2 * config.hidden_size : config.hidden_size;
+  if (init == InitMode::kSkipInit) {
+    // Replica/snapshot path: allocate every tensor but skip the RNG draws
+    // — the caller overwrites all values (CopyParametersFrom, LoadModel).
+    embedding_ = std::make_unique<nn::EmbeddingLayer>(
+        vocab_size, config.embedding_dim, nn::kSkipInit);
+    fwd_cell_ = nn::MakeRecurrentLayer(config.cell, config.embedding_dim,
+                                       config.hidden_size, nn::kSkipInit,
+                                       "cell_fwd");
+    if (config.bidirectional) {
+      bwd_cell_ = nn::MakeRecurrentLayer(config.cell, config.embedding_dim,
+                                         config.hidden_size, nn::kSkipInit,
+                                         "cell_bwd");
+    }
+    head_ = std::make_unique<nn::LinearLayer>(head_in, 1, nn::kSkipInit,
+                                              "head");
+    if (config.multi_task) {
+      aux_length_head_ = std::make_unique<nn::LinearLayer>(
+          head_in, 1, nn::kSkipInit, "aux_len");
+      aux_time_head_ = std::make_unique<nn::LinearLayer>(
+          head_in, 1, nn::kSkipInit, "aux_time");
+    }
+  } else {
+    pathrank::Rng rng(config.seed);
+    embedding_ = std::make_unique<nn::EmbeddingLayer>(
+        vocab_size, config.embedding_dim, rng);
+    fwd_cell_ = nn::MakeRecurrentLayer(config.cell, config.embedding_dim,
+                                       config.hidden_size, rng, "cell_fwd");
+    if (config.bidirectional) {
+      bwd_cell_ = nn::MakeRecurrentLayer(config.cell, config.embedding_dim,
+                                         config.hidden_size, rng, "cell_bwd");
+    }
+    head_ = std::make_unique<nn::LinearLayer>(head_in, 1, rng, "head");
+    if (config.multi_task) {
+      aux_length_head_ =
+          std::make_unique<nn::LinearLayer>(head_in, 1, rng, "aux_len");
+      aux_time_head_ =
+          std::make_unique<nn::LinearLayer>(head_in, 1, rng, "aux_time");
+    }
+  }
   embedding_->set_frozen(!config.finetune_embedding);
-  fwd_cell_ = nn::MakeRecurrentLayer(config.cell, config.embedding_dim,
-                                     config.hidden_size, rng, "cell_fwd");
-  size_t head_in = config.hidden_size;
-  if (config.bidirectional) {
-    bwd_cell_ = nn::MakeRecurrentLayer(config.cell, config.embedding_dim,
-                                       config.hidden_size, rng, "cell_bwd");
-    head_in *= 2;
-  }
-  head_ = std::make_unique<nn::LinearLayer>(head_in, 1, rng, "head");
-  if (config.multi_task) {
-    aux_length_head_ =
-        std::make_unique<nn::LinearLayer>(head_in, 1, rng, "aux_len");
-    aux_time_head_ =
-        std::make_unique<nn::LinearLayer>(head_in, 1, rng, "aux_time");
-  }
 }
 
 void PathRankModel::InitializeEmbedding(const nn::Matrix& table) {
@@ -143,6 +185,73 @@ PathRankModel::Outputs PathRankModel::ForwardFull(
     }
   }
   return outputs_;
+}
+
+std::vector<float> PathRankModel::ForwardInference(
+    const nn::SequenceBatch& batch, InferenceScratch* scratch) const {
+  return ForwardInferenceFull(batch, scratch).scores;
+}
+
+PathRankModel::Outputs PathRankModel::ForwardInferenceFull(
+    const nn::SequenceBatch& batch, InferenceScratch* scratch) const {
+  PR_CHECK(batch.batch_size > 0 && batch.max_len > 0);
+  InferenceScratch& s = *scratch;
+  const size_t T = batch.max_len;
+  const size_t B = batch.batch_size;
+  const size_t H = config_.hidden_size;
+
+  // Mirrors ForwardFull operation for operation (scores must be bitwise
+  // identical), with every activation in the caller's scratch.
+  if (s.x_steps.size() != T) s.x_steps.resize(T);
+  for (size_t t = 0; t < T; ++t) {
+    embedding_->Lookup(batch, t, &s.x_steps[t]);
+  }
+  fwd_cell_->ForwardInference(s.x_steps, batch.lengths, &s.fwd_cell,
+                              &s.repr_fwd);
+  if (config_.pooling == Pooling::kMean) {
+    MeanPoolScratch(s.fwd_cell.h, H, batch.lengths, T, &s.repr_fwd);
+  }
+
+  if (config_.bidirectional) {
+    s.batch_rev = batch.Reversed();
+    if (s.x_steps_rev.size() != T) s.x_steps_rev.resize(T);
+    for (size_t t = 0; t < T; ++t) {
+      embedding_->Lookup(s.batch_rev, t, &s.x_steps_rev[t]);
+    }
+    bwd_cell_->ForwardInference(s.x_steps_rev, s.batch_rev.lengths,
+                                &s.bwd_cell, &s.repr_bwd);
+    if (config_.pooling == Pooling::kMean) {
+      MeanPoolScratch(s.bwd_cell.h, H, s.batch_rev.lengths, T, &s.repr_bwd);
+    }
+
+    s.concat_h.ResizeNoZero(B, 2 * H);  // fully overwritten below
+    for (size_t b = 0; b < B; ++b) {
+      float* dst = s.concat_h.row(b);
+      std::copy(s.repr_fwd.row(b), s.repr_fwd.row(b) + H, dst);
+      std::copy(s.repr_bwd.row(b), s.repr_bwd.row(b) + H, dst + H);
+    }
+  } else {
+    s.concat_h = s.repr_fwd;
+  }
+
+  head_->ForwardInference(s.concat_h, &s.logits);
+  Outputs out;
+  out.scores.resize(B);
+  for (size_t b = 0; b < B; ++b) {
+    out.scores[b] = 1.0f / (1.0f + std::exp(-s.logits.at(b, 0)));
+  }
+  if (config_.multi_task) {
+    aux_length_head_->ForwardInference(s.concat_h, &s.aux_length_logits);
+    aux_time_head_->ForwardInference(s.concat_h, &s.aux_time_logits);
+    out.aux_length.resize(B);
+    out.aux_time.resize(B);
+    for (size_t b = 0; b < B; ++b) {
+      out.aux_length[b] =
+          1.0f / (1.0f + std::exp(-s.aux_length_logits.at(b, 0)));
+      out.aux_time[b] = 1.0f / (1.0f + std::exp(-s.aux_time_logits.at(b, 0)));
+    }
+  }
+  return out;
 }
 
 void PathRankModel::Backward(const std::vector<float>& d_scores) {
@@ -230,8 +339,8 @@ void PathRankModel::BackwardFull(const std::vector<float>& d_scores,
   }
 }
 
-void PathRankModel::CopyParametersFrom(PathRankModel& other) {
-  const nn::ParameterList src = other.Parameters();
+void PathRankModel::CopyParametersFrom(const PathRankModel& other) {
+  const nn::ConstParameterList src = other.Parameters();
   const nn::ParameterList dst = Parameters();
   PR_CHECK(src.size() == dst.size()) << "architecture mismatch";
   for (size_t i = 0; i < src.size(); ++i) {
@@ -256,7 +365,27 @@ nn::ParameterList PathRankModel::Parameters() {
   return params;
 }
 
-size_t PathRankModel::NumParameters() {
+nn::ConstParameterList PathRankModel::Parameters() const {
+  nn::ConstParameterList params;
+  params.push_back(&embedding_->parameter());
+  const auto& fwd = *fwd_cell_;
+  for (const nn::Parameter* p : fwd.Parameters()) params.push_back(p);
+  if (bwd_cell_ != nullptr) {
+    const auto& bwd = *bwd_cell_;
+    for (const nn::Parameter* p : bwd.Parameters()) params.push_back(p);
+  }
+  const auto& head = *head_;
+  for (const nn::Parameter* p : head.Parameters()) params.push_back(p);
+  if (aux_length_head_ != nullptr) {
+    const auto& aux_len = *aux_length_head_;
+    const auto& aux_time = *aux_time_head_;
+    for (const nn::Parameter* p : aux_len.Parameters()) params.push_back(p);
+    for (const nn::Parameter* p : aux_time.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+size_t PathRankModel::NumParameters() const {
   size_t total = 0;
   for (const nn::Parameter* p : Parameters()) total += p->value.size();
   return total;

@@ -20,11 +20,39 @@
 
 namespace pathrank::core {
 
+/// How a PathRankModel's weights are produced at construction.
+enum class InitMode {
+  kRandomInit,  // seeded random init (training from scratch)
+  kSkipInit,    // weights left zero — for replicas/snapshots/checkpoint
+                // loads whose values are copied in wholesale, skipping
+                // O(vocab x dim) RNG draws per replica
+};
+
+/// Caller-owned activation buffers for the const inference path
+/// (ForwardInference). The model never writes activations into itself on
+/// that path, so one shared model plus one InferenceScratch per thread
+/// gives race-free concurrent scoring. Buffers are reshaped, not
+/// reallocated, when batch geometry repeats across calls.
+struct InferenceScratch {
+  nn::SequenceBatch batch_rev;
+  std::vector<nn::Matrix> x_steps;
+  std::vector<nn::Matrix> x_steps_rev;
+  nn::RecurrentScratch fwd_cell;
+  nn::RecurrentScratch bwd_cell;
+  nn::Matrix repr_fwd;
+  nn::Matrix repr_bwd;
+  nn::Matrix concat_h;
+  nn::Matrix logits;
+  nn::Matrix aux_length_logits;
+  nn::Matrix aux_time_logits;
+};
+
 /// Trainable path-scoring network.
 class PathRankModel {
  public:
   /// Builds the network for `vocab_size` vertices.
-  PathRankModel(size_t vocab_size, const PathRankConfig& config);
+  PathRankModel(size_t vocab_size, const PathRankConfig& config,
+                InitMode init = InitMode::kRandomInit);
 
   /// Initialises the embedding matrix B from pre-trained vectors
   /// [vocab_size x embedding_dim] (the spatial network embedding).
@@ -45,6 +73,18 @@ class PathRankModel {
   /// Forward pass that also produces the auxiliary-head outputs.
   Outputs ForwardFull(const nn::SequenceBatch& batch);
 
+  /// Inference-only forward: bitwise-identical scores to Forward, but all
+  /// activations land in the caller-owned `scratch` instead of the member
+  /// caches, so the model is never mutated. Many threads may score through
+  /// one shared const model concurrently, each with its own scratch. No
+  /// Backward may follow (use Forward for training).
+  std::vector<float> ForwardInference(const nn::SequenceBatch& batch,
+                                      InferenceScratch* scratch) const;
+
+  /// Inference forward including the auxiliary-head outputs.
+  Outputs ForwardInferenceFull(const nn::SequenceBatch& batch,
+                               InferenceScratch* scratch) const;
+
   /// Backpropagates d(loss)/d(score) for the last Forward batch and
   /// accumulates parameter gradients.
   void Backward(const std::vector<float>& d_scores);
@@ -58,16 +98,20 @@ class PathRankModel {
   /// All trainable parameters (embedding respects the PR-A1 freeze).
   nn::ParameterList Parameters();
 
+  /// Read-only parameter walk, same order as the mutable overload — the
+  /// basis for snapshots and checkpointing of const models.
+  nn::ConstParameterList Parameters() const;
+
   /// Copies every parameter value from `other` (must share architecture).
   /// Used to build data-parallel worker replicas that then stay bitwise in
   /// sync by applying identical reduced-gradient updates.
-  void CopyParametersFrom(PathRankModel& other);
+  void CopyParametersFrom(const PathRankModel& other);
 
   const PathRankConfig& config() const { return config_; }
   size_t vocab_size() const { return embedding_->vocab_size(); }
 
   /// Total parameter count (documentation/diagnostics).
-  size_t NumParameters();
+  size_t NumParameters() const;
 
  private:
   PathRankConfig config_;

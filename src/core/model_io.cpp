@@ -48,7 +48,7 @@ double GetF64(std::istream& in) {
 
 }  // namespace
 
-void SaveModel(PathRankModel& model, const std::string& path) {
+void SaveModel(const PathRankModel& model, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("cannot open " + path);
   const PathRankConfig& cfg = model.config();
@@ -65,7 +65,7 @@ void SaveModel(PathRankModel& model, const std::string& path) {
   PutF64(out, cfg.aux_loss_weight);
   Put64(out, cfg.seed);
 
-  const nn::ParameterList params = model.Parameters();
+  const nn::ConstParameterList params = model.Parameters();
   {
     // Duplicate names would silently alias slots at load time.
     std::unordered_map<std::string, int> seen;
@@ -106,7 +106,10 @@ std::unique_ptr<PathRankModel> LoadModel(const std::string& path) {
   cfg.aux_loss_weight = GetF64(in);
   cfg.seed = Get64(in);
 
-  auto model = std::make_unique<PathRankModel>(vocab, cfg);
+  // Skip-init: every parameter is required to be present in the
+  // checkpoint below, so the random init would be overwritten anyway.
+  auto model = std::make_unique<PathRankModel>(vocab, cfg,
+                                               InitMode::kSkipInit);
 
   const uint32_t count = Get32(in);
   std::unordered_map<std::string, nn::Matrix> loaded;

@@ -12,7 +12,7 @@ namespace pathrank::core {
 
 /// Saves `model` (config + parameters) to `path`.
 /// Throws std::runtime_error on I/O failure.
-void SaveModel(PathRankModel& model, const std::string& path);
+void SaveModel(const PathRankModel& model, const std::string& path);
 
 /// Loads a model checkpoint; reconstructs the architecture from the stored
 /// config and fills in the trained parameters.

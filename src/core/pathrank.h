@@ -11,13 +11,26 @@
 //   model.InitializeEmbedding(table);
 //   core::TrainPathRank(model, split.train, split.validation, trainConfig);
 //   auto result  = core::Evaluate(model, split.test);
-//   core::Ranker ranker(network, model);
-//   auto ranked  = ranker.Rank(source, destination);
+//
+// Deployment goes through the serving stack: capture an immutable snapshot
+// of the trained weights and serve it from a thread-safe replica-pool
+// engine (any number of threads may query one shared engine):
+//
+//   serving::ServingEngine engine(network,
+//                                 serving::ModelSnapshot::Capture(model));
+//   auto ranked  = engine.Rank(source, destination);         // one query
+//   auto batches = engine.RankBatch(queries);                // many queries
+//   auto scored  = engine.ScoreBatch(candidatePaths);        // own candidates
+//
+// (core::Ranker still compiles as a deprecated single-replica shim over
+// the engine.) See docs/serving.md for the threading and determinism
+// contract.
 #pragma once
 
 #include "core/config.h"       // IWYU pragma: export
 #include "core/evaluator.h"    // IWYU pragma: export
 #include "core/model.h"        // IWYU pragma: export
+#include "core/model_io.h"     // IWYU pragma: export
 #include "core/ranker.h"       // IWYU pragma: export
 #include "core/trainer.h"      // IWYU pragma: export
 #include "data/batcher.h"      // IWYU pragma: export
@@ -31,4 +44,6 @@
 #include "routing/dijkstra.h"  // IWYU pragma: export
 #include "routing/diversified.h"        // IWYU pragma: export
 #include "routing/yen.h"       // IWYU pragma: export
+#include "serving/model_snapshot.h"     // IWYU pragma: export
+#include "serving/serving_engine.h"     // IWYU pragma: export
 #include "traj/trajectory_generator.h"  // IWYU pragma: export

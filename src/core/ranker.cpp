@@ -1,73 +1,28 @@
 #include "core/ranker.h"
 
-#include <algorithm>
-
-#include "routing/cost_model.h"
-#include "routing/diversified.h"
-#include "routing/penalty_alternatives.h"
-#include "routing/yen.h"
-
 namespace pathrank::core {
+namespace {
+
+serving::ServingOptions SingleReplica() {
+  serving::ServingOptions options;
+  options.num_replicas = 1;  // the legacy facade was single-caller
+  return options;
+}
+
+}  // namespace
+
+Ranker::Ranker(const graph::RoadNetwork& network, const PathRankModel& model)
+    : engine_(network, model, SingleReplica()) {}
 
 std::vector<ScoredPath> Ranker::Rank(
     graph::VertexId source, graph::VertexId destination,
     const data::CandidateGenConfig& gen) const {
-  // Same metric the training candidates were generated with.
-  const auto cost = routing::EdgeCostFn::TravelTime(*network_);
-  std::vector<routing::Path> candidates;
-  switch (gen.strategy) {
-    case data::CandidateStrategy::kTopK:
-      candidates = routing::TopKShortestPaths(*network_, source, destination,
-                                              cost, gen.k);
-      break;
-    case data::CandidateStrategy::kDiversifiedTopK: {
-      routing::DiversifiedOptions options;
-      options.k = gen.k;
-      options.similarity_threshold = gen.similarity_threshold;
-      options.max_enumerated = gen.max_enumerated;
-      candidates = routing::DiversifiedTopK(*network_, source, destination,
-                                            cost, options);
-      break;
-    }
-    case data::CandidateStrategy::kPenalty: {
-      routing::PenaltyOptions options;
-      options.k = gen.k;
-      options.penalty_factor = gen.penalty_factor;
-      candidates = routing::PenaltyAlternatives(*network_, source,
-                                                destination, cost, options);
-      break;
-    }
-  }
-  return Score(candidates);
+  return engine_.Rank(source, destination, gen);
 }
 
 std::vector<ScoredPath> Ranker::Score(
     const std::vector<routing::Path>& paths) const {
-  std::vector<ScoredPath> scored;
-  if (paths.empty()) return scored;
-
-  std::vector<std::vector<int32_t>> seqs;
-  seqs.reserve(paths.size());
-  for (const auto& p : paths) {
-    std::vector<int32_t> seq;
-    seq.reserve(p.vertices.size());
-    for (graph::VertexId v : p.vertices) {
-      seq.push_back(static_cast<int32_t>(v));
-    }
-    seqs.push_back(std::move(seq));
-  }
-  const auto batch = nn::SequenceBatch::FromSequences(seqs);
-  const std::vector<float> scores = model_->Forward(batch);
-
-  scored.reserve(paths.size());
-  for (size_t i = 0; i < paths.size(); ++i) {
-    scored.push_back({paths[i], static_cast<double>(scores[i])});
-  }
-  std::sort(scored.begin(), scored.end(),
-            [](const ScoredPath& a, const ScoredPath& b) {
-              return a.score > b.score;
-            });
-  return scored;
+  return engine_.ScoreBatch(paths);
 }
 
 }  // namespace pathrank::core

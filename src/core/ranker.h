@@ -1,7 +1,12 @@
-// End-to-end ranking service: given (source, destination), generate
-// candidate paths with the advanced-routing component (top-k or diversified
-// top-k) and order them by the trained PathRank model's estimated scores —
-// the deployment-time use the paper's "Solution Overview" describes.
+// DEPRECATED end-to-end ranking facade, kept as a thin shim over
+// serving::ServingEngine for source compatibility. New code should build a
+// ServingEngine directly (serving/serving_engine.h): it shares one
+// immutable snapshot across a replica pool and is safe to call from many
+// threads, where Ranker wraps a single-replica engine.
+//
+// Semantics note: the engine captures an immutable snapshot of the model's
+// parameters at Ranker construction; training the model afterwards does
+// not change this Ranker's scores.
 #pragma once
 
 #include <vector>
@@ -9,20 +14,18 @@
 #include "core/model.h"
 #include "data/candidate_generation.h"
 #include "graph/road_network.h"
+#include "serving/serving_engine.h"
 
 namespace pathrank::core {
 
-/// One ranked candidate.
-struct ScoredPath {
-  routing::Path path;
-  double score = 0.0;
-};
+/// One ranked candidate (compatibility alias — the type lives with the
+/// serving stack now).
+using ScoredPath = serving::ScoredPath;
 
-/// Stateless facade binding a network and a trained model.
+/// Deprecated facade binding a network and a trained model; see above.
 class Ranker {
  public:
-  Ranker(const graph::RoadNetwork& network, PathRankModel& model)
-      : network_(&network), model_(&model) {}
+  Ranker(const graph::RoadNetwork& network, const PathRankModel& model);
 
   /// Generates candidates and returns them sorted by descending estimated
   /// score. `gen` controls the candidate strategy (defaults to D-TkDI).
@@ -34,8 +37,7 @@ class Ranker {
   std::vector<ScoredPath> Score(const std::vector<routing::Path>& paths) const;
 
  private:
-  const graph::RoadNetwork* network_;
-  PathRankModel* model_;
+  serving::ServingEngine engine_;
 };
 
 }  // namespace pathrank::core

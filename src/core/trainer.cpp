@@ -76,17 +76,17 @@ TrainHistory TrainPathRank(PathRankModel& model,
   const size_t num_workers =
       std::max<size_t>(1, NumShardsFor(batcher.num_batches()));
   std::vector<Worker> workers(num_workers);
-  std::vector<PathRankModel*> worker_models(num_workers);
   for (size_t w = 0; w < num_workers; ++w) {
     if (w == 0) {
       workers[w].model = &model;
     } else {
-      workers[w].owned = std::make_unique<PathRankModel>(model.vocab_size(),
-                                                         model.config());
+      // Skip-init: the replica's values are copied in wholesale, so the
+      // constructor's O(vocab x dim) RNG draws would be wasted work.
+      workers[w].owned = std::make_unique<PathRankModel>(
+          model.vocab_size(), model.config(), InitMode::kSkipInit);
       workers[w].owned->CopyParametersFrom(model);
       workers[w].model = workers[w].owned.get();
     }
-    worker_models[w] = workers[w].model;
     workers[w].params = workers[w].model->Parameters();
   }
   const nn::ParameterList& params = workers[0].params;
@@ -201,9 +201,9 @@ TrainHistory TrainPathRank(PathRankModel& model,
     record.learning_rate = lr;
 
     if (use_validation) {
-      // The workers are bitwise-identical replicas — shard validation
-      // across them instead of letting Evaluate() rebuild replicas.
-      const EvalResult val = EvaluateWithReplicas(worker_models, validation);
+      // Validation scores through the const inference path on the shared
+      // model — sharded with per-shard scratch, no replica copies.
+      const EvalResult val = Evaluate(model, validation);
       record.val_mae = val.mae;
       record.val_tau = val.kendall_tau;
       if (val.mae < history.best_val_mae) {

@@ -21,6 +21,37 @@ std::string CandidateStrategyName(CandidateStrategy strategy) {
   return "?";
 }
 
+std::vector<routing::Path> GenerateCandidatePaths(
+    const graph::RoadNetwork& network, graph::VertexId source,
+    graph::VertexId destination, const CandidateGenConfig& config) {
+  // Candidates are enumerated under free-flow travel time: the metric
+  // commercial routing engines optimise and the domain the simulated
+  // drivers perturb. (Length-based enumeration systematically misses the
+  // arterial/motorway routes drivers actually take.)
+  const auto cost = routing::EdgeCostFn::TravelTime(network);
+  switch (config.strategy) {
+    case CandidateStrategy::kTopK:
+      return routing::TopKShortestPaths(network, source, destination, cost,
+                                        config.k);
+    case CandidateStrategy::kDiversifiedTopK: {
+      routing::DiversifiedOptions options;
+      options.k = config.k;
+      options.similarity_threshold = config.similarity_threshold;
+      options.max_enumerated = config.max_enumerated;
+      return routing::DiversifiedTopK(network, source, destination, cost,
+                                      options);
+    }
+    case CandidateStrategy::kPenalty: {
+      routing::PenaltyOptions options;
+      options.k = config.k;
+      options.penalty_factor = config.penalty_factor;
+      return routing::PenaltyAlternatives(network, source, destination, cost,
+                                          options);
+    }
+  }
+  return {};
+}
+
 RankingQuery GenerateQuery(const graph::RoadNetwork& network,
                            const traj::TripPath& trip, int query_id,
                            const CandidateGenConfig& config) {
@@ -32,35 +63,9 @@ RankingQuery GenerateQuery(const graph::RoadNetwork& network,
   query.destination = trip.destination();
   query.truth = trip.path;
 
-  // Candidates are enumerated under free-flow travel time: the metric
-  // commercial routing engines optimise and the domain the simulated
-  // drivers perturb. (Length-based enumeration systematically misses the
-  // arterial/motorway routes drivers actually take.)
-  const auto cost = routing::EdgeCostFn::TravelTime(network);
-  std::vector<routing::Path> paths;
-  switch (config.strategy) {
-    case CandidateStrategy::kTopK:
-      paths = routing::TopKShortestPaths(network, query.source,
-                                         query.destination, cost, config.k);
-      break;
-    case CandidateStrategy::kDiversifiedTopK: {
-      routing::DiversifiedOptions options;
-      options.k = config.k;
-      options.similarity_threshold = config.similarity_threshold;
-      options.max_enumerated = config.max_enumerated;
-      paths = routing::DiversifiedTopK(network, query.source,
-                                       query.destination, cost, options);
-      break;
-    }
-    case CandidateStrategy::kPenalty: {
-      routing::PenaltyOptions options;
-      options.k = config.k;
-      options.penalty_factor = config.penalty_factor;
-      paths = routing::PenaltyAlternatives(network, query.source,
-                                           query.destination, cost, options);
-      break;
-    }
-  }
+  std::vector<routing::Path> paths =
+      GenerateCandidatePaths(network, query.source, query.destination,
+                             config);
 
   query.candidates.reserve(paths.size());
   for (routing::Path& p : paths) {

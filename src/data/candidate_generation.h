@@ -56,6 +56,14 @@ struct RankingQuery {
   std::vector<RankingCandidate> candidates;
 };
 
+/// Enumerates candidate paths for one (source, destination) pair with the
+/// configured strategy under the free-flow travel-time metric — the one
+/// switch shared by training-data generation and the serving engine, so
+/// deployment-time candidates always match the training distribution.
+std::vector<routing::Path> GenerateCandidatePaths(
+    const graph::RoadNetwork& network, graph::VertexId source,
+    graph::VertexId destination, const CandidateGenConfig& config);
+
 /// Generates the candidate set for one trip. Candidates are computed with
 /// the free-flow travel-time metric (the advanced-routing component of the
 /// paper's pipeline). Returns fewer than k candidates only when the graph

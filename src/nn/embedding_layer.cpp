@@ -10,6 +10,9 @@ EmbeddingLayer::EmbeddingLayer(size_t vocab_size, size_t dim,
   UniformInit(&table_.value, 0.05f, rng);
 }
 
+EmbeddingLayer::EmbeddingLayer(size_t vocab_size, size_t dim, SkipInit)
+    : table_("embedding", vocab_size, dim) {}
+
 void EmbeddingLayer::LoadTable(const Matrix& table) {
   PR_CHECK(table.rows() == table_.value.rows() &&
            table.cols() == table_.value.cols())

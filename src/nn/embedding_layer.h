@@ -17,6 +17,10 @@ class EmbeddingLayer {
   /// Creates a [vocab_size x dim] table initialised U(-0.05, 0.05).
   EmbeddingLayer(size_t vocab_size, size_t dim, pathrank::Rng& rng);
 
+  /// Skip-init construction: the table is allocated but left zero, for
+  /// callers that overwrite it wholesale (replicas, checkpoint loads).
+  EmbeddingLayer(size_t vocab_size, size_t dim, SkipInit);
+
   /// Replaces the table content (e.g. with node2vec vectors); the matrix
   /// must be [vocab_size x dim].
   void LoadTable(const Matrix& table);
@@ -39,6 +43,7 @@ class EmbeddingLayer {
   size_t dim() const { return table_.value.cols(); }
 
   Parameter& parameter() { return table_; }
+  const Parameter& parameter() const { return table_; }
   const Matrix& table() const { return table_.value; }
 
  private:

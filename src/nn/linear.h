@@ -13,13 +13,23 @@ class LinearLayer {
   LinearLayer(size_t input_size, size_t output_size, pathrank::Rng& rng,
               const std::string& name_prefix = "fc");
 
+  /// Skip-init construction (weights left zero, to be copied into).
+  LinearLayer(size_t input_size, size_t output_size, SkipInit,
+              const std::string& name_prefix = "fc");
+
   /// Y[B x out] = X[B x in] W + b. Caches X.
   void Forward(const Matrix& x, Matrix* y);
+
+  /// Inference-only forward: same arithmetic as Forward but no input
+  /// cache, so it never mutates the layer and is safe to call from many
+  /// threads concurrently.
+  void ForwardInference(const Matrix& x, Matrix* y) const;
 
   /// Accumulates dW, db and writes dX.
   void Backward(const Matrix& d_y, Matrix* d_x);
 
   ParameterList Parameters() { return {&w_, &b_}; }
+  ConstParameterList Parameters() const { return {&w_, &b_}; }
   size_t input_size() const { return w_.value.rows(); }
   size_t output_size() const { return w_.value.cols(); }
 

@@ -29,6 +29,18 @@ struct Parameter {
 /// Non-owning list of parameters (layers own their Parameter members).
 using ParameterList = std::vector<Parameter*>;
 
+/// Read-only view of a parameter list — the inference/serving side of the
+/// API (snapshots, checkpointing) walks parameters without mutation
+/// rights.
+using ConstParameterList = std::vector<const Parameter*>;
+
+/// Tag selecting a construction path that skips random weight
+/// initialisation. Used by replica/snapshot builders whose values are
+/// immediately overwritten (CopyParametersFrom, checkpoint load), saving
+/// O(vocab x dim) RNG draws per replica.
+struct SkipInit {};
+inline constexpr SkipInit kSkipInit{};
+
 /// Sum of squared gradient norms across a list. Frozen parameters are
 /// excluded: optimizers never apply their gradients, so they must not
 /// consume clip budget either.

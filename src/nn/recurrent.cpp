@@ -71,6 +71,18 @@ GruLayer::GruLayer(size_t input_size, size_t hidden_size, pathrank::Rng& rng,
   }
 }
 
+GruLayer::GruLayer(size_t input_size, size_t hidden_size, SkipInit,
+                   const std::string& p)
+    : wz_(p + ".wz", input_size, hidden_size),
+      wr_(p + ".wr", input_size, hidden_size),
+      wh_(p + ".wh", input_size, hidden_size),
+      uz_(p + ".uz", hidden_size, hidden_size),
+      ur_(p + ".ur", hidden_size, hidden_size),
+      uh_(p + ".uh", hidden_size, hidden_size),
+      bz_(p + ".bz", 1, hidden_size),
+      br_(p + ".br", 1, hidden_size),
+      bh_(p + ".bh", 1, hidden_size) {}
+
 void GruLayer::Forward(const std::vector<Matrix>& x_steps,
                        const std::vector<int32_t>& lengths, Matrix* final_h) {
   const size_t num_steps = x_steps.size();
@@ -133,6 +145,69 @@ void GruLayer::Forward(const std::vector<Matrix>& x_steps,
     }
   }
   *final_h = h_[num_steps];
+}
+
+void GruLayer::ForwardInference(const std::vector<Matrix>& x_steps,
+                                const std::vector<int32_t>& lengths,
+                                RecurrentScratch* s, Matrix* final_h) const {
+  const size_t num_steps = x_steps.size();
+  PR_CHECK(num_steps > 0);
+  const size_t batch = x_steps[0].rows();
+  const size_t hidden = hidden_size();
+
+  // Same arithmetic and operation order as Forward — scores must be
+  // bitwise identical — but gates live in per-step scratch (no Backward
+  // follows) and hidden states in the caller's buffers.
+  EnsureStepShapes(&s->h, num_steps + 1, batch, hidden);
+  Matrix& z = s->g1;
+  Matrix& r = s->g2;
+  Matrix& hhat = s->g3;
+  Matrix& rh = s->g4;
+  z.ResizeNoZero(batch, hidden);
+  r.ResizeNoZero(batch, hidden);
+  hhat.ResizeNoZero(batch, hidden);
+  rh.ResizeNoZero(batch, hidden);
+  s->h[0].Zero();
+
+  for (size_t t = 0; t < num_steps; ++t) {
+    const Matrix& x = x_steps[t];
+    const Matrix& h_prev = s->h[t];
+    PR_CHECK(x.cols() == input_size());
+
+    GemmNN(x, wz_.value, &z);
+    GemmNN(h_prev, uz_.value, &z, 1.0f, 1.0f);
+    AddRowBroadcast(bz_.value, &z);
+    SigmoidInPlace(&z);
+
+    GemmNN(x, wr_.value, &r);
+    GemmNN(h_prev, ur_.value, &r, 1.0f, 1.0f);
+    AddRowBroadcast(br_.value, &r);
+    SigmoidInPlace(&r);
+
+    Hadamard(r, h_prev, &rh);
+
+    GemmNN(x, wh_.value, &hhat);
+    GemmNN(rh, uh_.value, &hhat, 1.0f, 1.0f);
+    AddRowBroadcast(bh_.value, &hhat);
+    TanhInPlace(&hhat);
+
+    const auto mask = StepMask(lengths, t);
+    Matrix& h_new = s->h[t + 1];
+    for (size_t b = 0; b < batch; ++b) {
+      float* hn = h_new.row(b);
+      const float* hp = h_prev.row(b);
+      if (mask[b] == 0.0f) {
+        std::copy(hp, hp + hidden, hn);
+        continue;
+      }
+      const float* zz = z.row(b);
+      const float* hh = hhat.row(b);
+      for (size_t c = 0; c < hidden; ++c) {
+        hn[c] = (1.0f - zz[c]) * hp[c] + zz[c] * hh[c];
+      }
+    }
+  }
+  *final_h = s->h[num_steps];
 }
 
 void GruLayer::BackwardImpl(const Matrix* d_final_h,
@@ -228,6 +303,10 @@ ParameterList GruLayer::Parameters() {
   return {&wz_, &wr_, &wh_, &uz_, &ur_, &uh_, &bz_, &br_, &bh_};
 }
 
+ConstParameterList GruLayer::Parameters() const {
+  return {&wz_, &wr_, &wh_, &uz_, &ur_, &uh_, &bz_, &br_, &bh_};
+}
+
 // ---------------------------------------------------------------- RNN ----
 
 RnnLayer::RnnLayer(size_t input_size, size_t hidden_size, pathrank::Rng& rng,
@@ -238,6 +317,12 @@ RnnLayer::RnnLayer(size_t input_size, size_t hidden_size, pathrank::Rng& rng,
   XavierInit(&w_.value, rng);
   XavierInit(&u_.value, rng);
 }
+
+RnnLayer::RnnLayer(size_t input_size, size_t hidden_size, SkipInit,
+                   const std::string& p)
+    : w_(p + ".w", input_size, hidden_size),
+      u_(p + ".u", hidden_size, hidden_size),
+      b_(p + ".b", 1, hidden_size) {}
 
 void RnnLayer::Forward(const std::vector<Matrix>& x_steps,
                        const std::vector<int32_t>& lengths, Matrix* final_h) {
@@ -269,6 +354,37 @@ void RnnLayer::Forward(const std::vector<Matrix>& x_steps,
     }
   }
   *final_h = h_[num_steps];
+}
+
+void RnnLayer::ForwardInference(const std::vector<Matrix>& x_steps,
+                                const std::vector<int32_t>& lengths,
+                                RecurrentScratch* s, Matrix* final_h) const {
+  const size_t num_steps = x_steps.size();
+  PR_CHECK(num_steps > 0);
+  const size_t batch = x_steps[0].rows();
+  const size_t hidden = hidden_size();
+
+  EnsureStepShapes(&s->h, num_steps + 1, batch, hidden);
+  Matrix& hnew = s->g1;
+  hnew.ResizeNoZero(batch, hidden);
+  s->h[0].Zero();
+
+  for (size_t t = 0; t < num_steps; ++t) {
+    const Matrix& x = x_steps[t];
+    const Matrix& h_prev = s->h[t];
+    GemmNN(x, w_.value, &hnew);
+    GemmNN(h_prev, u_.value, &hnew, 1.0f, 1.0f);
+    AddRowBroadcast(b_.value, &hnew);
+    TanhInPlace(&hnew);
+
+    const auto mask = StepMask(lengths, t);
+    Matrix& h_new = s->h[t + 1];
+    for (size_t bb = 0; bb < batch; ++bb) {
+      const float* src = mask[bb] == 0.0f ? h_prev.row(bb) : hnew.row(bb);
+      std::copy(src, src + hidden, h_new.row(bb));
+    }
+  }
+  *final_h = s->h[num_steps];
 }
 
 void RnnLayer::BackwardImpl(const Matrix* d_final_h,
@@ -320,6 +436,8 @@ void RnnLayer::BackwardImpl(const Matrix* d_final_h,
 
 ParameterList RnnLayer::Parameters() { return {&w_, &u_, &b_}; }
 
+ConstParameterList RnnLayer::Parameters() const { return {&w_, &u_, &b_}; }
+
 // --------------------------------------------------------------- LSTM ----
 
 LstmLayer::LstmLayer(size_t input_size, size_t hidden_size,
@@ -341,6 +459,21 @@ LstmLayer::LstmLayer(size_t input_size, size_t hidden_size,
   }
   bf_.value.Fill(1.0f);  // standard forget-gate bias init
 }
+
+LstmLayer::LstmLayer(size_t input_size, size_t hidden_size, SkipInit,
+                     const std::string& p)
+    : wi_(p + ".wi", input_size, hidden_size),
+      wf_(p + ".wf", input_size, hidden_size),
+      wo_(p + ".wo", input_size, hidden_size),
+      wg_(p + ".wg", input_size, hidden_size),
+      ui_(p + ".ui", hidden_size, hidden_size),
+      uf_(p + ".uf", hidden_size, hidden_size),
+      uo_(p + ".uo", hidden_size, hidden_size),
+      ug_(p + ".ug", hidden_size, hidden_size),
+      bi_(p + ".bi", 1, hidden_size),
+      bf_(p + ".bf", 1, hidden_size),
+      bo_(p + ".bo", 1, hidden_size),
+      bg_(p + ".bg", 1, hidden_size) {}
 
 void LstmLayer::Forward(const std::vector<Matrix>& x_steps,
                         const std::vector<int32_t>& lengths,
@@ -421,6 +554,86 @@ void LstmLayer::Forward(const std::vector<Matrix>& x_steps,
     }
   }
   *final_h = h_[num_steps];
+}
+
+void LstmLayer::ForwardInference(const std::vector<Matrix>& x_steps,
+                                 const std::vector<int32_t>& lengths,
+                                 RecurrentScratch* s, Matrix* final_h) const {
+  const size_t num_steps = x_steps.size();
+  PR_CHECK(num_steps > 0);
+  const size_t batch = x_steps[0].rows();
+  const size_t hidden = hidden_size();
+
+  EnsureStepShapes(&s->h, num_steps + 1, batch, hidden);
+  EnsureStepShapes(&s->c, num_steps + 1, batch, hidden);
+  Matrix& ig = s->g1;
+  Matrix& fg = s->g2;
+  Matrix& og = s->g3;
+  Matrix& gg = s->g4;
+  Matrix& cn = s->tmp;
+  Matrix& tanh_cn = s->tmp2;
+  for (Matrix* m : {&ig, &fg, &og, &gg, &cn}) {
+    m->ResizeNoZero(batch, hidden);
+  }
+  s->h[0].Zero();
+  s->c[0].Zero();
+
+  auto gate = [](const Matrix& x, const Matrix& h_prev, const Parameter& w,
+                 const Parameter& u, const Parameter& b, bool is_tanh,
+                 Matrix* out) {
+    GemmNN(x, w.value, out);
+    GemmNN(h_prev, u.value, out, 1.0f, 1.0f);
+    AddRowBroadcast(b.value, out);
+    if (is_tanh) {
+      TanhInPlace(out);
+    } else {
+      SigmoidInPlace(out);
+    }
+  };
+
+  for (size_t t = 0; t < num_steps; ++t) {
+    const Matrix& x = x_steps[t];
+    const Matrix& h_prev = s->h[t];
+    const Matrix& c_prev = s->c[t];
+    gate(x, h_prev, wi_, ui_, bi_, false, &ig);
+    gate(x, h_prev, wf_, uf_, bf_, false, &fg);
+    gate(x, h_prev, wo_, uo_, bo_, false, &og);
+    gate(x, h_prev, wg_, ug_, bg_, true, &gg);
+
+    for (size_t bb = 0; bb < batch; ++bb) {
+      const float* pf = fg.row(bb);
+      const float* pi = ig.row(bb);
+      const float* pg = gg.row(bb);
+      const float* pc = c_prev.row(bb);
+      float* pcn = cn.row(bb);
+      for (size_t cidx = 0; cidx < hidden; ++cidx) {
+        pcn[cidx] = pf[cidx] * pc[cidx] + pi[cidx] * pg[cidx];
+      }
+    }
+    tanh_cn = cn;
+    TanhInPlace(&tanh_cn);
+
+    const auto mask = StepMask(lengths, t);
+    Matrix& h_next = s->h[t + 1];
+    Matrix& c_next = s->c[t + 1];
+    for (size_t bb = 0; bb < batch; ++bb) {
+      float* ph = h_next.row(bb);
+      float* pc = c_next.row(bb);
+      if (mask[bb] == 0.0f) {
+        std::copy(h_prev.row(bb), h_prev.row(bb) + hidden, ph);
+        std::copy(c_prev.row(bb), c_prev.row(bb) + hidden, pc);
+        continue;
+      }
+      const float* po = og.row(bb);
+      const float* ptc = tanh_cn.row(bb);
+      const float* pcn = cn.row(bb);
+      for (size_t cidx = 0; cidx < hidden; ++cidx) {
+        ph[cidx] = po[cidx] * ptc[cidx];
+        pc[cidx] = pcn[cidx];
+      }
+    }
+  }
+  *final_h = s->h[num_steps];
 }
 
 void LstmLayer::BackwardImpl(const Matrix* d_final_h,
@@ -515,6 +728,11 @@ ParameterList LstmLayer::Parameters() {
           &bi_, &bf_, &bo_, &bg_};
 }
 
+ConstParameterList LstmLayer::Parameters() const {
+  return {&wi_, &wf_, &wo_, &wg_, &ui_, &uf_, &uo_, &ug_,
+          &bi_, &bf_, &bo_, &bg_};
+}
+
 std::unique_ptr<RecurrentLayer> MakeRecurrentLayer(
     CellType type, size_t input_size, size_t hidden_size, pathrank::Rng& rng,
     const std::string& name_prefix) {
@@ -527,6 +745,23 @@ std::unique_ptr<RecurrentLayer> MakeRecurrentLayer(
                                         name_prefix);
     case CellType::kLstm:
       return std::make_unique<LstmLayer>(input_size, hidden_size, rng,
+                                         name_prefix);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<RecurrentLayer> MakeRecurrentLayer(
+    CellType type, size_t input_size, size_t hidden_size, SkipInit,
+    const std::string& name_prefix) {
+  switch (type) {
+    case CellType::kGru:
+      return std::make_unique<GruLayer>(input_size, hidden_size, kSkipInit,
+                                        name_prefix);
+    case CellType::kRnn:
+      return std::make_unique<RnnLayer>(input_size, hidden_size, kSkipInit,
+                                        name_prefix);
+    case CellType::kLstm:
+      return std::make_unique<LstmLayer>(input_size, hidden_size, kSkipInit,
                                          name_prefix);
   }
   return nullptr;

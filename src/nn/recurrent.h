@@ -19,6 +19,18 @@
 
 namespace pathrank::nn {
 
+/// Caller-owned activation buffers for the const inference path of the
+/// recurrent layers (ForwardInference). One scratch per concurrent caller;
+/// buffers are reshaped, not reallocated, when batch geometry repeats.
+/// After ForwardInference, `h[t + 1]` is the hidden state after step t
+/// (`h[0]` is the zero initial state) — the mean-pooling head reads it.
+struct RecurrentScratch {
+  std::vector<Matrix> h;   // [num_steps + 1] hidden states
+  std::vector<Matrix> c;   // [num_steps + 1] LSTM cell states (LSTM only)
+  Matrix g1, g2, g3, g4;   // per-step gate scratch, reused across steps
+  Matrix tmp, tmp2;        // per-step intermediate scratch
+};
+
 /// Abstract masked recurrent encoder.
 class RecurrentLayer {
  public:
@@ -29,6 +41,16 @@ class RecurrentLayer {
   virtual void Forward(const std::vector<Matrix>& x_steps,
                        const std::vector<int32_t>& lengths,
                        Matrix* final_h) = 0;
+
+  /// Inference-only forward: bitwise-identical arithmetic to Forward, but
+  /// every activation lands in the caller-owned `scratch` instead of the
+  /// member caches, so the layer itself is never mutated — many threads
+  /// may call this concurrently on one shared layer, each with its own
+  /// scratch. No Backward may follow (use Forward for training).
+  virtual void ForwardInference(const std::vector<Matrix>& x_steps,
+                                const std::vector<int32_t>& lengths,
+                                RecurrentScratch* scratch,
+                                Matrix* final_h) const = 0;
 
   /// Hidden state after step `t` of the last Forward ([B x hidden]).
   /// Padded rows carry the last real state forward.
@@ -50,6 +72,7 @@ class RecurrentLayer {
   }
 
   virtual ParameterList Parameters() = 0;
+  virtual ConstParameterList Parameters() const = 0;
   virtual size_t input_size() const = 0;
   virtual size_t hidden_size() const = 0;
   virtual std::string Name() const = 0;
@@ -74,11 +97,18 @@ class GruLayer final : public RecurrentLayer {
  public:
   GruLayer(size_t input_size, size_t hidden_size, pathrank::Rng& rng,
            const std::string& name_prefix = "gru");
+  GruLayer(size_t input_size, size_t hidden_size, SkipInit,
+           const std::string& name_prefix = "gru");
 
   void Forward(const std::vector<Matrix>& x_steps,
                const std::vector<int32_t>& lengths, Matrix* final_h) override;
+  void ForwardInference(const std::vector<Matrix>& x_steps,
+                        const std::vector<int32_t>& lengths,
+                        RecurrentScratch* scratch,
+                        Matrix* final_h) const override;
   const Matrix& hidden_state(size_t t) const override { return h_[t + 1]; }
   ParameterList Parameters() override;
+  ConstParameterList Parameters() const override;
   size_t input_size() const override { return wz_.value.rows(); }
   size_t hidden_size() const override { return wz_.value.cols(); }
   std::string Name() const override { return "gru"; }
@@ -108,11 +138,18 @@ class RnnLayer final : public RecurrentLayer {
  public:
   RnnLayer(size_t input_size, size_t hidden_size, pathrank::Rng& rng,
            const std::string& name_prefix = "rnn");
+  RnnLayer(size_t input_size, size_t hidden_size, SkipInit,
+           const std::string& name_prefix = "rnn");
 
   void Forward(const std::vector<Matrix>& x_steps,
                const std::vector<int32_t>& lengths, Matrix* final_h) override;
+  void ForwardInference(const std::vector<Matrix>& x_steps,
+                        const std::vector<int32_t>& lengths,
+                        RecurrentScratch* scratch,
+                        Matrix* final_h) const override;
   const Matrix& hidden_state(size_t t) const override { return h_[t + 1]; }
   ParameterList Parameters() override;
+  ConstParameterList Parameters() const override;
   size_t input_size() const override { return w_.value.rows(); }
   size_t hidden_size() const override { return w_.value.cols(); }
   std::string Name() const override { return "rnn"; }
@@ -136,11 +173,18 @@ class LstmLayer final : public RecurrentLayer {
  public:
   LstmLayer(size_t input_size, size_t hidden_size, pathrank::Rng& rng,
             const std::string& name_prefix = "lstm");
+  LstmLayer(size_t input_size, size_t hidden_size, SkipInit,
+            const std::string& name_prefix = "lstm");
 
   void Forward(const std::vector<Matrix>& x_steps,
                const std::vector<int32_t>& lengths, Matrix* final_h) override;
+  void ForwardInference(const std::vector<Matrix>& x_steps,
+                        const std::vector<int32_t>& lengths,
+                        RecurrentScratch* scratch,
+                        Matrix* final_h) const override;
   const Matrix& hidden_state(size_t t) const override { return h_[t + 1]; }
   ParameterList Parameters() override;
+  ConstParameterList Parameters() const override;
   size_t input_size() const override { return wi_.value.rows(); }
   size_t hidden_size() const override { return wi_.value.cols(); }
   std::string Name() const override { return "lstm"; }
@@ -167,6 +211,12 @@ class LstmLayer final : public RecurrentLayer {
 /// checkpoints can address them).
 std::unique_ptr<RecurrentLayer> MakeRecurrentLayer(
     CellType type, size_t input_size, size_t hidden_size, pathrank::Rng& rng,
+    const std::string& name_prefix);
+
+/// Skip-init factory variant for replica/snapshot builders: weights are
+/// left zero and must be copied into before use.
+std::unique_ptr<RecurrentLayer> MakeRecurrentLayer(
+    CellType type, size_t input_size, size_t hidden_size, SkipInit,
     const std::string& name_prefix);
 
 }  // namespace pathrank::nn

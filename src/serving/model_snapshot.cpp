@@ -1,0 +1,23 @@
+#include "serving/model_snapshot.h"
+
+namespace pathrank::serving {
+
+ModelSnapshot::ModelSnapshot(const core::PathRankModel& model)
+    : model_(std::make_unique<core::PathRankModel>(
+          model.vocab_size(), model.config(), core::InitMode::kSkipInit)) {
+  model_->CopyParametersFrom(model);
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::Capture(
+    const core::PathRankModel& model) {
+  return std::make_shared<const ModelSnapshot>(model);
+}
+
+std::unique_ptr<core::PathRankModel> ModelSnapshot::Materialize() const {
+  auto copy = std::make_unique<core::PathRankModel>(
+      vocab_size(), config(), core::InitMode::kSkipInit);
+  copy->CopyParametersFrom(*model_);
+  return copy;
+}
+
+}  // namespace pathrank::serving

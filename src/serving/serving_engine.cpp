@@ -1,0 +1,129 @@
+#include "serving/serving_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace pathrank::serving {
+
+std::vector<routing::Path> GenerateCandidates(
+    const graph::RoadNetwork& network, graph::VertexId source,
+    graph::VertexId destination, const data::CandidateGenConfig& gen) {
+  // Single source of truth with training-data generation: deployment-time
+  // candidates always match the training distribution.
+  return data::GenerateCandidatePaths(network, source, destination, gen);
+}
+
+/// One scoring slot: a lock plus the per-caller activation scratch the
+/// const inference path writes into. No parameters live here — every
+/// replica scores against the one shared snapshot.
+struct ServingEngine::Replica {
+  std::mutex mu;
+  core::InferenceScratch scratch;
+};
+
+ServingEngine::ServingEngine(const graph::RoadNetwork& network,
+                             std::shared_ptr<const ModelSnapshot> snapshot,
+                             const ServingOptions& options)
+    : network_(&network), snapshot_(std::move(snapshot)), options_(options) {
+  PR_CHECK(snapshot_ != nullptr) << "ServingEngine needs a snapshot";
+  PR_CHECK(snapshot_->vocab_size() == network.num_vertices())
+      << "model/network vertex-count mismatch";
+  const size_t n = options_.num_replicas > 0 ? options_.num_replicas
+                                             : std::max<size_t>(1, GetNumThreads());
+  replicas_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    replicas_.push_back(std::make_unique<Replica>());
+  }
+}
+
+ServingEngine::ServingEngine(const graph::RoadNetwork& network,
+                             const core::PathRankModel& model,
+                             const ServingOptions& options)
+    : ServingEngine(network, ModelSnapshot::Capture(model), options) {}
+
+ServingEngine::~ServingEngine() = default;
+
+std::vector<float> ServingEngine::ScoreSequences(
+    const nn::SequenceBatch& batch) const {
+  // cuBERT-style dispatch: round-robin over the pool, blocking on the
+  // chosen replica's lock. Scratch contents never influence scores, so the
+  // choice only affects contention, not results.
+  const uint32_t idx =
+      round_robin_.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<uint32_t>(replicas_.size());
+  Replica& replica = *replicas_[idx];
+  std::lock_guard<std::mutex> lock(replica.mu);
+  // Score serially on this thread: parallelism lives across queries (many
+  // callers / RankBatch shards), and a caller that holds a replica lock
+  // must never block on the global pool — a pool worker could be waiting
+  // on this very lock.
+  SerialRegionScope serial;
+  return snapshot_->model().ForwardInference(batch, &replica.scratch);
+}
+
+std::vector<ScoredPath> ServingEngine::Rank(
+    graph::VertexId source, graph::VertexId destination) const {
+  return Rank(source, destination, options_.candidates);
+}
+
+std::vector<ScoredPath> ServingEngine::Rank(
+    graph::VertexId source, graph::VertexId destination,
+    const data::CandidateGenConfig& gen) const {
+  return ScoreBatch(GenerateCandidates(*network_, source, destination, gen));
+}
+
+std::vector<std::vector<ScoredPath>> ServingEngine::RankBatch(
+    const std::vector<RankQuery>& queries) const {
+  return RankBatch(queries, options_.candidates);
+}
+
+std::vector<std::vector<ScoredPath>> ServingEngine::RankBatch(
+    const std::vector<RankQuery>& queries,
+    const data::CandidateGenConfig& gen) const {
+  std::vector<std::vector<ScoredPath>> results(queries.size());
+  if (queries.empty()) return results;
+  // Each query is handled end-to-end by one worker; per-query slots make
+  // the output order (and every score) independent of scheduling.
+  ParallelForShards(0, queries.size(),
+                    [&](size_t /*shard*/, size_t lo, size_t hi) {
+                      for (size_t q = lo; q < hi; ++q) {
+                        results[q] =
+                            Rank(queries[q].source, queries[q].destination,
+                                 gen);
+                      }
+                    });
+  return results;
+}
+
+std::vector<ScoredPath> ServingEngine::ScoreBatch(
+    const std::vector<routing::Path>& paths) const {
+  std::vector<ScoredPath> scored;
+  if (paths.empty()) return scored;
+
+  std::vector<std::vector<int32_t>> seqs;
+  seqs.reserve(paths.size());
+  for (const auto& p : paths) {
+    std::vector<int32_t> seq;
+    seq.reserve(p.vertices.size());
+    for (graph::VertexId v : p.vertices) {
+      seq.push_back(static_cast<int32_t>(v));
+    }
+    seqs.push_back(std::move(seq));
+  }
+  const auto batch = nn::SequenceBatch::FromSequences(seqs);
+  const std::vector<float> scores = ScoreSequences(batch);
+
+  scored.reserve(paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    scored.push_back({paths[i], static_cast<double>(scores[i])});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredPath& a, const ScoredPath& b) {
+              return a.score > b.score;
+            });
+  return scored;
+}
+
+}  // namespace pathrank::serving

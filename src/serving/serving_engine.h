@@ -1,0 +1,117 @@
+// Thread-safe ranking service: one immutable ModelSnapshot shared by a
+// pool of scoring replicas, dispatched round-robin behind per-replica
+// locks (the cuBERT multi-instance pattern). Because the snapshot's
+// inference path is const, a "replica" is just per-caller scratch state —
+// no parameter copies — so the pool is cheap to size at one replica per
+// expected concurrent caller.
+//
+// Thread-safety contract: Rank / RankBatch / ScoreBatch may be called
+// concurrently from any number of threads on one shared engine. Scores are
+// bitwise identical to the single-threaded path for any thread or replica
+// count (the inference kernels are deterministic and replicas share the
+// exact same parameters).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/model.h"
+#include "data/candidate_generation.h"
+#include "graph/road_network.h"
+#include "routing/path.h"
+#include "serving/model_snapshot.h"
+
+namespace pathrank::serving {
+
+/// One ranked candidate.
+struct ScoredPath {
+  routing::Path path;
+  double score = 0.0;
+};
+
+/// One (source, destination) ranking request.
+struct RankQuery {
+  graph::VertexId source = graph::kInvalidVertex;
+  graph::VertexId destination = graph::kInvalidVertex;
+};
+
+/// Engine construction options.
+struct ServingOptions {
+  /// Scoring replicas (scratch + lock). 0 = one per global pool thread.
+  size_t num_replicas = 0;
+  /// Candidate strategy used by Rank/RankBatch when no per-call config is
+  /// given (defaults to D-TkDI, the paper's deployment strategy).
+  data::CandidateGenConfig candidates;
+};
+
+/// Generates candidate paths for one query with the configured strategy —
+/// the advanced-routing half of Rank, exposed for tools and tests.
+std::vector<routing::Path> GenerateCandidates(
+    const graph::RoadNetwork& network, graph::VertexId source,
+    graph::VertexId destination, const data::CandidateGenConfig& gen);
+
+/// Replica-pool serving facade. The engine borrows the network (caller
+/// keeps it alive) and shares ownership of the snapshot.
+class ServingEngine {
+ public:
+  ServingEngine(const graph::RoadNetwork& network,
+                std::shared_ptr<const ModelSnapshot> snapshot,
+                const ServingOptions& options = {});
+
+  /// Convenience: captures a snapshot of `model` at construction. Later
+  /// training of `model` does not affect this engine.
+  ServingEngine(const graph::RoadNetwork& network,
+                const core::PathRankModel& model,
+                const ServingOptions& options = {});
+
+  ~ServingEngine();
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Generates candidates for (source, destination) and returns them
+  /// sorted by descending estimated score. Thread-safe.
+  std::vector<ScoredPath> Rank(graph::VertexId source,
+                               graph::VertexId destination) const;
+  std::vector<ScoredPath> Rank(graph::VertexId source,
+                               graph::VertexId destination,
+                               const data::CandidateGenConfig& gen) const;
+
+  /// Ranks a batch of queries, sharding them across the global worker
+  /// pool; results[i] corresponds to queries[i] and is bitwise identical
+  /// to Rank(queries[i]). Thread-safe.
+  std::vector<std::vector<ScoredPath>> RankBatch(
+      const std::vector<RankQuery>& queries) const;
+  std::vector<std::vector<ScoredPath>> RankBatch(
+      const std::vector<RankQuery>& queries,
+      const data::CandidateGenConfig& gen) const;
+
+  /// Scores externally supplied candidate paths (sorted descending).
+  /// Thread-safe.
+  std::vector<ScoredPath> ScoreBatch(
+      const std::vector<routing::Path>& paths) const;
+
+  const ModelSnapshot& snapshot() const { return *snapshot_; }
+  std::shared_ptr<const ModelSnapshot> shared_snapshot() const {
+    return snapshot_;
+  }
+  const graph::RoadNetwork& network() const { return *network_; }
+  size_t num_replicas() const { return replicas_.size(); }
+  const ServingOptions& options() const { return options_; }
+
+ private:
+  struct Replica;
+
+  /// Round-robin pick + lock, then score `batch` on the shared snapshot
+  /// with the replica's scratch.
+  std::vector<float> ScoreSequences(const nn::SequenceBatch& batch) const;
+
+  const graph::RoadNetwork* network_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  ServingOptions options_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  mutable std::atomic<uint32_t> round_robin_{0};
+};
+
+}  // namespace pathrank::serving

@@ -8,14 +8,26 @@
 //                         --strategy dtkdi --epochs 20 --out model.bin
 //   pathrank_cli evaluate --network net --trips trips.csv --model model.bin
 //   pathrank_cli rank     --network net --model model.bin --from 12 --to 245
+//   pathrank_cli serve    --network net --model model.bin --num-queries 128 \
+//                         --threads 4 --repeat 3
+//
+// `serve` drives the replica-pool ServingEngine with a batch of queries
+// (from --queries CSV of "source,destination" lines, or sampled randomly)
+// and reports per-query latency percentiles and QPS.
 //
 // Networks are stored as the CSV pair written by graph::SaveNetworkCsv,
 // trips as traj::SaveTrips CSV, models as core::SaveModel checkpoints.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/model_io.h"
 #include "core/pathrank.h"
 #include "graph/graph_io.h"
@@ -29,20 +41,41 @@ using namespace pathrank;
 class Args {
  public:
   Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) {
         std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
         std::exit(2);
       }
-      values_[key.substr(2)] = argv[i + 1];
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag %s expects a value\n", key.c_str());
+        std::exit(2);
+      }
+      values_[key.substr(2)] = argv[++i];
     }
+  }
+
+  /// Errors out (listing the offenders) when a parsed flag is not in the
+  /// subcommand's allow-list.
+  void RejectUnknown(const std::string& command,
+                     const std::set<std::string>& known) const {
+    bool any = false;
+    for (const auto& [key, value] : values_) {
+      if (known.count(key) == 0) {
+        std::fprintf(stderr, "unknown flag --%s for command '%s'\n",
+                     key.c_str(), command.c_str());
+        any = true;
+      }
+    }
+    if (any) std::exit(2);
   }
 
   std::string Get(const std::string& key, const std::string& fallback) const {
     auto it = values_.find(key);
     return it != values_.end() ? it->second : fallback;
   }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
   int GetInt(const std::string& key, int fallback) const {
     auto it = values_.find(key);
@@ -171,6 +204,16 @@ int CmdEvaluate(const Args& args) {
   return 0;
 }
 
+data::CandidateGenConfig GenConfigFromArgs(const Args& args) {
+  data::CandidateGenConfig gen;
+  gen.strategy = ParseStrategy(args.Get("strategy", "dtkdi"));
+  gen.k = args.GetInt("k", 10);
+  // Same default BuildDataset uses, so serving candidates match a model
+  // trained with the defaults.
+  gen.similarity_threshold = args.GetDouble("threshold", 0.6);
+  return gen;
+}
+
 int CmdRank(const Args& args) {
   const auto network = graph::LoadNetworkCsv(args.Require("network"));
   auto model = core::LoadModel(args.Require("model"));
@@ -181,17 +224,162 @@ int CmdRank(const Args& args) {
     std::fprintf(stderr, "vertex id out of range\n");
     return 1;
   }
-  core::Ranker ranker(network, *model);
-  data::CandidateGenConfig gen;
-  gen.strategy = ParseStrategy(args.Get("strategy", "dtkdi"));
-  gen.k = args.GetInt("k", 10);
-  const auto ranked = ranker.Rank(from, to, gen);
+  if (model->vocab_size() != network.num_vertices()) {
+    std::fprintf(stderr, "model/network vertex-count mismatch\n");
+    return 1;
+  }
+  serving::ServingOptions options;
+  options.num_replicas = 1;
+  options.candidates = GenConfigFromArgs(args);
+  const serving::ServingEngine engine(
+      network, serving::ModelSnapshot::Capture(*model), options);
+  const auto ranked = engine.Rank(from, to);
   std::printf("%zu candidates for %u -> %u:\n", ranked.size(), from, to);
   for (size_t i = 0; i < ranked.size(); ++i) {
     std::printf("#%zu score=%.4f length=%.0fm time=%.0fs vertices=%zu\n",
                 i + 1, ranked[i].score, ranked[i].path.length_m,
                 ranked[i].path.time_s, ranked[i].path.num_vertices());
   }
+  return 0;
+}
+
+/// Reads "source,destination" lines (blank lines and '#' comments are
+/// skipped) into rank queries.
+std::vector<serving::RankQuery> LoadQueriesCsv(
+    const std::string& path, const graph::RoadNetwork& network) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open queries file %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::vector<serving::RankQuery> queries;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    unsigned src = 0;
+    unsigned dst = 0;
+    if (std::sscanf(line.c_str(), " %u , %u", &src, &dst) != 2) {
+      std::fprintf(stderr, "%s:%zu: expected 'source,destination'\n",
+                   path.c_str(), line_no);
+      std::exit(2);
+    }
+    if (src >= network.num_vertices() || dst >= network.num_vertices()) {
+      std::fprintf(stderr, "%s:%zu: vertex id out of range\n", path.c_str(),
+                   line_no);
+      std::exit(2);
+    }
+    queries.push_back({src, dst});
+  }
+  return queries;
+}
+
+/// Samples random (source != destination) query pairs.
+std::vector<serving::RankQuery> SampleQueries(
+    const graph::RoadNetwork& network, int count, uint64_t seed) {
+  if (count <= 0) {
+    std::fprintf(stderr, "--num-queries must be positive\n");
+    std::exit(2);
+  }
+  if (network.num_vertices() < 2) {
+    std::fprintf(stderr, "network too small to sample queries\n");
+    std::exit(2);
+  }
+  Rng rng(seed);
+  const auto n = static_cast<int64_t>(network.num_vertices());
+  std::vector<serving::RankQuery> queries;
+  queries.reserve(static_cast<size_t>(count));
+  while (queries.size() < static_cast<size_t>(count)) {
+    const auto src = static_cast<graph::VertexId>(rng.NextInt(0, n - 1));
+    const auto dst = static_cast<graph::VertexId>(rng.NextInt(0, n - 1));
+    if (src == dst) continue;
+    queries.push_back({src, dst});
+  }
+  return queries;
+}
+
+int CmdServe(const Args& args) {
+  const auto network = graph::LoadNetworkCsv(args.Require("network"));
+  auto model = core::LoadModel(args.Require("model"));
+  if (model->vocab_size() != network.num_vertices()) {
+    std::fprintf(stderr, "model/network vertex-count mismatch\n");
+    return 1;
+  }
+  const int threads = args.GetInt("threads", 0);
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return 2;
+  }
+  if (threads > 0) SetNumThreads(static_cast<size_t>(threads));
+
+  const int replicas = args.GetInt("replicas", 0);
+  if (replicas < 0) {
+    std::fprintf(stderr, "--replicas must be >= 0 (0 = one per thread)\n");
+    return 2;
+  }
+  serving::ServingOptions options;
+  options.num_replicas = static_cast<size_t>(replicas);
+  options.candidates = GenConfigFromArgs(args);
+  const serving::ServingEngine engine(
+      network, serving::ModelSnapshot::Capture(*model), options);
+
+  std::vector<serving::RankQuery> queries;
+  if (args.Has("queries")) {
+    queries = LoadQueriesCsv(args.Get("queries", ""), network);
+  } else {
+    queries = SampleQueries(network, args.GetInt("num-queries", 64),
+                            static_cast<uint64_t>(args.GetInt("seed", 1)));
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "no queries to serve\n");
+    return 1;
+  }
+  const int repeat = std::max(1, args.GetInt("repeat", 1));
+  const size_t total = queries.size() * static_cast<size_t>(repeat);
+
+  // Warm-up (pool spin-up, scratch allocation, cache warming).
+  for (size_t q = 0; q < std::min<size_t>(queries.size(), 4); ++q) {
+    engine.Rank(queries[q].source, queries[q].destination);
+  }
+
+  // Per-query latencies land in disjoint slots; shards never share state.
+  std::vector<double> latency(total);
+  std::vector<size_t> candidate_counts(total, 0);
+  Stopwatch wall;
+  ParallelForShards(0, total, [&](size_t /*shard*/, size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const auto& query = queries[i % queries.size()];
+      Stopwatch per_query;
+      const auto ranked = engine.Rank(query.source, query.destination);
+      latency[i] = per_query.ElapsedSeconds();
+      candidate_counts[i] = ranked.size();
+    }
+  });
+  const double wall_s = wall.ElapsedSeconds();
+  size_t candidates_served = 0;
+  for (size_t c : candidate_counts) candidates_served += c;
+
+  std::sort(latency.begin(), latency.end());
+  auto pct = [&](double p) {
+    const size_t idx = std::min(
+        latency.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(latency.size())));
+    return latency[idx] * 1e3;
+  };
+  double mean_ms = 0.0;
+  for (double s : latency) mean_ms += s;
+  mean_ms = mean_ms / static_cast<double>(latency.size()) * 1e3;
+
+  std::printf("served %zu queries (%zu unique x %d) on %zu threads, "
+              "%zu replicas, %zu candidates total\n",
+              total, queries.size(), repeat, GetNumThreads(),
+              engine.num_replicas(), candidates_served);
+  std::printf("wall %.3f s  =>  %.1f QPS\n", wall_s,
+              static_cast<double>(total) / wall_s);
+  std::printf("latency/query: mean %.2f ms  p50 %.2f ms  p95 %.2f ms  "
+              "p99 %.2f ms\n",
+              mean_ms, pct(0.50), pct(0.95), pct(0.99));
   return 0;
 }
 
@@ -206,7 +394,12 @@ void PrintUsage() {
       "            [--strategy tkdi|dtkdi|penalty --k K --m M --hidden H\n"
       "             --epochs E --lr LR --finetune 0|1 --multitask 0|1]\n"
       "  evaluate  --network PREFIX --trips TRIPS.csv --model MODEL.bin\n"
-      "  rank      --network PREFIX --model MODEL.bin --from V --to V\n");
+      "  rank      --network PREFIX --model MODEL.bin --from V --to V\n"
+      "            [--strategy tkdi|dtkdi|penalty --k K --threshold T]\n"
+      "  serve     --network PREFIX --model MODEL.bin\n"
+      "            [--queries Q.csv | --num-queries N --seed S]\n"
+      "            [--threads T --replicas R --repeat K --strategy ... "
+      "--k K --threshold T]\n");
 }
 
 }  // namespace
@@ -218,12 +411,37 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Args args(argc, argv, 2);
+
+  // Per-subcommand flag allow-lists: a typo'd or misplaced flag is an
+  // error, not a silently ignored no-op.
+  static const std::map<std::string, std::set<std::string>> kKnownFlags = {
+      {"network", {"rows", "cols", "seed", "out"}},
+      {"simulate",
+       {"network", "trips", "drivers", "min-distance", "max-vertices", "seed",
+        "out"}},
+      {"train",
+       {"network", "trips", "strategy", "k", "threshold", "seed", "m",
+        "hidden", "finetune", "multitask", "epochs", "lr", "out"}},
+      {"evaluate",
+       {"network", "trips", "strategy", "k", "threshold", "model"}},
+      {"rank",
+       {"network", "model", "from", "to", "strategy", "k", "threshold"}},
+      {"serve",
+       {"network", "model", "queries", "num-queries", "seed", "threads",
+        "replicas", "repeat", "strategy", "k", "threshold"}},
+  };
+  const auto known = kKnownFlags.find(command);
+  if (known != kKnownFlags.end()) {
+    args.RejectUnknown(command, known->second);
+  }
+
   try {
     if (command == "network") return CmdNetwork(args);
     if (command == "simulate") return CmdSimulate(args);
     if (command == "train") return CmdTrain(args);
     if (command == "evaluate") return CmdEvaluate(args);
     if (command == "rank") return CmdRank(args);
+    if (command == "serve") return CmdServe(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

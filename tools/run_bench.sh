@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Builds Release, runs bench_throughput and checks every metric against the
 # committed baseline (BENCH_throughput.json) with a relative tolerance.
+# This gates GEMM GFLOP/s, walk/candidate throughput, training epoch time
+# AND the serving section (p50/p99 rank latency + QPS at 1..N threads) —
+# a serving regression fails the check like any other metric.
 #
 #   tools/run_bench.sh                 check against the committed baseline
 #   tools/run_bench.sh --update        overwrite the committed baseline
