@@ -1,0 +1,22 @@
+// Nearest-rank percentile over an ascending-sorted sample — the ONE
+// quantile convention shared by the serving bench metrics
+// (bench_throughput's serve_rank_* / serve_batched_* p50/p99) and the
+// pathrank_cli serve latency report, so the CLI's numbers and the gated
+// bench numbers can never silently disagree for the same sample.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace pathrank {
+
+/// p-quantile by index of `sorted` (ascending, non-empty): element
+/// floor(p * n), clamped to the last element.
+inline double PercentileSorted(const std::vector<double>& sorted, double p) {
+  return sorted[std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size())))];
+}
+
+}  // namespace pathrank

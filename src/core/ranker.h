@@ -1,8 +1,13 @@
 // DEPRECATED end-to-end ranking facade, kept as a thin shim over
 // serving::ServingEngine for source compatibility. New code should build a
-// ServingEngine directly (serving/serving_engine.h): it shares one
-// immutable snapshot across a replica pool and is safe to call from many
-// threads, where Ranker wraps a single-replica engine.
+// ServingEngine directly (serving/serving_engine.h) — it shares one
+// immutable snapshot across a replica pool, is safe to call from many
+// threads, and supports hot-swap (SwapSnapshot) — and put concurrent
+// callers behind the batched entry points: serving::BatchingQueue
+// (serving/batching_queue.h) to coalesce requests into one SequenceBatch
+// per scoring call, or serving::ShardedEngine (serving/sharded_engine.h)
+// to partition traffic across engines. Ranker wraps a single-replica
+// engine and predates all three.
 //
 // Semantics note: the engine captures an immutable snapshot of the model's
 // parameters at Ranker construction; training the model afterwards does

@@ -1,0 +1,155 @@
+#include "serving/batching_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pathrank::serving {
+
+BatchingQueue::BatchingQueue(const ServingEngine& engine,
+                             const BatchingOptions& options)
+    : engine_(&engine), options_(options) {
+  PR_CHECK(options_.max_batch > 0) << "max_batch must be >= 1";
+  PR_CHECK(options_.max_wait_us >= 0) << "max_wait_us must be >= 0";
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+BatchingQueue::~BatchingQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  dispatcher_.join();
+  // The dispatcher drains the queue before exiting, so no promise is ever
+  // abandoned (a dangling future would throw broken_promise at the
+  // caller).
+}
+
+std::future<std::vector<ScoredPath>> BatchingQueue::SubmitScore(
+    std::vector<routing::Path> paths) {
+  // Validate on the submitter: an empty path would only blow up later in
+  // SequenceBatch::FromSequences — on the dispatcher thread, where an
+  // escaped exception terminates the process and takes every coalesced
+  // request with it. Throwing here matches ScoreBatch semantics (the
+  // offending caller gets the error, nobody else).
+  for (const routing::Path& p : paths) {
+    PR_CHECK(!p.vertices.empty()) << "empty path in SubmitScore";
+  }
+  Request request;
+  request.paths = std::move(paths);
+  request.enqueued = std::chrono::steady_clock::now();
+  auto future = request.promise.get_future();
+  if (request.paths.empty()) {
+    // Nothing to score; complete inline rather than waking the dispatcher.
+    request.promise.set_value({});
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PR_CHECK(!stop_) << "SubmitScore on a stopped BatchingQueue";
+    pending_rows_ += request.paths.size();
+    pending_.push_back(std::move(request));
+  }
+  wake_.notify_one();
+  return future;
+}
+
+std::future<std::vector<ScoredPath>> BatchingQueue::SubmitRank(
+    graph::VertexId source, graph::VertexId destination) {
+  return SubmitRank(source, destination, engine_->options().candidates);
+}
+
+std::future<std::vector<ScoredPath>> BatchingQueue::SubmitRank(
+    graph::VertexId source, graph::VertexId destination,
+    const data::CandidateGenConfig& gen) {
+  // Candidate generation stays on the caller thread (as in Rank): it is
+  // pure routing with no model access, so coalescing it would only
+  // serialise independent work behind the dispatcher.
+  return SubmitScore(
+      GenerateCandidates(engine_->network(), source, destination, gen));
+}
+
+void BatchingQueue::DispatchLoop() {
+  const auto max_wait = std::chrono::microseconds(options_.max_wait_us);
+  std::vector<Request> taken;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stop_ set and fully drained
+      // Linger until the batch fills, the oldest request's deadline
+      // passes, or shutdown begins — then flush whatever is pending.
+      const auto deadline = pending_.front().enqueued + max_wait;
+      wake_.wait_until(lock, deadline, [&] {
+        return stop_ || pending_rows_ >= options_.max_batch;
+      });
+      // Take greedily while under the row cap; always take at least one
+      // request so an oversized request flushes alone rather than
+      // starving.
+      size_t rows = 0;
+      while (!pending_.empty() &&
+             (taken.empty() ||
+              rows + pending_.front().paths.size() <= options_.max_batch)) {
+        rows += pending_.front().paths.size();
+        pending_rows_ -= pending_.front().paths.size();
+        taken.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+    }
+    Flush(taken);
+    taken.clear();
+  }
+}
+
+void BatchingQueue::Flush(std::vector<Request>& taken) {
+  // The whole flush is fenced: an exception escaping the dispatcher
+  // thread would std::terminate the process, so every failure is instead
+  // delivered to the coalesced requests' futures.
+  try {
+    // One combined batch: request r's rows occupy [offset[r],
+    // offset[r+1]), encoded with the same Path -> row mapping as
+    // ScoreBatch (PathToSequence — part of the bitwise-equivalence
+    // guarantee).
+    std::vector<std::vector<int32_t>> seqs;
+    std::vector<size_t> offsets = {0};
+    for (const Request& request : taken) {
+      for (const routing::Path& p : request.paths) {
+        seqs.push_back(PathToSequence(p));
+      }
+      offsets.push_back(seqs.size());
+    }
+    const size_t rows = seqs.size();
+
+    const auto batch = nn::SequenceBatch::FromSequences(seqs);
+    const std::vector<float> scores = engine_->ScoreCoalesced(batch);
+
+    // Counters before fulfilment: a caller that resumed from get() must
+    // already see this flush in the stats.
+    num_flushes_.fetch_add(1, std::memory_order_relaxed);
+    num_requests_.fetch_add(taken.size(), std::memory_order_relaxed);
+    num_rows_.fetch_add(rows, std::memory_order_relaxed);
+
+    for (size_t r = 0; r < taken.size(); ++r) {
+      Request& request = taken[r];
+      // Same assembly + ordering rule as ScoreBatch (AssembleRanking is
+      // the one source of truth).
+      request.promise.set_value(
+          AssembleRanking(std::move(request.paths), scores, offsets[r]));
+    }
+  } catch (...) {
+    const auto error = std::current_exception();
+    for (Request& request : taken) {
+      // Requests whose promise was already fulfilled above cannot take an
+      // exception again; only the still-pending ones receive it.
+      try {
+        request.promise.set_exception(error);
+      } catch (const std::future_error&) {
+      }
+    }
+    return;
+  }
+}
+
+}  // namespace pathrank::serving

@@ -1,0 +1,128 @@
+// Request coalescing for the serving engine: concurrent Rank / Score
+// requests are queued, merged into ONE SequenceBatch, scored in a single
+// engine call on a dedicated dispatcher thread, then split back and
+// completed through per-request futures.
+//
+// Why coalesce: a single query's candidate set is a handful of short
+// sequences — too small to amortise dispatch, replica locking and padding,
+// and far too small for intra-batch kernel parallelism. Merging the rows
+// of many concurrent requests turns serving into the same wide-batch
+// regime training runs in (one GEMM over `sum(rows)` sequences), which is
+// where the blocked kernels earn their keep.
+//
+// Equivalence guarantee: a request's scores are bitwise identical to
+// scoring it alone via ServingEngine::ScoreBatch. Every row of the model
+// is row-independent — embedding lookup, the masked recurrent steps and
+// pooling read only that row's tokens, and the GEMM kernels fix each
+// output element's accumulation order regardless of how many other rows
+// share the batch (verified by batching_test).
+//
+// Snapshot attribution: each flush scores on exactly one snapshot
+// (captured once per coalesced call), so every response produced by one
+// flush is attributable to a single model version even while
+// ServingEngine::SwapSnapshot runs concurrently.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serving/serving_engine.h"
+
+namespace pathrank::serving {
+
+/// Coalescing knobs.
+struct BatchingOptions {
+  /// Flush when the pending rows (sequences) reach this many. A single
+  /// request larger than the cap still flushes (whole, never split).
+  size_t max_batch = 64;
+  /// Flush at the latest this long after the oldest pending request
+  /// arrived, full or not. 0 = flush as soon as the dispatcher wakes
+  /// (lowest latency, least coalescing).
+  int64_t max_wait_us = 200;
+};
+
+/// Coalescing front end over one ServingEngine. Thread-safe: any number of
+/// threads may submit concurrently. The destructor drains every pending
+/// request (futures never dangle), then joins the dispatcher.
+///
+/// Caveat: never block on a returned future from inside a global-pool
+/// region (ParallelFor / ParallelForShards). The dispatcher's coalesced
+/// scoring may itself need a pool region, and the pool runs one region at
+/// a time — a region whose workers wait on queue futures deadlocks
+/// against it. Submit-and-wait from plain threads (as the CLI and bench
+/// drivers do); fire-and-forget submission from anywhere is fine.
+class BatchingQueue {
+ public:
+  BatchingQueue(const ServingEngine& engine,
+                const BatchingOptions& options = {});
+  ~BatchingQueue();
+  BatchingQueue(const BatchingQueue&) = delete;
+  BatchingQueue& operator=(const BatchingQueue&) = delete;
+
+  /// Queues `paths` for coalesced scoring. The future yields the paths
+  /// sorted by descending score — bitwise identical to
+  /// engine.ScoreBatch(paths).
+  std::future<std::vector<ScoredPath>> SubmitScore(
+      std::vector<routing::Path> paths);
+
+  /// Generates candidates on the calling thread (exactly as Rank does),
+  /// then queues them for coalesced scoring. The future yields what
+  /// engine.Rank(source, destination[, gen]) would return, bitwise.
+  std::future<std::vector<ScoredPath>> SubmitRank(
+      graph::VertexId source, graph::VertexId destination);
+  std::future<std::vector<ScoredPath>> SubmitRank(
+      graph::VertexId source, graph::VertexId destination,
+      const data::CandidateGenConfig& gen);
+
+  const BatchingOptions& options() const { return options_; }
+
+  /// Coalesced scoring calls issued so far.
+  uint64_t num_flushes() const {
+    return num_flushes_.load(std::memory_order_relaxed);
+  }
+  /// Requests completed so far (across all flushes).
+  uint64_t num_requests() const {
+    return num_requests_.load(std::memory_order_relaxed);
+  }
+  /// Sequences scored so far; num_rows()/num_flushes() is the achieved
+  /// mean coalesced batch size.
+  uint64_t num_rows() const {
+    return num_rows_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Request {
+    std::vector<routing::Path> paths;
+    std::promise<std::vector<ScoredPath>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void DispatchLoop();
+  /// Scores `taken` as one coalesced batch and completes their promises.
+  void Flush(std::vector<Request>& taken);
+
+  const ServingEngine* engine_;
+  BatchingOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<Request> pending_;
+  size_t pending_rows_ = 0;
+  bool stop_ = false;
+
+  std::atomic<uint64_t> num_flushes_{0};
+  std::atomic<uint64_t> num_requests_{0};
+  std::atomic<uint64_t> num_rows_{0};
+
+  std::thread dispatcher_;
+};
+
+}  // namespace pathrank::serving

@@ -4,8 +4,9 @@
 // any number of threads may score through `model()`'s const inference path
 // concurrently. Snapshots are passed by shared_ptr<const ModelSnapshot>;
 // an engine keeps its snapshot alive for as long as it serves, which is
-// what makes model hot-swap (replace the shared_ptr, old queries finish on
-// the old snapshot) a safe future extension.
+// what makes ServingEngine::SwapSnapshot safe: the exchange replaces the
+// shared_ptr, in-flight queries finish on the old snapshot, and the old
+// snapshot is destroyed when its last reference drops.
 #pragma once
 
 #include <memory>

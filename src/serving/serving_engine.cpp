@@ -7,6 +7,49 @@
 
 namespace pathrank::serving {
 
+std::vector<int32_t> PathToSequence(const routing::Path& path) {
+  std::vector<int32_t> seq;
+  seq.reserve(path.vertices.size());
+  for (graph::VertexId v : path.vertices) {
+    seq.push_back(static_cast<int32_t>(v));
+  }
+  return seq;
+}
+
+std::vector<ScoredPath> AssembleRanking(std::vector<routing::Path> paths,
+                                        const std::vector<float>& scores,
+                                        size_t offset) {
+  PR_CHECK(offset + paths.size() <= scores.size())
+      << "score slice out of range";
+  std::vector<ScoredPath> scored;
+  scored.reserve(paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    scored.push_back(
+        {std::move(paths[i]), static_cast<double>(scores[offset + i])});
+  }
+  // Determinism note: exact float scores make ties sort identically for
+  // identical inputs, so the order is reproducible despite std::sort
+  // being unstable.
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredPath& a, const ScoredPath& b) {
+              return a.score > b.score;
+            });
+  return scored;
+}
+
+namespace {
+
+nn::SequenceBatch BatchFromPaths(const std::vector<routing::Path>& paths) {
+  std::vector<std::vector<int32_t>> seqs;
+  seqs.reserve(paths.size());
+  for (const auto& p : paths) {
+    seqs.push_back(PathToSequence(p));
+  }
+  return nn::SequenceBatch::FromSequences(seqs);
+}
+
+}  // namespace
+
 std::vector<routing::Path> GenerateCandidates(
     const graph::RoadNetwork& network, graph::VertexId source,
     graph::VertexId destination, const data::CandidateGenConfig& gen) {
@@ -26,16 +69,18 @@ struct ServingEngine::Replica {
 ServingEngine::ServingEngine(const graph::RoadNetwork& network,
                              std::shared_ptr<const ModelSnapshot> snapshot,
                              const ServingOptions& options)
-    : network_(&network), snapshot_(std::move(snapshot)), options_(options) {
-  PR_CHECK(snapshot_ != nullptr) << "ServingEngine needs a snapshot";
-  PR_CHECK(snapshot_->vocab_size() == network.num_vertices())
+    : network_(&network), options_(options) {
+  PR_CHECK(snapshot != nullptr) << "ServingEngine needs a snapshot";
+  PR_CHECK(snapshot->vocab_size() == network.num_vertices())
       << "model/network vertex-count mismatch";
+  snapshot_.store(std::move(snapshot), std::memory_order_release);
   const size_t n = options_.num_replicas > 0 ? options_.num_replicas
                                              : std::max<size_t>(1, GetNumThreads());
   replicas_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     replicas_.push_back(std::make_unique<Replica>());
   }
+  batch_replica_ = std::make_unique<Replica>();
 }
 
 ServingEngine::ServingEngine(const graph::RoadNetwork& network,
@@ -45,8 +90,20 @@ ServingEngine::ServingEngine(const graph::RoadNetwork& network,
 
 ServingEngine::~ServingEngine() = default;
 
-std::vector<float> ServingEngine::ScoreSequences(
-    const nn::SequenceBatch& batch) const {
+std::shared_ptr<const ModelSnapshot> ServingEngine::SwapSnapshot(
+    std::shared_ptr<const ModelSnapshot> next) {
+  PR_CHECK(next != nullptr) << "SwapSnapshot needs a snapshot";
+  PR_CHECK(next->vocab_size() == network_->num_vertices())
+      << "model/network vertex-count mismatch";
+  swap_count_.fetch_add(1, std::memory_order_relaxed);
+  // One atomic exchange is the entire cut-over: requests that already
+  // loaded the old pointer finish on it (their shared_ptr copy keeps it
+  // alive); requests that load after this line see `next`.
+  return snapshot_.exchange(std::move(next), std::memory_order_acq_rel);
+}
+
+std::vector<float> ServingEngine::ScoreOn(
+    const ModelSnapshot& snap, const nn::SequenceBatch& batch) const {
   // cuBERT-style dispatch: round-robin over the pool, blocking on the
   // chosen replica's lock. Scratch contents never influence scores, so the
   // choice only affects contention, not results.
@@ -60,7 +117,37 @@ std::vector<float> ServingEngine::ScoreSequences(
   // must never block on the global pool — a pool worker could be waiting
   // on this very lock.
   SerialRegionScope serial;
-  return snapshot_->model().ForwardInference(batch, &replica.scratch);
+  return snap.model().ForwardInference(batch, &replica.scratch);
+}
+
+std::vector<float> ServingEngine::ScoreSequences(
+    const nn::SequenceBatch& batch) const {
+  // Capture once: the whole batch scores on one snapshot even if a swap
+  // lands mid-call.
+  const auto snap = shared_snapshot();
+  return ScoreOn(*snap, batch);
+}
+
+std::vector<float> ServingEngine::ScoreCoalesced(
+    const nn::SequenceBatch& batch,
+    std::shared_ptr<const ModelSnapshot>* used) const {
+  const auto snap = shared_snapshot();
+  if (used != nullptr) *used = snap;
+  if (InParallelRegion()) {
+    // Already inside a pool region (or a SerialRegionScope): the kernels
+    // would run serially anyway, and blocking on the dedicated replica's
+    // lock from a pool worker could deadlock against a holder that is
+    // blocked on this very region. Use the ordinary serial path instead.
+    return ScoreOn(*snap, batch);
+  }
+  // Dedicated replica, kernels free to shard over the pool: a coalesced
+  // batch is the one serving call big enough for intra-batch parallelism
+  // to pay. Deadlock-free because only ScoreCoalesced callers ever take
+  // this lock and none of them is a pool worker (guarded above), so no
+  // pool region can be waiting on it. Bitwise identical to the serial
+  // path: the GEMM kernels are thread-count stable (docs/performance.md).
+  std::lock_guard<std::mutex> lock(batch_replica_->mu);
+  return snap->model().ForwardInference(batch, &batch_replica_->scratch);
 }
 
 std::vector<ScoredPath> ServingEngine::Rank(
@@ -99,31 +186,9 @@ std::vector<std::vector<ScoredPath>> ServingEngine::RankBatch(
 
 std::vector<ScoredPath> ServingEngine::ScoreBatch(
     const std::vector<routing::Path>& paths) const {
-  std::vector<ScoredPath> scored;
-  if (paths.empty()) return scored;
-
-  std::vector<std::vector<int32_t>> seqs;
-  seqs.reserve(paths.size());
-  for (const auto& p : paths) {
-    std::vector<int32_t> seq;
-    seq.reserve(p.vertices.size());
-    for (graph::VertexId v : p.vertices) {
-      seq.push_back(static_cast<int32_t>(v));
-    }
-    seqs.push_back(std::move(seq));
-  }
-  const auto batch = nn::SequenceBatch::FromSequences(seqs);
-  const std::vector<float> scores = ScoreSequences(batch);
-
-  scored.reserve(paths.size());
-  for (size_t i = 0; i < paths.size(); ++i) {
-    scored.push_back({paths[i], static_cast<double>(scores[i])});
-  }
-  std::sort(scored.begin(), scored.end(),
-            [](const ScoredPath& a, const ScoredPath& b) {
-              return a.score > b.score;
-            });
-  return scored;
+  if (paths.empty()) return {};
+  const auto batch = BatchFromPaths(paths);
+  return AssembleRanking(paths, ScoreSequences(batch));
 }
 
 }  // namespace pathrank::serving

@@ -5,11 +5,17 @@
 // no parameter copies — so the pool is cheap to size at one replica per
 // expected concurrent caller.
 //
-// Thread-safety contract: Rank / RankBatch / ScoreBatch may be called
-// concurrently from any number of threads on one shared engine. Scores are
-// bitwise identical to the single-threaded path for any thread or replica
-// count (the inference kernels are deterministic and replicas share the
-// exact same parameters).
+// Thread-safety contract: Rank / RankBatch / ScoreBatch / ScoreSequences
+// may be called concurrently from any number of threads on one shared
+// engine. Scores are bitwise identical to the single-threaded path for any
+// thread or replica count (the inference kernels are deterministic and
+// replicas share the exact same parameters).
+//
+// Hot-swap contract: SwapSnapshot atomically replaces the served model.
+// Every scoring call captures the snapshot pointer exactly once at entry,
+// so each response is computed entirely on one snapshot — never a mix —
+// and in-flight requests finish on the snapshot they started with. The old
+// snapshot is freed when the last in-flight request drops its reference.
 #pragma once
 
 #include <atomic>
@@ -52,6 +58,20 @@ std::vector<routing::Path> GenerateCandidates(
     const graph::RoadNetwork& network, graph::VertexId source,
     graph::VertexId destination, const data::CandidateGenConfig& gen);
 
+/// Encodes one candidate path's vertex ids as the model's token sequence.
+/// The single source of truth for the Path -> SequenceBatch-row mapping:
+/// ScoreBatch and the BatchingQueue's coalesced flushes both use it, which
+/// is part of why coalesced scoring is bitwise equal to per-request
+/// scoring.
+std::vector<int32_t> PathToSequence(const routing::Path& path);
+
+/// Pairs paths[i] with scores[offset + i] and sorts descending — the one
+/// ordering rule behind ScoreBatch and the BatchingQueue's per-request
+/// results (the other half of the bitwise-equivalence guarantee).
+std::vector<ScoredPath> AssembleRanking(std::vector<routing::Path> paths,
+                                        const std::vector<float>& scores,
+                                        size_t offset = 0);
+
 /// Replica-pool serving facade. The engine borrows the network (caller
 /// keeps it alive) and shares ownership of the snapshot.
 class ServingEngine {
@@ -92,9 +112,40 @@ class ServingEngine {
   std::vector<ScoredPath> ScoreBatch(
       const std::vector<routing::Path>& paths) const;
 
-  const ModelSnapshot& snapshot() const { return *snapshot_; }
+  /// Scores a prepared SequenceBatch on the current snapshot, row for row
+  /// (no sorting) — the raw scoring primitive under ScoreBatch. Runs the
+  /// kernels serially on the calling thread (parallelism lives across
+  /// callers). Thread-safe.
+  std::vector<float> ScoreSequences(const nn::SequenceBatch& batch) const;
+
+  /// Scores a coalesced SequenceBatch (many requests' rows in one batch,
+  /// see BatchingQueue) on a dedicated replica. Unlike ScoreSequences the
+  /// kernels may shard over the global pool — safe here because the
+  /// dedicated replica's lock is never taken from a pool worker, and
+  /// bitwise identical because the kernels are thread-count stable. When
+  /// `used` is non-null it receives the snapshot the batch was scored on,
+  /// so every coalesced response is attributable to exactly one snapshot
+  /// even while SwapSnapshot runs. Thread-safe.
+  std::vector<float> ScoreCoalesced(
+      const nn::SequenceBatch& batch,
+      std::shared_ptr<const ModelSnapshot>* used = nullptr) const;
+
+  /// Atomically replaces the served snapshot and returns the previous one.
+  /// In-flight requests finish on the snapshot they captured at entry; new
+  /// requests score on `next`. The old snapshot is destroyed when its last
+  /// in-flight request completes (or when the caller drops the returned
+  /// handle, whichever is later). Thread-safe; callable under full load.
+  std::shared_ptr<const ModelSnapshot> SwapSnapshot(
+      std::shared_ptr<const ModelSnapshot> next);
+
+  /// The currently served snapshot (a new swap may supersede it at any
+  /// time; the returned handle stays valid regardless).
   std::shared_ptr<const ModelSnapshot> shared_snapshot() const {
-    return snapshot_;
+    return snapshot_.load(std::memory_order_acquire);
+  }
+  /// Number of SwapSnapshot calls since construction.
+  uint64_t swap_count() const {
+    return swap_count_.load(std::memory_order_relaxed);
   }
   const graph::RoadNetwork& network() const { return *network_; }
   size_t num_replicas() const { return replicas_.size(); }
@@ -103,14 +154,20 @@ class ServingEngine {
  private:
   struct Replica;
 
-  /// Round-robin pick + lock, then score `batch` on the shared snapshot
-  /// with the replica's scratch.
-  std::vector<float> ScoreSequences(const nn::SequenceBatch& batch) const;
+  /// Round-robin pick + lock, then score `batch` on `snap` with the
+  /// replica's scratch, serially on the calling thread.
+  std::vector<float> ScoreOn(const ModelSnapshot& snap,
+                             const nn::SequenceBatch& batch) const;
 
   const graph::RoadNetwork* network_;
-  std::shared_ptr<const ModelSnapshot> snapshot_;
+  std::atomic<std::shared_ptr<const ModelSnapshot>> snapshot_;
+  std::atomic<uint64_t> swap_count_{0};
   ServingOptions options_;
   std::vector<std::unique_ptr<Replica>> replicas_;
+  /// Reserved for ScoreCoalesced: never in the round-robin rotation, so no
+  /// pool worker can ever hold or wait on its lock — which is what makes
+  /// it safe for its holder to block on the pool.
+  std::unique_ptr<Replica> batch_replica_;
   mutable std::atomic<uint32_t> round_robin_{0};
 };
 

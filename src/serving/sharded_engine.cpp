@@ -1,0 +1,115 @@
+#include "serving/sharded_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace pathrank::serving {
+namespace {
+
+/// splitmix64 finaliser over the packed (source, destination) pair — a
+/// cheap stateless mix whose low bits are well distributed, so `% shards`
+/// spreads OD pairs evenly even on grid networks where raw vertex ids are
+/// highly structured.
+uint64_t HashQuery(graph::VertexId source, graph::VertexId destination) {
+  uint64_t x = (static_cast<uint64_t>(source) << 32) |
+               static_cast<uint64_t>(destination);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const graph::RoadNetwork& network,
+                             std::shared_ptr<const ModelSnapshot> snapshot,
+                             const ShardedOptions& options)
+    : ShardedEngine(
+          // num_shards == 0 yields an empty vector, which the delegated
+          // constructor rejects — a misconfiguration is surfaced, not
+          // silently clamped to one shard.
+          network,
+          std::vector<std::shared_ptr<const ModelSnapshot>>(
+              options.num_shards, std::move(snapshot)),
+          options) {}
+
+ShardedEngine::ShardedEngine(
+    const graph::RoadNetwork& network,
+    std::vector<std::shared_ptr<const ModelSnapshot>> snapshots,
+    const ShardedOptions& options)
+    : options_(options) {
+  PR_CHECK(!snapshots.empty())
+      << "ShardedEngine needs >= 1 shard (num_shards/snapshots was 0)";
+  options_.num_shards = snapshots.size();
+  shards_.reserve(snapshots.size());
+  for (auto& snapshot : snapshots) {
+    shards_.push_back(std::make_unique<ServingEngine>(
+        network, std::move(snapshot), options_.engine_options));
+  }
+}
+
+size_t ShardedEngine::ShardFor(graph::VertexId source,
+                               graph::VertexId destination) const {
+  if (options_.policy == ShardPolicy::kHash) {
+    return HashQuery(source, destination) % shards_.size();
+  }
+  return rotation_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+}
+
+std::vector<ScoredPath> ShardedEngine::Rank(
+    graph::VertexId source, graph::VertexId destination) const {
+  return shards_[ShardFor(source, destination)]->Rank(source, destination);
+}
+
+std::vector<ScoredPath> ShardedEngine::Rank(
+    graph::VertexId source, graph::VertexId destination,
+    const data::CandidateGenConfig& gen) const {
+  return shards_[ShardFor(source, destination)]->Rank(source, destination,
+                                                      gen);
+}
+
+std::vector<std::vector<ScoredPath>> ShardedEngine::RankBatch(
+    const std::vector<RankQuery>& queries) const {
+  return RankBatch(queries, options_.engine_options.candidates);
+}
+
+std::vector<std::vector<ScoredPath>> ShardedEngine::RankBatch(
+    const std::vector<RankQuery>& queries,
+    const data::CandidateGenConfig& gen) const {
+  std::vector<std::vector<ScoredPath>> results(queries.size());
+  if (queries.empty()) return results;
+  // Same per-query decomposition as ServingEngine::RankBatch; the shard an
+  // individual query scores on is chosen by the policy, not the worker.
+  ParallelForShards(0, queries.size(),
+                    [&](size_t /*shard*/, size_t lo, size_t hi) {
+                      for (size_t q = lo; q < hi; ++q) {
+                        const auto& query = queries[q];
+                        results[q] =
+                            shards_[ShardFor(query.source, query.destination)]
+                                ->Rank(query.source, query.destination, gen);
+                      }
+                    });
+  return results;
+}
+
+std::vector<ScoredPath> ShardedEngine::ScoreBatch(
+    const std::vector<routing::Path>& paths) const {
+  const size_t shard =
+      rotation_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  return shards_[shard]->ScoreBatch(paths);
+}
+
+void ShardedEngine::SwapSnapshot(std::shared_ptr<const ModelSnapshot> next) {
+  for (auto& shard : shards_) shard->SwapSnapshot(next);
+}
+
+std::shared_ptr<const ModelSnapshot> ShardedEngine::SwapSnapshot(
+    size_t shard, std::shared_ptr<const ModelSnapshot> next) {
+  PR_CHECK(shard < shards_.size()) << "shard index out of range";
+  return shards_[shard]->SwapSnapshot(std::move(next));
+}
+
+}  // namespace pathrank::serving

@@ -1,0 +1,108 @@
+// Horizontal scaling unit for the serving stack: N independent
+// ServingEngines behind one facade, with query traffic partitioned by a
+// deterministic (source, destination) hash or by round-robin.
+//
+// Why shard: one engine already scales across threads (replica pool), but
+// a single replica set shares one round-robin counter and — more
+// importantly — one snapshot. Sharding is the next axis: each shard owns
+// its replicas outright (no cross-shard contention), can pin to a NUMA
+// node or socket, and can serve a DIFFERENT snapshot, which is what
+// multi-model deployment and canarying a new model on a traffic slice
+// need.
+//
+// Equivalence: when every shard serves the same snapshot, results are
+// bitwise identical to a single engine regardless of policy — all shards
+// read the same parameters and the kernels are deterministic. With
+// per-shard snapshots only kHash keeps responses reproducible (a query
+// always lands on the same shard); kRoundRobin trades that for perfect
+// load spreading.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "serving/serving_engine.h"
+
+namespace pathrank::serving {
+
+/// How queries pick a shard.
+enum class ShardPolicy {
+  /// shard = Hash(source, destination) % num_shards. Deterministic: the
+  /// same query always lands on the same shard (required for per-shard
+  /// snapshots to give reproducible responses; also gives per-OD-pair
+  /// cache locality).
+  kHash,
+  /// Strict rotation via an atomic counter. Best load spreading; shard
+  /// assignment depends on arrival order.
+  kRoundRobin,
+};
+
+/// Sharded facade construction options.
+struct ShardedOptions {
+  /// Number of engines. Must be >= 1.
+  size_t num_shards = 2;
+  ShardPolicy policy = ShardPolicy::kHash;
+  /// Applied to every shard's engine (replica count, default candidate
+  /// strategy).
+  ServingOptions engine_options;
+};
+
+/// N-engine serving facade. Thread-safe exactly like ServingEngine: any
+/// number of threads may call Rank / RankBatch / ScoreBatch / swap
+/// concurrently.
+class ShardedEngine {
+ public:
+  /// Every shard serves `snapshot` (shared — parameters exist once).
+  ShardedEngine(const graph::RoadNetwork& network,
+                std::shared_ptr<const ModelSnapshot> snapshot,
+                const ShardedOptions& options = {});
+
+  /// Multi-model: shard i serves snapshots[i]. snapshots.size() overrides
+  /// options.num_shards.
+  ShardedEngine(const graph::RoadNetwork& network,
+                std::vector<std::shared_ptr<const ModelSnapshot>> snapshots,
+                const ShardedOptions& options = {});
+
+  /// The shard (source, destination) lands on under the configured
+  /// policy. For kHash this is a pure function of the query; for
+  /// kRoundRobin it advances the rotation.
+  size_t ShardFor(graph::VertexId source, graph::VertexId destination) const;
+
+  /// Same results as the underlying ServingEngine calls (see class
+  /// comment for when they are bitwise identical to a single engine).
+  std::vector<ScoredPath> Rank(graph::VertexId source,
+                               graph::VertexId destination) const;
+  std::vector<ScoredPath> Rank(graph::VertexId source,
+                               graph::VertexId destination,
+                               const data::CandidateGenConfig& gen) const;
+  std::vector<std::vector<ScoredPath>> RankBatch(
+      const std::vector<RankQuery>& queries) const;
+  std::vector<std::vector<ScoredPath>> RankBatch(
+      const std::vector<RankQuery>& queries,
+      const data::CandidateGenConfig& gen) const;
+  /// Externally supplied candidates carry no (source, destination) key, so
+  /// ScoreBatch always rotates round-robin.
+  std::vector<ScoredPath> ScoreBatch(
+      const std::vector<routing::Path>& paths) const;
+
+  /// Hot-swaps every shard to `next` (one SwapSnapshot per shard, in shard
+  /// order; each shard cuts over atomically, the fleet converges within
+  /// the loop).
+  void SwapSnapshot(std::shared_ptr<const ModelSnapshot> next);
+  /// Hot-swaps one shard (canary / multi-model); returns its previous
+  /// snapshot.
+  std::shared_ptr<const ModelSnapshot> SwapSnapshot(
+      size_t shard, std::shared_ptr<const ModelSnapshot> next);
+
+  size_t num_shards() const { return shards_.size(); }
+  const ServingEngine& shard(size_t i) const { return *shards_[i]; }
+  const ShardedOptions& options() const { return options_; }
+
+ private:
+  ShardedOptions options_;
+  std::vector<std::unique_ptr<ServingEngine>> shards_;
+  mutable std::atomic<uint64_t> rotation_{0};
+};
+
+}  // namespace pathrank::serving

@@ -1,0 +1,240 @@
+// BatchingQueue: coalesced scoring is bitwise equal to unbatched scoring
+// (the headline guarantee), the row-independence property it rests on,
+// flush sizing (max_batch / max_wait_us), shutdown draining, and
+// concurrent submitters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/model.h"
+#include "graph/network_builder.h"
+#include "serving/batching_queue.h"
+#include "serving/serving_engine.h"
+
+namespace pathrank::serving {
+namespace {
+
+core::PathRankConfig SmallConfig() {
+  core::PathRankConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.hidden_size = 12;
+  cfg.seed = 3;
+  return cfg;
+}
+
+struct QueueFixture {
+  graph::RoadNetwork network = graph::BuildTestNetwork();
+  core::PathRankModel model;  // initialised after network (member order)
+  data::CandidateGenConfig gen;
+  std::vector<RankQuery> queries = {{0, 63}, {7, 56}, {3, 60},
+                                    {21, 42}, {14, 49}, {8, 55}};
+
+  QueueFixture() : model(network.num_vertices(), SmallConfig()) { gen.k = 5; }
+};
+
+void ExpectSameRanking(const std::vector<ScoredPath>& expected,
+                       const std::vector<ScoredPath>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].score, actual[i].score) << "rank " << i;
+    EXPECT_EQ(expected[i].path.vertices, actual[i].path.vertices)
+        << "rank " << i;
+  }
+}
+
+// The property coalescing rests on: a sequence's score does not depend on
+// which other sequences share the batch (padding width included).
+TEST(BatchComposition, RowScoresAreIndependentOfBatchmates) {
+  QueueFixture fx;
+  const ServingEngine engine(fx.network, fx.model);
+
+  // All candidate sets merged into one wide batch...
+  std::vector<std::vector<int32_t>> all_seqs;
+  for (const auto& q : fx.queries) {
+    const auto paths =
+        GenerateCandidates(fx.network, q.source, q.destination, fx.gen);
+    for (const auto& p : paths) {
+      all_seqs.push_back(PathToSequence(p));
+    }
+  }
+  ASSERT_GE(all_seqs.size(), 8u);
+  const auto coalesced =
+      engine.ScoreCoalesced(nn::SequenceBatch::FromSequences(all_seqs));
+
+  // ...must score every row exactly as that row alone does.
+  for (size_t i = 0; i < all_seqs.size(); ++i) {
+    const auto alone =
+        engine.ScoreSequences(nn::SequenceBatch::FromSequences({all_seqs[i]}));
+    ASSERT_EQ(alone.size(), 1u);
+    EXPECT_EQ(alone[0], coalesced[i]) << "row " << i;
+  }
+}
+
+TEST(BatchingQueue, CoalescedScoreIsBitwiseEqualToScoreBatch) {
+  QueueFixture fx;
+  const ServingEngine engine(fx.network, fx.model);
+
+  std::vector<std::vector<routing::Path>> candidate_sets;
+  std::vector<std::vector<ScoredPath>> expected;
+  for (const auto& q : fx.queries) {
+    candidate_sets.push_back(
+        GenerateCandidates(fx.network, q.source, q.destination, fx.gen));
+    expected.push_back(engine.ScoreBatch(candidate_sets.back()));
+  }
+
+  BatchingOptions options;
+  options.max_batch = 256;       // room for everything in one flush
+  options.max_wait_us = 200000;  // linger long enough to coalesce them all
+  BatchingQueue queue(engine, options);
+  std::vector<std::future<std::vector<ScoredPath>>> futures;
+  for (const auto& set : candidate_sets) {
+    futures.push_back(queue.SubmitScore(set));
+  }
+  for (size_t q = 0; q < futures.size(); ++q) {
+    ExpectSameRanking(expected[q], futures[q].get());
+  }
+  // The linger window dwarfs submission time, so everything coalesced.
+  EXPECT_EQ(queue.num_flushes(), 1u);
+  EXPECT_EQ(queue.num_requests(), fx.queries.size());
+}
+
+TEST(BatchingQueue, SubmitRankMatchesEngineRank) {
+  QueueFixture fx;
+  const ServingEngine engine(fx.network, fx.model);
+  BatchingQueue queue(engine);
+  for (const auto& q : fx.queries) {
+    auto future = queue.SubmitRank(q.source, q.destination, fx.gen);
+    ExpectSameRanking(engine.Rank(q.source, q.destination, fx.gen),
+                      future.get());
+  }
+}
+
+TEST(BatchingQueue, MaxBatchCapsFlushSize) {
+  QueueFixture fx;
+  const ServingEngine engine(fx.network, fx.model);
+  BatchingOptions options;
+  options.max_batch = 1;  // every request must flush alone
+  options.max_wait_us = 0;
+  BatchingQueue queue(engine, options);
+  std::vector<std::future<std::vector<ScoredPath>>> futures;
+  for (const auto& q : fx.queries) {
+    futures.push_back(queue.SubmitRank(q.source, q.destination, fx.gen));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const auto& q = fx.queries[i];
+    ExpectSameRanking(engine.Rank(q.source, q.destination, fx.gen),
+                      futures[i].get());
+  }
+  EXPECT_EQ(queue.num_flushes(), queue.num_requests());
+}
+
+TEST(BatchingQueue, DestructorDrainsPendingRequests) {
+  QueueFixture fx;
+  const ServingEngine engine(fx.network, fx.model);
+  const auto& q = fx.queries[0];
+  const auto expected = engine.Rank(q.source, q.destination, fx.gen);
+  std::future<std::vector<ScoredPath>> future;
+  {
+    BatchingOptions options;
+    options.max_batch = 10000;
+    options.max_wait_us = 60 * 1000 * 1000;  // would linger for a minute
+    BatchingQueue queue(engine, options);
+    future = queue.SubmitRank(q.source, q.destination, fx.gen);
+    // Destruction must flush the pending request, not abandon it.
+  }
+  ExpectSameRanking(expected, future.get());
+}
+
+TEST(BatchingQueue, EmptySubmitCompletesImmediately) {
+  QueueFixture fx;
+  const ServingEngine engine(fx.network, fx.model);
+  BatchingQueue queue(engine);
+  auto future = queue.SubmitScore({});
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_TRUE(future.get().empty());
+}
+
+TEST(BatchingQueue, EmptyPathThrowsOnTheSubmitterNotTheDispatcher) {
+  QueueFixture fx;
+  const ServingEngine engine(fx.network, fx.model);
+  BatchingQueue queue(engine);
+  // An empty path must fail the offending caller (like ScoreBatch would),
+  // never reach the dispatcher thread, and leave the queue serviceable.
+  EXPECT_THROW(queue.SubmitScore({routing::Path{}}), std::exception);
+  const auto& q = fx.queries[0];
+  ExpectSameRanking(engine.Rank(q.source, q.destination, fx.gen),
+                    queue.SubmitRank(q.source, q.destination, fx.gen).get());
+}
+
+TEST(BatchingQueue, ConcurrentSubmittersAllMatchSerialReference) {
+  QueueFixture fx;
+  const ServingEngine engine(fx.network, fx.model);
+  std::vector<std::vector<ScoredPath>> expected;
+  for (const auto& q : fx.queries) {
+    expected.push_back(engine.Rank(q.source, q.destination, fx.gen));
+  }
+
+  BatchingQueue queue(engine);
+  constexpr size_t kThreads = 6;
+  constexpr size_t kRounds = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        const size_t q = (t + round) % fx.queries.size();
+        const auto got =
+            queue.SubmitRank(fx.queries[q].source, fx.queries[q].destination,
+                             fx.gen)
+                .get();
+        if (got.size() != expected[q].size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < got.size(); ++i) {
+          if (got[i].score != expected[q][i].score ||
+              got[i].path.vertices != expected[q][i].path.vertices) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(queue.num_requests(), kThreads * kRounds);
+}
+
+// ScoreCoalesced called from inside a pool region must fall back to the
+// serial path (never block on the pool while holding the batch replica)
+// and still produce identical scores.
+TEST(BatchingQueue, ScoreCoalescedInsideParallelRegionFallsBackSerially) {
+  QueueFixture fx;
+  const ServingEngine engine(fx.network, fx.model);
+  const auto paths =
+      GenerateCandidates(fx.network, 0, 63, fx.gen);
+  std::vector<std::vector<int32_t>> seqs;
+  for (const auto& p : paths) {
+    seqs.push_back(PathToSequence(p));
+  }
+  const auto batch = nn::SequenceBatch::FromSequences(seqs);
+  const auto expected = engine.ScoreCoalesced(batch);
+
+  std::vector<float> inside;
+  ParallelForShards(0, 1, [&](size_t, size_t, size_t) {
+    inside = engine.ScoreCoalesced(batch);
+  });
+  ASSERT_EQ(expected.size(), inside.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i], inside[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pathrank::serving

@@ -1,0 +1,177 @@
+// ShardedEngine: bitwise equivalence to a single engine when shards share
+// one snapshot (both policies), deterministic hash placement, per-shard
+// snapshots (multi-model), canary and fleet-wide hot-swap.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/model.h"
+#include "graph/network_builder.h"
+#include "serving/model_snapshot.h"
+#include "serving/sharded_engine.h"
+
+namespace pathrank::serving {
+namespace {
+
+core::PathRankConfig ConfigWithSeed(uint64_t seed) {
+  core::PathRankConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.hidden_size = 12;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct ShardFixture {
+  graph::RoadNetwork network = graph::BuildTestNetwork();
+  core::PathRankModel model_a;
+  core::PathRankModel model_b;
+  data::CandidateGenConfig gen;
+  std::vector<RankQuery> queries = {{0, 63}, {7, 56}, {3, 60}, {21, 42},
+                                    {14, 49}, {8, 55}, {2, 61}, {5, 58}};
+
+  ShardFixture()
+      : model_a(network.num_vertices(), ConfigWithSeed(3)),
+        model_b(network.num_vertices(), ConfigWithSeed(31)) {
+    gen.k = 5;
+  }
+};
+
+bool SameRanking(const std::vector<ScoredPath>& expected,
+                 const std::vector<ScoredPath>& got) {
+  if (expected.size() != got.size()) return false;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (expected[i].score != got[i].score ||
+        expected[i].path.vertices != got[i].path.vertices) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ShardedEngine, SharedSnapshotMatchesSingleEngineUnderBothPolicies) {
+  ShardFixture fx;
+  const auto snapshot = ModelSnapshot::Capture(fx.model_a);
+  const ServingEngine single(fx.network, snapshot);
+
+  for (ShardPolicy policy : {ShardPolicy::kHash, ShardPolicy::kRoundRobin}) {
+    ShardedOptions options;
+    options.num_shards = 3;
+    options.policy = policy;
+    options.engine_options.candidates = fx.gen;
+    const ShardedEngine sharded(fx.network, snapshot, options);
+    ASSERT_EQ(sharded.num_shards(), 3u);
+
+    for (const auto& q : fx.queries) {
+      EXPECT_TRUE(SameRanking(single.Rank(q.source, q.destination, fx.gen),
+                              sharded.Rank(q.source, q.destination, fx.gen)))
+          << "policy=" << static_cast<int>(policy);
+    }
+    const auto batched = sharded.RankBatch(fx.queries, fx.gen);
+    ASSERT_EQ(batched.size(), fx.queries.size());
+    for (size_t i = 0; i < fx.queries.size(); ++i) {
+      EXPECT_TRUE(SameRanking(
+          single.Rank(fx.queries[i].source, fx.queries[i].destination, fx.gen),
+          batched[i]));
+    }
+    const auto paths =
+        GenerateCandidates(fx.network, 0, 63, fx.gen);
+    EXPECT_TRUE(
+        SameRanking(single.ScoreBatch(paths), sharded.ScoreBatch(paths)));
+  }
+}
+
+TEST(ShardedEngine, HashPlacementIsDeterministicAndSpreads) {
+  ShardFixture fx;
+  ShardedOptions options;
+  options.num_shards = 4;
+  options.policy = ShardPolicy::kHash;
+  const ShardedEngine sharded(fx.network, ModelSnapshot::Capture(fx.model_a),
+                              options);
+
+  std::set<size_t> used;
+  for (const auto& q : fx.queries) {
+    const size_t shard = sharded.ShardFor(q.source, q.destination);
+    ASSERT_LT(shard, 4u);
+    used.insert(shard);
+    // Pure function of the query: repeated lookups never move.
+    for (int round = 0; round < 3; ++round) {
+      EXPECT_EQ(shard, sharded.ShardFor(q.source, q.destination));
+    }
+  }
+  // 8 well-mixed OD pairs over 4 shards should hit more than one shard.
+  EXPECT_GT(used.size(), 1u);
+}
+
+TEST(ShardedEngine, RoundRobinRotates) {
+  ShardFixture fx;
+  ShardedOptions options;
+  options.num_shards = 3;
+  options.policy = ShardPolicy::kRoundRobin;
+  const ShardedEngine sharded(fx.network, ModelSnapshot::Capture(fx.model_a),
+                              options);
+  const auto& q = fx.queries[0];
+  // Strict rotation: the same query advances one shard per call.
+  const size_t first = sharded.ShardFor(q.source, q.destination);
+  EXPECT_EQ((first + 1) % 3, sharded.ShardFor(q.source, q.destination));
+  EXPECT_EQ((first + 2) % 3, sharded.ShardFor(q.source, q.destination));
+}
+
+TEST(ShardedEngine, PerShardSnapshotsRouteByHash) {
+  ShardFixture fx;
+  const auto snap_a = ModelSnapshot::Capture(fx.model_a);
+  const auto snap_b = ModelSnapshot::Capture(fx.model_b);
+  const ServingEngine ref_a(fx.network, snap_a);
+  const ServingEngine ref_b(fx.network, snap_b);
+
+  ShardedOptions options;
+  options.policy = ShardPolicy::kHash;
+  options.engine_options.candidates = fx.gen;
+  const ShardedEngine sharded(fx.network, {snap_a, snap_b}, options);
+  ASSERT_EQ(sharded.num_shards(), 2u);
+
+  for (const auto& q : fx.queries) {
+    const size_t shard = sharded.ShardFor(q.source, q.destination);
+    const auto& reference = shard == 0 ? ref_a : ref_b;
+    EXPECT_TRUE(
+        SameRanking(reference.Rank(q.source, q.destination, fx.gen),
+                    sharded.Rank(q.source, q.destination, fx.gen)))
+        << "shard " << shard;
+  }
+}
+
+TEST(ShardedEngine, ZeroShardsIsRejected) {
+  ShardFixture fx;
+  ShardedOptions options;
+  options.num_shards = 0;  // misconfiguration must surface, not clamp to 1
+  EXPECT_THROW(ShardedEngine(fx.network, ModelSnapshot::Capture(fx.model_a),
+                             options),
+               std::exception);
+}
+
+TEST(ShardedEngine, CanarySwapThenFleetSwap) {
+  ShardFixture fx;
+  const auto snap_a = ModelSnapshot::Capture(fx.model_a);
+  const auto snap_b = ModelSnapshot::Capture(fx.model_b);
+
+  ShardedOptions options;
+  options.num_shards = 3;
+  ShardedEngine sharded(fx.network, snap_a, options);
+
+  // Canary: shard 1 moves to B, the rest keep serving A.
+  const auto old = sharded.SwapSnapshot(1, snap_b);
+  EXPECT_EQ(old.get(), snap_a.get());
+  EXPECT_EQ(sharded.shard(0).shared_snapshot().get(), snap_a.get());
+  EXPECT_EQ(sharded.shard(1).shared_snapshot().get(), snap_b.get());
+  EXPECT_EQ(sharded.shard(2).shared_snapshot().get(), snap_a.get());
+
+  // Promotion: the whole fleet converges on B.
+  sharded.SwapSnapshot(snap_b);
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    EXPECT_EQ(sharded.shard(s).shared_snapshot().get(), snap_b.get());
+  }
+}
+
+}  // namespace
+}  // namespace pathrank::serving

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Doc link checker: fails (non-zero exit, one line per offender) when a
+# relative markdown link in README.md or docs/*.md points at a missing
+# file, or when its #anchor does not match any heading of the target file.
+# External links (http/https/mailto) are skipped. Registered as the
+# `doc_link_check` ctest, so a broken link fails CI like a broken test.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+# GitHub-style heading slug: lowercase, strip everything but
+# [a-z0-9 _-], spaces to hyphens.
+slugify() {
+  printf '%s' "$1" \
+    | tr '[:upper:]' '[:lower:]' \
+    | sed -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
+
+# All heading slugs of a markdown file, one per line.
+heading_slugs() {
+  local file="$1"
+  # ATX headings only (the repo's docs use no Setext headings), fenced
+  # code blocks excluded so `# comment` lines inside ``` do not count.
+  # `#+ ` instead of `#{1,6} `: mawk has no interval expressions.
+  awk '
+    /^```/ { in_code = !in_code; next }
+    !in_code && /^#+ / { sub(/^#+ /, ""); print }
+  ' "$file" | while IFS= read -r heading; do
+    slugify "$heading"
+    echo
+  done
+}
+
+failures=0
+
+check_file() {
+  local file="$1"
+  local dir
+  dir="$(dirname "$file")"
+  # Inline links: every "](target)" occurrence, one per line, with fenced
+  # code blocks dropped first (same fence rule as heading_slugs — a
+  # markdown example inside ``` is not a real link). `|| true`: a file
+  # with zero links is fine, but grep's no-match exit 1 would otherwise
+  # kill the subshell under set -e -o pipefail.
+  { awk '/^```/ { in_code = !in_code; next } !in_code' "$file" \
+      | grep -oE '\]\([^)]+\)' 2>/dev/null || true; } \
+      | sed -e 's/^](//' -e 's/)$//' \
+      | while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    local path="${target%%#*}"
+    local anchor=""
+    [[ "$target" == *#* ]] && anchor="${target#*#}"
+
+    local resolved
+    if [[ -z "$path" ]]; then
+      resolved="$file"  # same-file anchor link
+    else
+      resolved="$dir/$path"
+    fi
+    if [[ ! -e "$resolved" ]]; then
+      echo "BROKEN  $file -> $target (no such file: $resolved)"
+      continue
+    fi
+    if [[ -n "$anchor" && "$resolved" == *.md ]]; then
+      # Capture first: `producer | grep -q` would SIGPIPE the producer on
+      # an early match, which pipefail turns into a spurious failure.
+      local slugs
+      slugs="$(heading_slugs "$resolved")"
+      if ! grep -qx "$anchor" <<<"$slugs"; then
+        echo "BROKEN  $file -> $target (no heading slug '$anchor' in $resolved)"
+      fi
+    fi
+  done
+}
+
+broken="$(
+  for file in "$ROOT/README.md" "$ROOT"/docs/*.md; do
+    [[ -e "$file" ]] && check_file "$file"
+  done
+)"
+
+if [[ -n "$broken" ]]; then
+  echo "$broken"
+  failures="$(printf '%s\n' "$broken" | wc -l)"
+  echo "doc link check: $failures broken link(s)" >&2
+  exit 1
+fi
+echo "doc link check: all links in README.md + docs/*.md resolve"

@@ -9,28 +9,44 @@
 //   pathrank_cli evaluate --network net --trips trips.csv --model model.bin
 //   pathrank_cli rank     --network net --model model.bin --from 12 --to 245
 //   pathrank_cli serve    --network net --model model.bin --num-queries 128 \
-//                         --threads 4 --repeat 3
+//                         --threads 4 --repeat 3 \
+//                         [--batch 1 --clients 8] [--shards 4] \
+//                         [--watch-model 1]
 //
-// `serve` drives the replica-pool ServingEngine with a batch of queries
-// (from --queries CSV of "source,destination" lines, or sampled randomly)
-// and reports per-query latency percentiles and QPS.
+// `serve` drives the serving stack with a batch of queries (from --queries
+// CSV of "source,destination" lines, or sampled randomly) and reports
+// per-query latency percentiles and QPS. `--batch 1` coalesces requests
+// through a BatchingQueue (closed-loop `--clients` submitters), `--shards
+// N` partitions traffic across N engines (`--shard-policy hash|rr`), and
+// `--watch-model 1` polls the model checkpoint and hot-swaps the served
+// snapshot whenever the file changes — all three without restarting the
+// process.
 //
 // Networks are stored as the CSV pair written by graph::SaveNetworkCsv,
 // trips as traj::SaveTrips CSV, models as core::SaveModel checkpoints.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/percentile.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/model_io.h"
 #include "core/pathrank.h"
 #include "graph/graph_io.h"
+#include "serving/batching_queue.h"
+#include "serving/sharded_engine.h"
 #include "traj/trip_io.h"
 
 namespace {
@@ -299,6 +315,121 @@ std::vector<serving::RankQuery> SampleQueries(
   return queries;
 }
 
+serving::ShardPolicy ParseShardPolicy(const std::string& name) {
+  if (name == "hash") return serving::ShardPolicy::kHash;
+  if (name == "rr" || name == "roundrobin") {
+    return serving::ShardPolicy::kRoundRobin;
+  }
+  std::fprintf(stderr, "unknown shard policy: %s (hash|rr)\n", name.c_str());
+  std::exit(2);
+}
+
+/// Polls a model checkpoint's mtime and hot-swaps the served snapshot when
+/// the file changes — the `serve --watch-model` reload path. The swap
+/// itself is one atomic pointer exchange inside the engine(s); in-flight
+/// requests finish on the snapshot they started with.
+class ModelWatcher {
+ public:
+  ModelWatcher(std::string model_path, const graph::RoadNetwork& network,
+               std::function<void(std::shared_ptr<const serving::ModelSnapshot>)>
+                   swap,
+               int interval_ms)
+      : model_path_(std::move(model_path)),
+        network_(&network),
+        swap_(std::move(swap)),
+        interval_ms_(interval_ms),
+        last_mtime_(Mtime(model_path_)) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~ModelWatcher() {
+    stop_.store(true);
+    thread_.join();
+  }
+
+  uint64_t swaps() const { return swaps_.load(); }
+
+ private:
+  static std::filesystem::file_time_type Mtime(const std::string& path) {
+    std::error_code ec;
+    const auto t = std::filesystem::last_write_time(path, ec);
+    return ec ? std::filesystem::file_time_type{} : t;
+  }
+
+  /// Sleeps one poll interval in small slices so destruction never waits
+  /// out a long --watch-interval-ms.
+  void InterruptibleSleep() const {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(interval_ms_);
+    while (!stop_.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  void Loop() {
+    while (!stop_.load()) {
+      InterruptibleSleep();
+      if (stop_.load()) break;
+      const auto mtime = Mtime(model_path_);
+      if (mtime == last_mtime_ ||
+          mtime == std::filesystem::file_time_type{}) {
+        continue;
+      }
+      try {
+        auto next = core::LoadModel(model_path_);
+        if (next->vocab_size() != network_->num_vertices()) {
+          std::fprintf(stderr,
+                       "watch-model: %s no longer matches the network; "
+                       "keeping the current snapshot\n",
+                       model_path_.c_str());
+          last_mtime_ = mtime;  // not transient; wait for the next rewrite
+          continue;
+        }
+        swap_(serving::ModelSnapshot::Capture(*next));
+        last_mtime_ = mtime;
+        swaps_.fetch_add(1);
+        std::printf("watch-model: hot-swapped snapshot from %s\n",
+                    model_path_.c_str());
+      } catch (const std::exception& e) {
+        // A partially written checkpoint mid-save is expected. last_mtime_
+        // deliberately stays stale so the next tick retries even when the
+        // writer finishes within the same coarse mtime granule.
+        std::fprintf(stderr, "watch-model: reload failed (%s); will retry\n",
+                     e.what());
+      }
+    }
+  }
+
+  const std::string model_path_;
+  const graph::RoadNetwork* network_;
+  const std::function<void(std::shared_ptr<const serving::ModelSnapshot>)>
+      swap_;
+  const int interval_ms_;
+  std::filesystem::file_time_type last_mtime_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> swaps_{0};
+  std::thread thread_;
+};
+
+/// Sorts `latency` and prints the wall-clock / QPS / percentile report
+/// shared by the serve drive modes. PercentileSorted keeps the quantile
+/// convention identical to the gated bench metrics.
+void ReportServeStats(std::vector<double>& latency, double wall_s,
+                      size_t candidates_served) {
+  std::sort(latency.begin(), latency.end());
+  auto pct = [&](double p) { return PercentileSorted(latency, p) * 1e3; };
+  double mean_ms = 0.0;
+  for (double s : latency) mean_ms += s;
+  mean_ms = mean_ms / static_cast<double>(latency.size()) * 1e3;
+
+  std::printf("%zu candidates served\n", candidates_served);
+  std::printf("wall %.3f s  =>  %.1f QPS\n", wall_s,
+              static_cast<double>(latency.size()) / wall_s);
+  std::printf("latency/query: mean %.2f ms  p50 %.2f ms  p95 %.2f ms  "
+              "p99 %.2f ms\n",
+              mean_ms, pct(0.50), pct(0.95), pct(0.99));
+}
+
 int CmdServe(const Args& args) {
   const auto network = graph::LoadNetworkCsv(args.Require("network"));
   auto model = core::LoadModel(args.Require("model"));
@@ -318,11 +449,43 @@ int CmdServe(const Args& args) {
     std::fprintf(stderr, "--replicas must be >= 0 (0 = one per thread)\n");
     return 2;
   }
+  const int shards = args.GetInt("shards", 0);
+  if (shards < 0) {
+    std::fprintf(stderr, "--shards must be >= 0 (0 = unsharded)\n");
+    return 2;
+  }
+  const bool batch = args.GetInt("batch", 0) != 0;
+  if (batch && shards > 0) {
+    std::fprintf(stderr,
+                 "--batch coalesces onto one engine; combine with --shards "
+                 "by running one queue per shard in library code\n");
+    return 2;
+  }
+
   serving::ServingOptions options;
   options.num_replicas = static_cast<size_t>(replicas);
   options.candidates = GenConfigFromArgs(args);
-  const serving::ServingEngine engine(
-      network, serving::ModelSnapshot::Capture(*model), options);
+  const auto snapshot = serving::ModelSnapshot::Capture(*model);
+  model.reset();  // the snapshot owns its own copy of the parameters
+
+  // One of the two is live; both expose Rank + SwapSnapshot.
+  std::unique_ptr<serving::ServingEngine> engine;
+  std::unique_ptr<serving::ShardedEngine> sharded;
+  if (shards > 0) {
+    serving::ShardedOptions shard_options;
+    shard_options.num_shards = static_cast<size_t>(shards);
+    shard_options.policy = ParseShardPolicy(args.Get("shard-policy", "hash"));
+    shard_options.engine_options = options;
+    sharded = std::make_unique<serving::ShardedEngine>(network, snapshot,
+                                                       shard_options);
+  } else {
+    engine =
+        std::make_unique<serving::ServingEngine>(network, snapshot, options);
+  }
+  auto rank = [&](const serving::RankQuery& q) {
+    return sharded ? sharded->Rank(q.source, q.destination)
+                   : engine->Rank(q.source, q.destination);
+  };
 
   std::vector<serving::RankQuery> queries;
   if (args.Has("queries")) {
@@ -338,48 +501,106 @@ int CmdServe(const Args& args) {
   const int repeat = std::max(1, args.GetInt("repeat", 1));
   const size_t total = queries.size() * static_cast<size_t>(repeat);
 
-  // Warm-up (pool spin-up, scratch allocation, cache warming).
-  for (size_t q = 0; q < std::min<size_t>(queries.size(), 4); ++q) {
-    engine.Rank(queries[q].source, queries[q].destination);
+  std::unique_ptr<ModelWatcher> watcher;
+  if (args.GetInt("watch-model", 0) != 0) {
+    watcher = std::make_unique<ModelWatcher>(
+        args.Require("model"), network,
+        [&](std::shared_ptr<const serving::ModelSnapshot> next) {
+          if (sharded) {
+            sharded->SwapSnapshot(std::move(next));
+          } else {
+            engine->SwapSnapshot(std::move(next));
+          }
+        },
+        std::max(1, args.GetInt("watch-interval-ms", 200)));
   }
 
-  // Per-query latencies land in disjoint slots; shards never share state.
+  // Warm-up (pool spin-up, scratch allocation, cache warming).
+  for (size_t q = 0; q < std::min<size_t>(queries.size(), 4); ++q) {
+    rank(queries[q]);
+  }
+
+  // Per-query latencies land in disjoint slots; workers never share state.
   std::vector<double> latency(total);
   std::vector<size_t> candidate_counts(total, 0);
   Stopwatch wall;
-  ParallelForShards(0, total, [&](size_t /*shard*/, size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      const auto& query = queries[i % queries.size()];
-      Stopwatch per_query;
-      const auto ranked = engine.Rank(query.source, query.destination);
-      latency[i] = per_query.ElapsedSeconds();
-      candidate_counts[i] = ranked.size();
+  double wall_s = 0.0;
+
+  if (batch) {
+    serving::BatchingOptions batch_options;
+    batch_options.max_batch =
+        static_cast<size_t>(std::max(1, args.GetInt("max-batch", 64)));
+    batch_options.max_wait_us = std::max(0, args.GetInt("max-wait-us", 200));
+    serving::BatchingQueue queue(*engine, batch_options);
+    // Closed-loop clients on plain threads (pool workers must never block
+    // on queue futures — see batching_queue.h); the global pool stays
+    // available to the dispatcher's coalesced kernels.
+    const size_t clients = static_cast<size_t>(
+        std::max(1, args.GetInt("clients", static_cast<int>(GetNumThreads()))));
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= total) break;
+          const auto& query = queries[i % queries.size()];
+          Stopwatch per_query;
+          const auto ranked =
+              queue.SubmitRank(query.source, query.destination).get();
+          latency[i] = per_query.ElapsedSeconds();
+          candidate_counts[i] = ranked.size();
+        }
+      });
     }
-  });
-  const double wall_s = wall.ElapsedSeconds();
+    for (auto& w : workers) w.join();
+    wall_s = wall.ElapsedSeconds();
+    std::printf(
+        "served %zu queries (%zu unique x %d) batched via %zu clients: "
+        "%llu flushes, %.1f rows/flush (max-batch %zu, max-wait %lld us)\n",
+        total, queries.size(), repeat, clients,
+        static_cast<unsigned long long>(queue.num_flushes()),
+        queue.num_flushes() > 0
+            ? static_cast<double>(queue.num_rows()) /
+                  static_cast<double>(queue.num_flushes())
+            : 0.0,
+        batch_options.max_batch,
+        static_cast<long long>(batch_options.max_wait_us));
+  } else {
+    ParallelForShards(0, total, [&](size_t /*shard*/, size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        const auto& query = queries[i % queries.size()];
+        Stopwatch per_query;
+        const auto ranked = rank(query);
+        latency[i] = per_query.ElapsedSeconds();
+        candidate_counts[i] = ranked.size();
+      }
+    });
+    wall_s = wall.ElapsedSeconds();
+    if (sharded) {
+      std::printf("served %zu queries (%zu unique x %d) on %zu threads, "
+                  "%zu shards (%s)\n",
+                  total, queries.size(), repeat, GetNumThreads(),
+                  sharded->num_shards(),
+                  sharded->options().policy == serving::ShardPolicy::kHash
+                      ? "hash"
+                      : "rr");
+    } else {
+      std::printf("served %zu queries (%zu unique x %d) on %zu threads, "
+                  "%zu replicas\n",
+                  total, queries.size(), repeat, GetNumThreads(),
+                  engine->num_replicas());
+    }
+  }
+
   size_t candidates_served = 0;
   for (size_t c : candidate_counts) candidates_served += c;
-
-  std::sort(latency.begin(), latency.end());
-  auto pct = [&](double p) {
-    const size_t idx = std::min(
-        latency.size() - 1,
-        static_cast<size_t>(p * static_cast<double>(latency.size())));
-    return latency[idx] * 1e3;
-  };
-  double mean_ms = 0.0;
-  for (double s : latency) mean_ms += s;
-  mean_ms = mean_ms / static_cast<double>(latency.size()) * 1e3;
-
-  std::printf("served %zu queries (%zu unique x %d) on %zu threads, "
-              "%zu replicas, %zu candidates total\n",
-              total, queries.size(), repeat, GetNumThreads(),
-              engine.num_replicas(), candidates_served);
-  std::printf("wall %.3f s  =>  %.1f QPS\n", wall_s,
-              static_cast<double>(total) / wall_s);
-  std::printf("latency/query: mean %.2f ms  p50 %.2f ms  p95 %.2f ms  "
-              "p99 %.2f ms\n",
-              mean_ms, pct(0.50), pct(0.95), pct(0.99));
+  ReportServeStats(latency, wall_s, candidates_served);
+  if (watcher) {
+    std::printf("watch-model: %llu hot swap(s) during the run\n",
+                static_cast<unsigned long long>(watcher->swaps()));
+  }
   return 0;
 }
 
@@ -399,7 +620,10 @@ void PrintUsage() {
       "  serve     --network PREFIX --model MODEL.bin\n"
       "            [--queries Q.csv | --num-queries N --seed S]\n"
       "            [--threads T --replicas R --repeat K --strategy ... "
-      "--k K --threshold T]\n");
+      "--k K --threshold T]\n"
+      "            [--batch 0|1 --max-batch N --max-wait-us U --clients C]\n"
+      "            [--shards N --shard-policy hash|rr]\n"
+      "            [--watch-model 0|1 --watch-interval-ms M]\n");
 }
 
 }  // namespace
@@ -428,7 +652,9 @@ int main(int argc, char** argv) {
        {"network", "model", "from", "to", "strategy", "k", "threshold"}},
       {"serve",
        {"network", "model", "queries", "num-queries", "seed", "threads",
-        "replicas", "repeat", "strategy", "k", "threshold"}},
+        "replicas", "repeat", "strategy", "k", "threshold", "batch",
+        "max-batch", "max-wait-us", "clients", "shards", "shard-policy",
+        "watch-model", "watch-interval-ms"}},
   };
   const auto known = kKnownFlags.find(command);
   if (known != kKnownFlags.end()) {
