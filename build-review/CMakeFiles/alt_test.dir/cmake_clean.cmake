@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_test.dir/tests/alt_test.cpp.o"
+  "CMakeFiles/alt_test.dir/tests/alt_test.cpp.o.d"
+  "alt_test"
+  "alt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

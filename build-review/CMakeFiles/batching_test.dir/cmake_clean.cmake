@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batching_test.dir/tests/batching_test.cpp.o"
+  "CMakeFiles/batching_test.dir/tests/batching_test.cpp.o.d"
+  "batching_test"
+  "batching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cell_ablation.dir/bench/bench_cell_ablation.cpp.o"
+  "CMakeFiles/bench_cell_ablation.dir/bench/bench_cell_ablation.cpp.o.d"
+  "bench_cell_ablation"
+  "bench_cell_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cell_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

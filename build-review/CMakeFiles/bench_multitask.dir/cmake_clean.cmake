@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multitask.dir/bench/bench_multitask.cpp.o"
+  "CMakeFiles/bench_multitask.dir/bench/bench_multitask.cpp.o.d"
+  "bench_multitask"
+  "bench_multitask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

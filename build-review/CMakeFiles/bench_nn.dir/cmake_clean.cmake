@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nn.dir/bench/bench_nn.cpp.o"
+  "CMakeFiles/bench_nn.dir/bench/bench_nn.cpp.o.d"
+  "bench_nn"
+  "bench_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pooling_ablation.dir/bench/bench_pooling_ablation.cpp.o"
+  "CMakeFiles/bench_pooling_ablation.dir/bench/bench_pooling_ablation.cpp.o.d"
+  "bench_pooling_ablation"
+  "bench_pooling_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pooling_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commute_ranking.dir/examples/commute_ranking.cpp.o"
+  "CMakeFiles/commute_ranking.dir/examples/commute_ranking.cpp.o.d"
+  "commute_ranking"
+  "commute_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commute_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

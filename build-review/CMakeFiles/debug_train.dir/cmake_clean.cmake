@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_train.dir/tools/debug_train.cpp.o"
+  "CMakeFiles/debug_train.dir/tools/debug_train.cpp.o.d"
+  "debug_train"
+  "debug_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gps_to_path.dir/examples/gps_to_path.cpp.o"
+  "CMakeFiles/gps_to_path.dir/examples/gps_to_path.cpp.o.d"
+  "gps_to_path"
+  "gps_to_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gps_to_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gps_to_path.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_swap_test.dir/tests/hot_swap_test.cpp.o"
+  "CMakeFiles/hot_swap_test.dir/tests/hot_swap_test.cpp.o.d"
+  "hot_swap_test"
+  "hot_swap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_swap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_matcher_test.dir/tests/map_matcher_test.cpp.o"
+  "CMakeFiles/map_matcher_test.dir/tests/map_matcher_test.cpp.o.d"
+  "map_matcher_test"
+  "map_matcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

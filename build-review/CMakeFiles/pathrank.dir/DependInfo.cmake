@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/csv.cpp" "CMakeFiles/pathrank.dir/src/common/csv.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/common/csv.cpp.o.d"
+  "/root/repo/src/common/env.cpp" "CMakeFiles/pathrank.dir/src/common/env.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/common/env.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "CMakeFiles/pathrank.dir/src/common/logging.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/common/logging.cpp.o.d"
+  "/root/repo/src/common/string_util.cpp" "CMakeFiles/pathrank.dir/src/common/string_util.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/common/string_util.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "CMakeFiles/pathrank.dir/src/common/thread_pool.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/common/thread_pool.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "CMakeFiles/pathrank.dir/src/core/evaluator.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/core/evaluator.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "CMakeFiles/pathrank.dir/src/core/model.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/core/model.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "CMakeFiles/pathrank.dir/src/core/model_io.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/core/model_io.cpp.o.d"
+  "/root/repo/src/core/ranker.cpp" "CMakeFiles/pathrank.dir/src/core/ranker.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/core/ranker.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "CMakeFiles/pathrank.dir/src/core/trainer.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/core/trainer.cpp.o.d"
+  "/root/repo/src/data/batcher.cpp" "CMakeFiles/pathrank.dir/src/data/batcher.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/data/batcher.cpp.o.d"
+  "/root/repo/src/data/candidate_generation.cpp" "CMakeFiles/pathrank.dir/src/data/candidate_generation.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/data/candidate_generation.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "CMakeFiles/pathrank.dir/src/data/dataset.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/data/dataset.cpp.o.d"
+  "/root/repo/src/embedding/alias_table.cpp" "CMakeFiles/pathrank.dir/src/embedding/alias_table.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/embedding/alias_table.cpp.o.d"
+  "/root/repo/src/embedding/node2vec.cpp" "CMakeFiles/pathrank.dir/src/embedding/node2vec.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/embedding/node2vec.cpp.o.d"
+  "/root/repo/src/embedding/random_walk.cpp" "CMakeFiles/pathrank.dir/src/embedding/random_walk.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/embedding/random_walk.cpp.o.d"
+  "/root/repo/src/embedding/skipgram.cpp" "CMakeFiles/pathrank.dir/src/embedding/skipgram.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/embedding/skipgram.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "CMakeFiles/pathrank.dir/src/graph/graph_io.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/graph/graph_io.cpp.o.d"
+  "/root/repo/src/graph/grid_index.cpp" "CMakeFiles/pathrank.dir/src/graph/grid_index.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/graph/grid_index.cpp.o.d"
+  "/root/repo/src/graph/network_builder.cpp" "CMakeFiles/pathrank.dir/src/graph/network_builder.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/graph/network_builder.cpp.o.d"
+  "/root/repo/src/graph/road_network.cpp" "CMakeFiles/pathrank.dir/src/graph/road_network.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/graph/road_network.cpp.o.d"
+  "/root/repo/src/graph/types.cpp" "CMakeFiles/pathrank.dir/src/graph/types.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/graph/types.cpp.o.d"
+  "/root/repo/src/metrics/ranking_metrics.cpp" "CMakeFiles/pathrank.dir/src/metrics/ranking_metrics.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/metrics/ranking_metrics.cpp.o.d"
+  "/root/repo/src/nn/embedding_layer.cpp" "CMakeFiles/pathrank.dir/src/nn/embedding_layer.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/nn/embedding_layer.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "CMakeFiles/pathrank.dir/src/nn/linear.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "CMakeFiles/pathrank.dir/src/nn/loss.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "CMakeFiles/pathrank.dir/src/nn/matrix.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/nn/matrix.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "CMakeFiles/pathrank.dir/src/nn/optimizer.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/parameter.cpp" "CMakeFiles/pathrank.dir/src/nn/parameter.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/nn/parameter.cpp.o.d"
+  "/root/repo/src/nn/recurrent.cpp" "CMakeFiles/pathrank.dir/src/nn/recurrent.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/nn/recurrent.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "CMakeFiles/pathrank.dir/src/nn/serialize.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/nn/serialize.cpp.o.d"
+  "/root/repo/src/routing/alt.cpp" "CMakeFiles/pathrank.dir/src/routing/alt.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/routing/alt.cpp.o.d"
+  "/root/repo/src/routing/astar.cpp" "CMakeFiles/pathrank.dir/src/routing/astar.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/routing/astar.cpp.o.d"
+  "/root/repo/src/routing/bidirectional_dijkstra.cpp" "CMakeFiles/pathrank.dir/src/routing/bidirectional_dijkstra.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/routing/bidirectional_dijkstra.cpp.o.d"
+  "/root/repo/src/routing/dijkstra.cpp" "CMakeFiles/pathrank.dir/src/routing/dijkstra.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/routing/dijkstra.cpp.o.d"
+  "/root/repo/src/routing/diversified.cpp" "CMakeFiles/pathrank.dir/src/routing/diversified.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/routing/diversified.cpp.o.d"
+  "/root/repo/src/routing/path.cpp" "CMakeFiles/pathrank.dir/src/routing/path.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/routing/path.cpp.o.d"
+  "/root/repo/src/routing/path_similarity.cpp" "CMakeFiles/pathrank.dir/src/routing/path_similarity.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/routing/path_similarity.cpp.o.d"
+  "/root/repo/src/routing/penalty_alternatives.cpp" "CMakeFiles/pathrank.dir/src/routing/penalty_alternatives.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/routing/penalty_alternatives.cpp.o.d"
+  "/root/repo/src/routing/yen.cpp" "CMakeFiles/pathrank.dir/src/routing/yen.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/routing/yen.cpp.o.d"
+  "/root/repo/src/serving/batching_queue.cpp" "CMakeFiles/pathrank.dir/src/serving/batching_queue.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/serving/batching_queue.cpp.o.d"
+  "/root/repo/src/serving/model_snapshot.cpp" "CMakeFiles/pathrank.dir/src/serving/model_snapshot.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/serving/model_snapshot.cpp.o.d"
+  "/root/repo/src/serving/serving_engine.cpp" "CMakeFiles/pathrank.dir/src/serving/serving_engine.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/serving/serving_engine.cpp.o.d"
+  "/root/repo/src/serving/sharded_engine.cpp" "CMakeFiles/pathrank.dir/src/serving/sharded_engine.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/serving/sharded_engine.cpp.o.d"
+  "/root/repo/src/traj/driver_model.cpp" "CMakeFiles/pathrank.dir/src/traj/driver_model.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/traj/driver_model.cpp.o.d"
+  "/root/repo/src/traj/gps_simulator.cpp" "CMakeFiles/pathrank.dir/src/traj/gps_simulator.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/traj/gps_simulator.cpp.o.d"
+  "/root/repo/src/traj/map_matcher.cpp" "CMakeFiles/pathrank.dir/src/traj/map_matcher.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/traj/map_matcher.cpp.o.d"
+  "/root/repo/src/traj/trajectory_generator.cpp" "CMakeFiles/pathrank.dir/src/traj/trajectory_generator.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/traj/trajectory_generator.cpp.o.d"
+  "/root/repo/src/traj/trip_io.cpp" "CMakeFiles/pathrank.dir/src/traj/trip_io.cpp.o" "gcc" "CMakeFiles/pathrank.dir/src/traj/trip_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

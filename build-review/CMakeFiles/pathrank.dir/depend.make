@@ -1,0 +1,2 @@
+# Empty dependencies file for pathrank.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathrank_bench_common.dir/bench/experiment_common.cpp.o"
+  "CMakeFiles/pathrank_bench_common.dir/bench/experiment_common.cpp.o.d"
+  "libpathrank_bench_common.a"
+  "libpathrank_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathrank_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

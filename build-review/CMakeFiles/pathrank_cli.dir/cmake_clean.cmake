@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathrank_cli.dir/tools/pathrank_cli.cpp.o"
+  "CMakeFiles/pathrank_cli.dir/tools/pathrank_cli.cpp.o.d"
+  "pathrank_cli"
+  "pathrank_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathrank_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

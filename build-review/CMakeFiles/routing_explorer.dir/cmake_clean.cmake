@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_explorer.dir/examples/routing_explorer.cpp.o"
+  "CMakeFiles/routing_explorer.dir/examples/routing_explorer.cpp.o.d"
+  "routing_explorer"
+  "routing_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

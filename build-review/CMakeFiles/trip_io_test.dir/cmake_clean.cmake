@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trip_io_test.dir/tests/trip_io_test.cpp.o"
+  "CMakeFiles/trip_io_test.dir/tests/trip_io_test.cpp.o.d"
+  "trip_io_test"
+  "trip_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trip_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

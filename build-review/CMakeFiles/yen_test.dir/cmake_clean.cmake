@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yen_test.dir/tests/yen_test.cpp.o"
+  "CMakeFiles/yen_test.dir/tests/yen_test.cpp.o.d"
+  "yen_test"
+  "yen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
