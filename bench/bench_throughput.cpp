@@ -1,7 +1,8 @@
 // Throughput benchmark for the parallel compute engine: GEMM GFLOP/s,
 // training epoch time, random-walk generation, candidate generation,
 // ServingEngine rank latency/QPS, coalesced (BatchingQueue) serving
-// latency/QPS, and snapshot capture/hot-swap latency at 1/2/4/N threads.
+// latency/QPS, end-to-end HTTP serving latency/QPS/shed rate over the
+// loopback, and snapshot capture/hot-swap latency at 1/2/4/N threads.
 // Emits BENCH_throughput.json (override the path with PATHRANK_BENCH_OUT)
 // so the perf trajectory is tracked across PRs.
 //
@@ -31,6 +32,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "experiment_common.h"
+#include "serving/http_server.h"
 
 namespace {
 
@@ -316,6 +318,161 @@ void BenchServingBatched(const bench::ExperimentScale& scale,
   }
 }
 
+// End-to-end HTTP serving over the loopback: closed-loop keep-alive
+// clients driving POST /v1/rank against an HttpServer front-ending the
+// engine — the full deployment path (socket + JSON + admission + rank).
+// serve_http_shed_rate is measured with max_inflight sized to the client
+// count, so it is 0 by construction in a healthy build; any positive
+// value means admission control started shedding load it should not have,
+// which the baseline check flags as a regression.
+void BenchServingHttp(const bench::ExperimentScale& scale,
+                      const bench::Workload& workload, Metrics* metrics) {
+  core::PathRankConfig model_cfg;
+  model_cfg.embedding_dim = 64;
+  model_cfg.hidden_size = scale.hidden_size;
+  model_cfg.seed = 7;
+  const core::PathRankModel model(workload.network.num_vertices(), model_cfg,
+                                  core::InitMode::kRandomInit);
+  const auto snapshot = serving::ModelSnapshot::Capture(model);
+
+  serving::ServingOptions options;
+  options.candidates.k = scale.candidates_k;
+  options.candidates.similarity_threshold = 0.6;
+  options.candidates.max_enumerated = 300;
+
+  std::vector<serving::RankQuery> queries;
+  const size_t num_queries = std::min<size_t>(workload.trips.size(), 48);
+  queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    queries.push_back(
+        {workload.trips[i].source(), workload.trips[i].destination()});
+  }
+
+  const size_t threads =
+      std::max<unsigned>(1, std::thread::hardware_concurrency());
+  SetNumThreads(threads);
+  const serving::ServingEngine engine(workload.network, snapshot, options);
+
+  const size_t clients = std::max<size_t>(4, threads);
+  serving::HttpServerOptions http_options;
+  http_options.bind_address = "127.0.0.1";
+  http_options.port = 0;  // ephemeral
+  http_options.num_threads = clients;
+  http_options.max_inflight = clients;  // closed loop: never saturated
+
+  serving::HttpBackend backend;
+  backend.num_vertices = workload.network.num_vertices();
+  backend.rank = [&engine](graph::VertexId s, graph::VertexId d) {
+    return engine.Rank(s, d);
+  };
+  backend.score = [&engine](std::vector<routing::Path> paths) {
+    return engine.ScoreBatch(paths);
+  };
+  serving::HttpServer server(std::move(backend), http_options);
+  server.Start();
+
+  // Pre-rendered request bodies keep the client loop about the wire, not
+  // about JSON string building.
+  std::vector<std::string> bodies;
+  bodies.reserve(queries.size());
+  for (const auto& query : queries) {
+    bodies.push_back("{\"source\": " + std::to_string(query.source) +
+                     ", \"destination\": " +
+                     std::to_string(query.destination) + "}");
+  }
+
+  std::atomic<size_t> served{0};
+  std::atomic<size_t> shed{0};
+  std::atomic<size_t> errors{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> per_client(clients);
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  // Warm-up outside the timed window (connection setup, scratch alloc).
+  {
+    serving::HttpClient warm;
+    warm.Connect(server.port());
+    warm.Request("POST", "/v1/rank", bodies[0]);
+  }
+  Stopwatch watch;
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      // Transport failures (client timeout, connection loss) end this
+      // client via the errors counter — an exception escaping the
+      // thread would std::terminate the whole bench.
+      try {
+        serving::HttpClient client;
+        client.Connect(server.port());
+        size_t i = c;
+        while (!stop.load(std::memory_order_relaxed)) {
+          Stopwatch per_request;
+          const auto response =
+              client.Request("POST", "/v1/rank", bodies[i % bodies.size()]);
+          if (response.status == 200) {
+            per_client[c].push_back(per_request.ElapsedSeconds());
+            served.fetch_add(1, std::memory_order_relaxed);
+          } else if (response.status == 429) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            // 4xx/5xx must not inflate the gated QPS/latency numbers.
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+          i += clients;
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "serve http client %zu: %s\n", c, e.what());
+        errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Same sizing rule as the batched bench: enough samples for a stable
+  // p99, wall-capped for slow machines. Error responses end the run
+  // early — their latencies are excluded, so looping on them would spin.
+  while (served.load(std::memory_order_relaxed) < 200 &&
+         errors.load(std::memory_order_relaxed) == 0 &&
+         watch.ElapsedSeconds() < 5.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& worker : workers) worker.join();
+  const double wall = watch.ElapsedSeconds();
+  server.Stop();
+
+  std::vector<double> latency;
+  for (const auto& client_latency : per_client) {
+    latency.insert(latency.end(), client_latency.begin(),
+                   client_latency.end());
+  }
+  std::sort(latency.begin(), latency.end());
+  // Errors or an empty sample mean the HTTP path is broken, not slow.
+  // Fail the bench outright: emitting zero-valued metrics would sail
+  // through the CI family gate and could poison a --update baseline
+  // with near-zero latencies that mask every future regression.
+  if (errors.load() > 0 || latency.empty()) {
+    std::fprintf(stderr,
+                 "serve http bench failed: %zu error(s), %zu latency "
+                 "sample(s)\n",
+                 errors.load(), latency.size());
+    std::exit(1);
+  }
+  const double p50 = PercentileSorted(latency, 0.50);
+  const double p99 = PercentileSorted(latency, 0.99);
+  const double qps = static_cast<double>(served.load()) / wall;
+  const size_t attempts = served.load() + shed.load();
+  const double shed_rate =
+      attempts > 0
+          ? static_cast<double>(shed.load()) / static_cast<double>(attempts)
+          : 0.0;
+  (*metrics)["serve_http_p50_s"] = p50;
+  (*metrics)["serve_http_p99_s"] = p99;
+  (*metrics)["serve_http_per_s"] = qps;
+  (*metrics)["serve_http_shed_rate"] = shed_rate;
+  std::printf(
+      "serve http  clients=%zu  %.1f QPS  p50 %.2f ms  p99 %.2f ms  "
+      "shed %.3f  errors %zu\n",
+      clients, qps, p50 * 1e3, p99 * 1e3, shed_rate, errors.load());
+}
+
 void BenchSnapshotSwap(const bench::ExperimentScale& scale,
                        const bench::Workload& workload, Metrics* metrics) {
   core::PathRankConfig model_cfg;
@@ -478,6 +635,7 @@ int main(int argc, char** argv) {
   BenchCandidates(scale, workload, thread_counts, &metrics);
   BenchServing(scale, workload, thread_counts, &metrics);
   BenchServingBatched(scale, workload, thread_counts, &metrics);
+  BenchServingHttp(scale, workload, &metrics);
   BenchSnapshotSwap(scale, workload, &metrics);
   BenchTraining(scale, workload, thread_counts, &metrics);
 

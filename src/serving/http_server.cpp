@@ -1,0 +1,934 @@
+#include "serving/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "common/percentile.h"
+#include "common/stopwatch.h"
+#include "serving/json.h"
+
+namespace pathrank::serving {
+namespace {
+
+/// Caps the request line + headers. Bigger means a client that never
+/// sends "\r\n\r\n" ties up a worker and its buffer; 16 KB fits any sane
+/// request many times over.
+constexpr size_t kMaxHeaderBytes = 16 * 1024;
+/// Connections queued for a worker beyond this are closed outright —
+/// a connection flood must not grow memory without bound.
+constexpr size_t kMaxQueuedConnections = 1024;
+/// Idle keep-alive connections are dropped after this long so a silent
+/// client cannot hold a worker forever. Applied as both SO_RCVTIMEO and
+/// SO_SNDTIMEO: the send timeout also bounds Stop() — a worker mid-send
+/// to a non-reading client fails out instead of pinning join().
+constexpr int kIdleTimeoutS = 30;
+/// Wall-clock budget for reading ONE request (headers + body + error
+/// drain). SO_RCVTIMEO alone is per-recv: a slow-trickle client feeding
+/// one byte per 29 s would otherwise hold a worker for days.
+constexpr int kRequestDeadlineS = 60;
+/// Latency samples kept per endpoint for the /statsz percentiles.
+constexpr size_t kLatencyRing = 1024;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+/// One parsed request. Header names are lowercased at parse time.
+struct Request {
+  std::string method;
+  std::string target;
+  std::map<std::string, std::string> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  std::string Header(const std::string& name) const {
+    const auto it = headers.find(name);
+    return it != headers.end() ? it->second : std::string();
+  }
+};
+
+/// One response about to be written.
+struct Response {
+  int status = 200;
+  std::string body;
+  int retry_after_s = -1;
+};
+
+Response ErrorResponse(int status, const std::string& message) {
+  Response response;
+  response.status = status;
+  json::Object object;
+  object["error"] = json::Value(message);
+  response.body = json::Dump(json::Value(std::move(object)));
+  return response;
+}
+
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteResponse(int fd, const Response& response, bool keep_alive) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     StatusText(response.status) + "\r\n";
+  head += "Content-Type: application/json\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  if (response.retry_after_s >= 0) {
+    head += "Retry-After: " + std::to_string(response.retry_after_s) + "\r\n";
+  }
+  head += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  head += "\r\n";
+  return SendAll(fd, head.data(), head.size()) &&
+         SendAll(fd, response.body.data(), response.body.size());
+}
+
+/// Reads one request off `fd` into `request`, consuming from/refilling
+/// `buffer` (bytes already read past the previous request).
+enum class ReadResult { kOk, kClosed, kBadRequest };
+
+ReadResult ReadRequest(int fd, std::string* buffer, Request* request,
+                       size_t max_body_bytes, int* error_status,
+                       const std::chrono::steady_clock::time_point deadline) {
+  *error_status = 400;
+  const auto past_deadline = [deadline] {
+    return std::chrono::steady_clock::now() >= deadline;
+  };
+  // Headers: read until the blank line.
+  size_t header_end = std::string::npos;
+  for (;;) {
+    header_end = buffer->find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    if (buffer->size() > kMaxHeaderBytes) {
+      *error_status = 431;
+      return ReadResult::kBadRequest;
+    }
+    if (past_deadline()) return ReadResult::kClosed;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return ReadResult::kClosed;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadResult::kClosed;  // timeout or reset: just drop it
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  const std::string head = buffer->substr(0, header_end);
+  const size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    return ReadResult::kBadRequest;
+  }
+  request->method = request_line.substr(0, sp1);
+  request->target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = request_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return ReadResult::kBadRequest;
+  }
+
+  // Headers, names lowercased.
+  request->headers.clear();
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) return ReadResult::kBadRequest;
+    std::string name = line.substr(0, colon);
+    // Whitespace before the colon must be a 400 (RFC 9112 §5.1), not a
+    // silently ignored header: "Content-Length : N" stored under the
+    // key "content-length " would mis-frame the body — the third
+    // smuggling vector next to the TE+CL and duplicate-CL ones below.
+    if (name.empty() || name.back() == ' ' || name.back() == '\t') {
+      return ReadResult::kBadRequest;
+    }
+    std::transform(name.begin(), name.end(), name.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    // Trim optional whitespace (space or HTAB, RFC 9110 §5.6.3) off both
+    // ends of the value: "Content-Length:\t5 " must parse as "5".
+    size_t value_begin = colon + 1;
+    while (value_begin < line.size() &&
+           (line[value_begin] == ' ' || line[value_begin] == '\t')) {
+      ++value_begin;
+    }
+    size_t value_end = line.size();
+    while (value_end > value_begin &&
+           (line[value_end - 1] == ' ' || line[value_end - 1] == '\t')) {
+      --value_end;
+    }
+    // Duplicate Content-Length is the other RFC 7230 §3.3.3 desync
+    // vector (a proxy framing by the first value, us by the last):
+    // reject instead of letting the map fold it last-one-wins.
+    if (name == "content-length" && request->headers.count(name) > 0) {
+      return ReadResult::kBadRequest;
+    }
+    request->headers[name] = line.substr(value_begin, value_end - value_begin);
+  }
+
+  // Keep-alive: HTTP/1.1 default unless "Connection: close"; HTTP/1.0
+  // only with an explicit keep-alive.
+  std::string connection = request->Header("connection");
+  std::transform(connection.begin(), connection.end(), connection.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  request->keep_alive = version == "HTTP/1.1" ? connection != "close"
+                                              : connection == "keep-alive";
+
+  // Body, Content-Length framed. Chunked is rejected OUTRIGHT — even
+  // alongside a Content-Length. Framing a TE+CL message by the length
+  // is the classic request-smuggling desync (RFC 7230 §3.3.3): leftover
+  // chunk bytes would be parsed as the next request on this connection.
+  buffer->erase(0, header_end + 4);
+  if (!request->Header("transfer-encoding").empty()) {
+    return ReadResult::kBadRequest;
+  }
+  size_t content_length = 0;
+  const auto length_it = request->headers.find("content-length");
+  if (length_it != request->headers.end()) {
+    // 1*DIGIT per RFC 9110 — strtoull alone would accept "-1" (wrapping
+    // to ULLONG_MAX) or "+5".
+    const std::string& length_header = length_it->second;
+    if (length_header.empty() ||
+        length_header.find_first_not_of("0123456789") != std::string::npos) {
+      return ReadResult::kBadRequest;
+    }
+    content_length =
+        static_cast<size_t>(std::strtoull(length_header.c_str(), nullptr, 10));
+  }
+  if (content_length > max_body_bytes) {
+    *error_status = 413;
+    return ReadResult::kBadRequest;
+  }
+  // curl sends "Expect: 100-continue" before larger bodies and waits for
+  // the interim response. The token is case-insensitive (RFC 9110
+  // §10.1.1) — a client sending "100-Continue" must not stall.
+  std::string expect = request->Header("expect");
+  std::transform(expect.begin(), expect.end(), expect.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (expect.find("100-continue") != std::string::npos) {
+    const char kContinue[] = "HTTP/1.1 100 Continue\r\n\r\n";
+    if (!SendAll(fd, kContinue, sizeof(kContinue) - 1)) {
+      return ReadResult::kClosed;
+    }
+  }
+  while (buffer->size() < content_length) {
+    if (past_deadline()) return ReadResult::kClosed;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return ReadResult::kClosed;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadResult::kClosed;
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+  request->body = buffer->substr(0, content_length);
+  buffer->erase(0, content_length);
+  return ReadResult::kOk;
+}
+
+/// Extracts a vertex id (integral, in [0, num_vertices)) or returns
+/// false with a message.
+bool ParseVertexId(const json::Value* value, size_t num_vertices,
+                   const char* what, graph::VertexId* out,
+                   std::string* message) {
+  if (value == nullptr || !value->is_number()) {
+    *message = std::string("missing or non-numeric \"") + what + "\"";
+    return false;
+  }
+  const double d = value->number_value();
+  // The VertexId-representability bound is unconditional — casting an
+  // out-of-range double would be UB even when the num_vertices check is
+  // disabled.
+  if (d < 0 || d != std::floor(d) ||
+      d > static_cast<double>(std::numeric_limits<graph::VertexId>::max())) {
+    *message = std::string("\"") + what +
+               "\" must be a non-negative integer vertex id";
+    return false;
+  }
+  if (num_vertices > 0 && d >= static_cast<double>(num_vertices)) {
+    *message = std::string("\"") + what + "\" is out of range (network has " +
+               std::to_string(num_vertices) + " vertices)";
+    return false;
+  }
+  *out = static_cast<graph::VertexId>(d);
+  return true;
+}
+
+json::Value ScoredPathJson(const ScoredPath& scored, bool with_totals) {
+  json::Object object;
+  object["score"] = json::Value(scored.score);
+  json::Array vertices;
+  vertices.reserve(scored.path.vertices.size());
+  for (const auto v : scored.path.vertices) {
+    vertices.emplace_back(static_cast<uint64_t>(v));
+  }
+  object["vertices"] = json::Value(std::move(vertices));
+  if (with_totals) {
+    object["length_m"] = json::Value(scored.path.length_m);
+    object["time_s"] = json::Value(scored.path.time_s);
+  }
+  return json::Value(std::move(object));
+}
+
+json::Value RankingJson(const std::vector<ScoredPath>& ranking,
+                        bool with_totals) {
+  json::Array candidates;
+  candidates.reserve(ranking.size());
+  for (const auto& scored : ranking) {
+    candidates.push_back(ScoredPathJson(scored, with_totals));
+  }
+  json::Object object;
+  object["candidates"] = json::Value(std::move(candidates));
+  return json::Value(std::move(object));
+}
+
+Response HandleRank(const HttpBackend& backend, const std::string& body);
+Response HandleScore(const HttpBackend& backend, const std::string& body);
+json::Value StatszJson(const HttpServerStats& stats,
+                       const HttpServerOptions& options);
+
+}  // namespace
+
+/// Per-endpoint counters + a ring of recent latencies for percentiles.
+struct HttpServer::Endpoint {
+  mutable std::mutex mu;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  double latency_sum_s = 0;
+  std::vector<double> ring;
+  size_t ring_next = 0;
+
+  void Record(double latency_s, bool error) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++requests;
+    if (error) ++errors;
+    latency_sum_s += latency_s;
+    if (ring.size() < kLatencyRing) {
+      ring.push_back(latency_s);
+    } else {
+      ring[ring_next] = latency_s;
+      ring_next = (ring_next + 1) % kLatencyRing;
+    }
+  }
+
+  HttpEndpointStats Snapshot() const {
+    HttpEndpointStats stats;
+    std::vector<double> sorted;
+    {
+      // Copy under the lock, sort outside it: Record() sits on the
+      // request hot path, and /statsz polling (admission-exempt, so
+      // hammered hardest during overload) must not stall it for a
+      // 1024-element sort.
+      std::lock_guard<std::mutex> lock(mu);
+      stats.requests = requests;
+      stats.errors = errors;
+      if (requests > 0) {
+        stats.latency_mean_s = latency_sum_s / static_cast<double>(requests);
+      }
+      sorted = ring;
+    }
+    if (!sorted.empty()) {
+      std::sort(sorted.begin(), sorted.end());
+      stats.latency_p50_s = PercentileSorted(sorted, 0.50);
+      stats.latency_p99_s = PercentileSorted(sorted, 0.99);
+    }
+    return stats;
+  }
+};
+
+HttpServer::HttpServer(HttpBackend backend, const HttpServerOptions& options)
+    : backend_(std::move(backend)),
+      options_(options),
+      rank_stats_(std::make_unique<Endpoint>()),
+      score_stats_(std::make_unique<Endpoint>()) {
+  if (!backend_.rank || !backend_.score) {
+    throw std::invalid_argument("HttpBackend needs rank and score handlers");
+  }
+  if (options_.max_inflight == 0) options_.max_inflight = 1;
+  if (options_.num_threads == 0) {
+    // Headroom above the admission budget: the budget stays the binding
+    // constraint, and /healthz keeps a worker while the engine is full.
+    options_.num_threads = options_.max_inflight + 4;
+  }
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Start() {
+  if (!stop_.load()) return;  // already serving
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("invalid bind address: " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind(" + options_.bind_address + ":" +
+                             std::to_string(options_.port) +
+                             ") failed: " + what);
+  }
+  if (::listen(listen_fd_, 256) < 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("listen() failed: " + what);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  // Non-blocking listener + poll() in the accept loop: the portable way
+  // for Stop() to be noticed promptly (shutdown() on a LISTENING socket
+  // wakes accept() on Linux but fails with ENOTCONN on the BSDs).
+  const int listen_flags = ::fcntl(listen_fd_, F_GETFL, 0);
+  ::fcntl(listen_fd_, F_SETFL, listen_flags | O_NONBLOCK);
+
+  stop_.store(false);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(options_.num_threads);
+  for (size_t i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void HttpServer::Stop() {
+  // One joiner at a time: Stop is advertised as callable from any
+  // thread, and two racing callers must not both join the same
+  // std::thread (UB). The loser blocks here, then finds nothing to do.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stop_.exchange(true)) {
+    // Never started, or already stopped: nothing to join.
+    if (!acceptor_.joinable() && workers_.empty()) return;
+  }
+  // The acceptor polls with a bounded timeout, so it observes stop_
+  // within a tick on its own; the listener is closed only after the
+  // join, which is what keeps AcceptLoop from ever racing a close or
+  // accepting on a recycled fd number.
+  {
+    // Live connections: a half-close makes any blocked recv() return so
+    // the worker can finish its in-flight response and exit.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  conn_cv_.notify_all();
+  {
+    // Taken (and immediately dropped) so the notify cannot slip between
+    // an Admit() waiter's predicate check and its block — the classic
+    // lost-wakeup, which would stall shutdown by up to max_queue_wait_us.
+    std::lock_guard<std::mutex> admit_lock(admit_mu_);
+  }
+  admit_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Accepted-but-unserviced connections are dropped.
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (const int fd : conn_queue_) ::close(fd);
+  conn_queue_.clear();
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stop_.load()) {
+    // Bounded poll rather than a blocking accept, so Stop() is observed
+    // within one tick without touching the listener from another thread.
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stop_
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_.load()) break;
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
+      // Resource exhaustion (fd table full, no buffers) is transient:
+      // back off and keep accepting — exiting here would permanently
+      // stop admitting new connections while /healthz still answers ok
+      // on existing ones.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;  // listener gone
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    // Accepted sockets must block (the workers' recv/send model); some
+    // platforms inherit the listener's O_NONBLOCK, so clear it.
+    const int fd_flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, fd_flags & ~O_NONBLOCK);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    timeval idle{};
+    idle.tv_sec = kIdleTimeoutS;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &idle, sizeof(idle));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &idle, sizeof(idle));
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (conn_queue_.size() >= kMaxQueuedConnections) {
+        ::close(fd);  // connection flood: drop rather than grow
+        continue;
+      }
+      conn_queue_.push_back(fd);
+    }
+    conn_cv_.notify_one();
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(conn_mu_);
+      conn_cv_.wait(lock,
+                    [this] { return stop_.load() || !conn_queue_.empty(); });
+      // Once stopping, queued connections are dropped by Stop(), not
+      // served — picking one up here could block on a silent client.
+      if (stop_.load()) return;
+      if (conn_queue_.empty()) continue;
+      fd = conn_queue_.front();
+      conn_queue_.pop_front();
+      active_fds_.insert(fd);
+    }
+    ServeConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      active_fds_.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+bool HttpServer::Admit() {
+  std::unique_lock<std::mutex> lock(admit_mu_);
+  if (inflight_ < options_.max_inflight) {
+    ++inflight_;
+    return true;
+  }
+  if (options_.max_queue_wait_us <= 0) return false;
+  ++admission_waiting_;
+  admit_cv_.wait_for(lock, std::chrono::microseconds(options_.max_queue_wait_us),
+                     [this] {
+                       return stop_.load() ||
+                              inflight_ < options_.max_inflight;
+                     });
+  --admission_waiting_;
+  if (stop_.load() || inflight_ >= options_.max_inflight) return false;
+  ++inflight_;
+  return true;
+}
+
+void HttpServer::Release() {
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    --inflight_;
+  }
+  admit_cv_.notify_one();
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string buffer;
+  for (;;) {
+    Request request;
+    int error_status = 400;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(kRequestDeadlineS);
+    const ReadResult read = ReadRequest(fd, &buffer, &request,
+                                        options_.max_body_bytes,
+                                        &error_status, deadline);
+    if (read == ReadResult::kClosed) return;
+    if (read == ReadResult::kBadRequest) {
+      // The stream may be mid-body garbage: answer and hang up. FIN
+      // first (shutdown), then drain what the client is still sending —
+      // close() with unread bytes in the receive queue would RST and
+      // destroy the error response before the client reads it. The
+      // drain is capped so a hostile endless body cannot pin the worker.
+      Response response = ErrorResponse(
+          error_status, error_status == 413 ? "request body too large"
+                                            : "malformed HTTP request");
+      WriteResponse(fd, response, /*keep_alive=*/false);
+      ::shutdown(fd, SHUT_WR);
+      char sink[4096];
+      size_t drained = 0;
+      while (drained < (8u << 20) &&
+             std::chrono::steady_clock::now() < deadline) {
+        const ssize_t n = ::recv(fd, sink, sizeof(sink), 0);
+        if (n <= 0) break;
+        drained += static_cast<size_t>(n);
+      }
+      return;
+    }
+    requests_total_.fetch_add(1, std::memory_order_relaxed);
+
+    Response response;
+    if (request.target == "/healthz") {
+      if (request.method != "GET") {
+        response = ErrorResponse(405, "use GET");
+      } else {
+        json::Object object;
+        object["status"] = json::Value("ok");
+        object["swap_count"] = json::Value(
+            backend_.swap_count ? backend_.swap_count() : uint64_t{0});
+        {
+          std::lock_guard<std::mutex> lock(admit_mu_);
+          object["inflight"] = json::Value(static_cast<uint64_t>(inflight_));
+        }
+        object["max_inflight"] =
+            json::Value(static_cast<uint64_t>(options_.max_inflight));
+        response.body = json::Dump(json::Value(std::move(object)));
+      }
+    } else if (request.target == "/statsz") {
+      if (request.method != "GET") {
+        response = ErrorResponse(405, "use GET");
+      } else {
+        response.body = json::Dump(StatszJson(stats(), options_));
+      }
+    } else if (request.target == "/v1/rank" ||
+               request.target == "/v1/score") {
+      const bool is_rank = request.target == "/v1/rank";
+      if (request.method != "POST") {
+        response = ErrorResponse(405, "use POST");
+      } else if (!Admit()) {
+        shed_total_.fetch_add(1, std::memory_order_relaxed);
+        response = ErrorResponse(429, "overloaded: max_inflight reached");
+        response.retry_after_s = options_.retry_after_s;
+      } else {
+        Stopwatch watch;
+        try {
+          response = is_rank ? HandleRank(backend_, request.body)
+                             : HandleScore(backend_, request.body);
+        } catch (...) {
+          // Non-std exceptions from the backend seam (and bad_alloc in
+          // the response path) must not escape this std::thread —
+          // std::terminate would take the whole server down — and must
+          // not leak the admission slot.
+          response = ErrorResponse(500, "internal error");
+        }
+        Release();
+        (is_rank ? rank_stats_ : score_stats_)
+            ->Record(watch.ElapsedSeconds(), response.status >= 400);
+      }
+    } else {
+      response = ErrorResponse(404, "no such endpoint: " + request.target);
+    }
+
+    const bool keep_alive = request.keep_alive && !stop_.load();
+    if (!WriteResponse(fd, response, keep_alive)) return;
+    if (!keep_alive) return;
+  }
+}
+
+namespace {
+
+Response HandleRank(const HttpBackend& backend, const std::string& body) {
+  std::string parse_error;
+  const auto parsed = json::Parse(body, &parse_error);
+  if (!parsed) return ErrorResponse(400, "invalid JSON: " + parse_error);
+  graph::VertexId source = 0;
+  graph::VertexId destination = 0;
+  std::string message;
+  if (!ParseVertexId(parsed->Find("source"), backend.num_vertices, "source",
+                     &source, &message) ||
+      !ParseVertexId(parsed->Find("destination"), backend.num_vertices,
+                     "destination", &destination, &message)) {
+    return ErrorResponse(400, message);
+  }
+  try {
+    const auto ranking = backend.rank(source, destination);
+    Response response;
+    response.body = json::Dump(RankingJson(ranking, /*with_totals=*/true));
+    return response;
+  } catch (const std::exception& e) {
+    // Server log gets the details; the wire gets a generic body — the
+    // exception text can name internal paths/state, and the default
+    // bind is 0.0.0.0.
+    std::fprintf(stderr, "http: /v1/rank backend error: %s\n", e.what());
+    return ErrorResponse(500, "internal error");
+  } catch (...) {
+    std::fprintf(stderr, "http: /v1/rank backend error (non-std)\n");
+    return ErrorResponse(500, "internal error");
+  }
+}
+
+Response HandleScore(const HttpBackend& backend, const std::string& body) {
+  std::string parse_error;
+  const auto parsed = json::Parse(body, &parse_error);
+  if (!parsed) return ErrorResponse(400, "invalid JSON: " + parse_error);
+  const json::Value* paths_value = parsed->Find("paths");
+  if (paths_value == nullptr || !paths_value->is_array()) {
+    return ErrorResponse(400, "missing or non-array \"paths\"");
+  }
+  std::vector<routing::Path> paths;
+  paths.reserve(paths_value->array().size());
+  for (const auto& path_value : paths_value->array()) {
+    if (!path_value.is_array() || path_value.array().empty()) {
+      return ErrorResponse(400,
+                           "every path must be a non-empty vertex-id array");
+    }
+    routing::Path path;
+    path.vertices.reserve(path_value.array().size());
+    for (const auto& vertex_value : path_value.array()) {
+      graph::VertexId vertex = 0;
+      std::string message;
+      if (!ParseVertexId(&vertex_value, backend.num_vertices, "paths[][]",
+                         &vertex, &message)) {
+        return ErrorResponse(400, message);
+      }
+      path.vertices.push_back(vertex);
+    }
+    paths.push_back(std::move(path));
+  }
+  try {
+    std::vector<ScoredPath> ranking;
+    if (!paths.empty()) ranking = backend.score(std::move(paths));
+    Response response;
+    response.body = json::Dump(RankingJson(ranking, /*with_totals=*/false));
+    return response;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "http: /v1/score backend error: %s\n", e.what());
+    return ErrorResponse(500, "internal error");
+  } catch (...) {
+    std::fprintf(stderr, "http: /v1/score backend error (non-std)\n");
+    return ErrorResponse(500, "internal error");
+  }
+}
+
+json::Value StatszJson(const HttpServerStats& stats,
+                       const HttpServerOptions& options) {
+  json::Object object;
+  object["connections_accepted"] = json::Value(stats.connections_accepted);
+  object["requests_total"] = json::Value(stats.requests_total);
+  object["shed_total"] = json::Value(stats.shed_total);
+  object["inflight"] = json::Value(stats.inflight);
+  object["admission_waiting"] = json::Value(stats.admission_waiting);
+  object["max_inflight"] =
+      json::Value(static_cast<uint64_t>(options.max_inflight));
+  object["max_queue_wait_us"] =
+      json::Value(static_cast<int64_t>(options.max_queue_wait_us));
+  json::Object endpoints;
+  const auto endpoint_json = [](const HttpEndpointStats& endpoint_stats) {
+    json::Object endpoint;
+    endpoint["requests"] = json::Value(endpoint_stats.requests);
+    endpoint["errors"] = json::Value(endpoint_stats.errors);
+    endpoint["latency_mean_s"] = json::Value(endpoint_stats.latency_mean_s);
+    endpoint["latency_p50_s"] = json::Value(endpoint_stats.latency_p50_s);
+    endpoint["latency_p99_s"] = json::Value(endpoint_stats.latency_p99_s);
+    return json::Value(std::move(endpoint));
+  };
+  endpoints["/v1/rank"] = endpoint_json(stats.rank);
+  endpoints["/v1/score"] = endpoint_json(stats.score);
+  object["endpoints"] = json::Value(std::move(endpoints));
+  return json::Value(std::move(object));
+}
+
+}  // namespace
+
+HttpServerStats HttpServer::stats() const {
+  HttpServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.requests_total = requests_total_.load(std::memory_order_relaxed);
+  stats.shed_total = shed_total_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    stats.inflight = inflight_;
+    stats.admission_waiting = admission_waiting_;
+  }
+  stats.rank = rank_stats_->Snapshot();
+  stats.score = score_stats_->Snapshot();
+  return stats;
+}
+
+// ---- HttpClient --------------------------------------------------------
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Connect(uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string what = std::strerror(errno);
+    Close();
+    throw std::runtime_error("connect(127.0.0.1:" + std::to_string(port) +
+                             ") failed: " + what);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // A stalled server must fail the request, not hang the test/bench
+  // process in recv() past every wall cap.
+  timeval io_timeout{};
+  io_timeout.tv_sec = 10;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &io_timeout, sizeof(io_timeout));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &io_timeout, sizeof(io_timeout));
+  buffer_.clear();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+HttpClient::Response HttpClient::Request(const std::string& method,
+                                         const std::string& path,
+                                         const std::string& body) {
+  if (fd_ < 0) throw std::runtime_error("HttpClient is not connected");
+  std::string request = method + " " + path + " HTTP/1.1\r\n";
+  request += "Host: 127.0.0.1\r\n";
+  request += "Content-Type: application/json\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "\r\n";
+  request += body;
+  if (!SendAll(fd_, request.data(), request.size())) {
+    Close();
+    throw std::runtime_error("send failed");
+  }
+
+  // Read status line + headers.
+  size_t header_end;
+  for (;;) {
+    header_end = buffer_.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      Close();
+      throw std::runtime_error("connection closed before response");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  const std::string head = buffer_.substr(0, header_end);
+  buffer_.erase(0, header_end + 4);
+
+  Response response;
+  // "HTTP/1.1 NNN reason"
+  const size_t sp = head.find(' ');
+  if (sp == std::string::npos) {
+    Close();
+    throw std::runtime_error("malformed status line");
+  }
+  response.status = std::atoi(head.c_str() + sp + 1);
+
+  size_t content_length = 0;
+  bool server_closes = false;
+  size_t pos = head.find("\r\n");
+  while (pos != std::string::npos && pos + 2 < head.size()) {
+    size_t eol = head.find("\r\n", pos + 2);
+    if (eol == std::string::npos) eol = head.size();
+    std::string line = head.substr(pos + 2, eol - pos - 2);
+    pos = eol == head.size() ? std::string::npos : eol;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    std::transform(name.begin(), name.end(), name.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    size_t value_begin = colon + 1;
+    while (value_begin < line.size() && line[value_begin] == ' ') {
+      ++value_begin;
+    }
+    const std::string value = line.substr(value_begin);
+    if (name == "content-length") {
+      content_length = static_cast<size_t>(std::strtoull(value.c_str(),
+                                                         nullptr, 10));
+    } else if (name == "retry-after") {
+      response.retry_after_s = std::atoi(value.c_str());
+    } else if (name == "connection" && value == "close") {
+      server_closes = true;
+    }
+  }
+
+  while (buffer_.size() < content_length) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      Close();
+      throw std::runtime_error("connection lost mid-body");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  response.body = buffer_.substr(0, content_length);
+  buffer_.erase(0, content_length);
+  if (server_closes) Close();
+  return response;
+}
+
+}  // namespace pathrank::serving

@@ -1,0 +1,226 @@
+// HTTP/1.1 front end for the serving stack — the network layer over
+// ServingEngine / ShardedEngine / BatchingQueue. Dependency-free: POSIX
+// sockets, an accept loop, and a fixed pool of connection worker threads
+// (plain threads, NEVER the global compute pool — workers block on
+// sockets and on BatchingQueue futures, both of which are forbidden on
+// pool workers).
+//
+// Endpoints (JSON over HTTP/1.1, keep-alive supported):
+//   POST /v1/rank    {"source": id, "destination": id}
+//                    -> {"candidates": [{"score", "vertices",
+//                                        "length_m", "time_s"}, ...]}
+//   POST /v1/score   {"paths": [[id, id, ...], ...]}
+//                    -> {"candidates": [{"score", "vertices"}, ...]}
+//   GET  /healthz    -> {"status": "ok", "swap_count": n, ...}
+//   GET  /statsz     -> queue depth, shed count, per-endpoint latency
+//
+// Admission control: the two /v1/* endpoints share a bounded in-flight
+// budget (`max_inflight`). A request that cannot take a slot within
+// `max_queue_wait_us` is SHED with `429 Too Many Requests` +
+// `Retry-After` instead of queuing unboundedly — under overload the
+// server's latency stays bounded and clients get an explicit back-off
+// signal rather than a growing queue. /healthz and /statsz bypass
+// admission, and the default worker sizing (max_inflight + 4) keeps
+// spare workers, so health checks and dashboards keep answering while
+// the admission budget is saturated. (A flood of CONNECTIONS — beyond
+// num_threads keep-alive clients — can still occupy every worker;
+// admission bounds engine work, not sockets.)
+//
+// Fidelity: scores travel in shortest-round-trip double form (see
+// json.h), so a response body parses back bitwise identical to the
+// in-process ServingEngine::Rank / ScoreBatch result (http_server_test
+// asserts it).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serving/serving_engine.h"
+
+namespace pathrank::serving {
+
+/// Server construction knobs.
+struct HttpServerOptions {
+  /// Dotted-quad address to bind. Tests bind the loopback; deployments
+  /// usually want "0.0.0.0".
+  std::string bind_address = "127.0.0.1";
+  /// TCP port. 0 lets the OS pick a free one (see HttpServer::port()).
+  uint16_t port = 0;
+  /// Connection worker threads: the keep-alive concurrency ceiling (each
+  /// worker drives one connection at a time). 0 = max_inflight + 4 — the
+  /// default, and the sizing that makes admission control the binding
+  /// constraint: with fewer workers than max_inflight the 429 path could
+  /// never trigger (concurrency is already below the budget), and with
+  /// no spare workers a saturated engine would starve /healthz probes.
+  size_t num_threads = 0;
+  /// Admission budget shared by /v1/rank and /v1/score: at most this many
+  /// requests may be past admission (executing) at once. Keep it BELOW
+  /// num_threads (the default sizing above does) or shedding never
+  /// engages.
+  size_t max_inflight = 64;
+  /// How long admission may hold a request waiting for a slot before
+  /// shedding it. 0 = shed immediately when the budget is exhausted.
+  int64_t max_queue_wait_us = 0;
+  /// Request bodies above this are rejected with 413 (and the connection
+  /// closed, so the server never reads an unbounded body).
+  size_t max_body_bytes = 1 << 20;
+  /// Value of the Retry-After header on shed (429) responses, seconds.
+  int retry_after_s = 1;
+};
+
+/// Point-in-time per-endpoint counters, reported by stats() / GET /statsz.
+struct HttpEndpointStats {
+  uint64_t requests = 0;      ///< admitted + completed (any status)
+  uint64_t errors = 0;        ///< completed with a 4xx/5xx status
+  double latency_mean_s = 0;  ///< over all completed requests
+  double latency_p50_s = 0;   ///< over a ring of recent completions
+  double latency_p99_s = 0;
+};
+
+/// Point-in-time server counters.
+struct HttpServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t requests_total = 0;  ///< every parsed request, any endpoint
+  uint64_t shed_total = 0;      ///< requests refused with 429
+  uint64_t inflight = 0;        ///< currently past admission
+  uint64_t admission_waiting = 0;  ///< currently queued for a slot
+  HttpEndpointStats rank;
+  HttpEndpointStats score;
+};
+
+/// What the server serves. Thin std::function seams rather than a fixed
+/// engine type, so one HttpServer front-ends a bare ServingEngine, a
+/// ShardedEngine, or a BatchingQueue (futures resolved inside `rank`) —
+/// exactly the compositions `pathrank_cli serve` offers.
+struct HttpBackend {
+  /// Required: POST /v1/rank. May throw; the server answers 500.
+  std::function<std::vector<ScoredPath>(graph::VertexId source,
+                                        graph::VertexId destination)>
+      rank;
+  /// Required: POST /v1/score. May throw; the server answers 500.
+  std::function<std::vector<ScoredPath>(std::vector<routing::Path> paths)>
+      score;
+  /// Optional: surfaced in /healthz as "swap_count" so a watcher can see
+  /// a model hot-swap land (the value flips when SwapSnapshot runs).
+  std::function<uint64_t()> swap_count;
+  /// Vertex-id validation bound for request bodies (ids >= this are 400,
+  /// protecting the embedding lookup). 0 disables the check.
+  size_t num_vertices = 0;
+};
+
+/// The server. Construct, Start(), then Stop() (or destroy — the
+/// destructor stops). Start binds + listens, spawns the accept loop and
+/// `num_threads` connection workers; Stop closes the listener, shuts
+/// down every live connection and joins all threads. In-flight requests
+/// finish; queued-but-unserviced connections are closed.
+class HttpServer {
+ public:
+  HttpServer(HttpBackend backend, const HttpServerOptions& options = {});
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds and starts serving. Throws std::runtime_error when the
+  /// address/port cannot be bound.
+  void Start();
+  /// Idempotent; safe to call from any thread (not from a handler).
+  void Stop();
+
+  /// The bound port — the OS-assigned one when options.port was 0.
+  /// Valid after Start().
+  uint16_t port() const { return port_; }
+  const HttpServerOptions& options() const { return options_; }
+
+  /// Consistent-enough snapshot of the counters (individual fields are
+  /// exact; cross-field skew of a few requests is possible under load).
+  HttpServerStats stats() const;
+
+ private:
+  struct Endpoint;  // counters + latency ring, defined in the .cpp
+
+  void AcceptLoop();
+  void WorkerLoop();
+  /// Serves one connection until close/error; returns when it is done.
+  void ServeConnection(int fd);
+  /// Takes an admission slot, waiting at most max_queue_wait_us.
+  bool Admit();
+  void Release();
+
+  HttpBackend backend_;
+  HttpServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{true};
+  std::mutex stop_mu_;  ///< serialises Stop() callers (join is not reentrant)
+
+  // Accepted connections waiting for a worker.
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::deque<int> conn_queue_;
+  std::set<int> active_fds_;  // fds being served, for Stop() shutdown
+
+  // Admission state.
+  mutable std::mutex admit_mu_;
+  std::condition_variable admit_cv_;
+  size_t inflight_ = 0;
+  size_t admission_waiting_ = 0;
+
+  // Counters.
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> shed_total_{0};
+  std::unique_ptr<Endpoint> rank_stats_;
+  std::unique_ptr<Endpoint> score_stats_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+/// Minimal blocking HTTP/1.1 client for tests and the bench load driver:
+/// one keep-alive connection, sequential requests. Not a general client —
+/// just enough to drive HttpServer over the loopback. Its framing code is
+/// deliberately independent of the server's ReadRequest (not shared): the
+/// round-trip tests use this client as the server's counterparty, and a
+/// shared parser would let a framing bug cancel itself out.
+class HttpClient {
+ public:
+  /// One response, status line + headers parsed.
+  struct Response {
+    int status = 0;
+    std::string body;
+    /// Retry-After header value when present (shed responses), else -1.
+    int retry_after_s = -1;
+  };
+
+  HttpClient() = default;
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connects to 127.0.0.1:port. Throws std::runtime_error on failure.
+  void Connect(uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one request and reads the full response (Content-Length
+  /// framed). The connection stays open for the next call; on a
+  /// socket-level failure the connection closes and a runtime_error is
+  /// thrown.
+  Response Request(const std::string& method, const std::string& path,
+                   const std::string& body = "");
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the previous response
+};
+
+}  // namespace pathrank::serving

@@ -1,0 +1,595 @@
+// HttpServer: loopback round-trips bitwise equal to the in-process
+// ServingEngine path (the serialization layer must never round a score),
+// protocol errors (malformed JSON / oversized body / unknown route /
+// wrong method -> 4xx), concurrent clients, the admission-control shed
+// path (429 + Retry-After when max_inflight is saturated), /healthz
+// flipping across SwapSnapshot, /statsz counters, and the JSON codec's
+// double fidelity the round-trip guarantee rests on.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model.h"
+#include "graph/network_builder.h"
+#include "serving/http_server.h"
+#include "serving/json.h"
+#include "serving/model_snapshot.h"
+#include "serving/serving_engine.h"
+
+namespace pathrank::serving {
+namespace {
+
+core::PathRankConfig SmallConfig() {
+  core::PathRankConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.hidden_size = 12;
+  cfg.seed = 3;
+  return cfg;
+}
+
+/// Test server over a real ServingEngine on the loopback.
+struct ServerFixture {
+  graph::RoadNetwork network = graph::BuildTestNetwork();
+  core::PathRankModel model;  // initialised after network (member order)
+  ServingEngine engine;
+  HttpServer server;
+
+  static HttpServerOptions Options() {
+    HttpServerOptions options;
+    options.port = 0;  // ephemeral
+    options.num_threads = 4;
+    options.max_inflight = 16;
+    return options;
+  }
+
+  static HttpBackend Backend(const ServingEngine& engine,
+                             const graph::RoadNetwork& network) {
+    HttpBackend backend;
+    backend.rank = [&engine](graph::VertexId s, graph::VertexId d) {
+      return engine.Rank(s, d);
+    };
+    backend.score = [&engine](std::vector<routing::Path> paths) {
+      return engine.ScoreBatch(paths);
+    };
+    backend.swap_count = [&engine] { return engine.swap_count(); };
+    backend.num_vertices = network.num_vertices();
+    return backend;
+  }
+
+  ServerFixture()
+      : model(network.num_vertices(), SmallConfig()),
+        engine(network, model),
+        server(Backend(engine, network), Options()) {
+    server.Start();
+  }
+};
+
+std::string RankBody(graph::VertexId source, graph::VertexId destination) {
+  json::Object object;
+  object["source"] = json::Value(static_cast<uint64_t>(source));
+  object["destination"] = json::Value(static_cast<uint64_t>(destination));
+  return json::Dump(json::Value(std::move(object)));
+}
+
+/// Decodes a rank/score response body into (score, vertices) rows.
+struct WireCandidate {
+  double score = 0.0;
+  std::vector<graph::VertexId> vertices;
+};
+
+std::vector<WireCandidate> ParseCandidates(const std::string& body) {
+  std::string error;
+  const auto parsed = json::Parse(body, &error);
+  EXPECT_TRUE(parsed) << error << " in body: " << body;
+  std::vector<WireCandidate> out;
+  if (!parsed) return out;
+  const json::Value* candidates = parsed->Find("candidates");
+  EXPECT_TRUE(candidates != nullptr && candidates->is_array()) << body;
+  if (candidates == nullptr || !candidates->is_array()) return out;
+  for (const auto& entry : candidates->array()) {
+    WireCandidate candidate;
+    const json::Value* score = entry.Find("score");
+    EXPECT_TRUE(score != nullptr && score->is_number());
+    if (score) candidate.score = score->number_value();
+    const json::Value* vertices = entry.Find("vertices");
+    EXPECT_TRUE(vertices != nullptr && vertices->is_array());
+    if (vertices) {
+      for (const auto& v : vertices->array()) {
+        candidate.vertices.push_back(
+            static_cast<graph::VertexId>(v.number_value()));
+      }
+    }
+    out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+void ExpectMatchesRanking(const std::vector<ScoredPath>& expected,
+                          const std::vector<WireCandidate>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    // EXPECT_EQ on doubles: BITWISE equality, the serving stack's
+    // headline guarantee carried over the wire by shortest-round-trip
+    // (std::to_chars) serialization.
+    EXPECT_EQ(expected[i].score, actual[i].score) << "rank " << i;
+    EXPECT_EQ(expected[i].path.vertices, actual[i].vertices) << "rank " << i;
+  }
+}
+
+TEST(HttpRank, RoundTripBitwiseEqualToInProcessRank) {
+  ServerFixture fx;
+  HttpClient client;
+  client.Connect(fx.server.port());
+
+  const std::vector<RankQuery> queries = {{0, 63}, {7, 56}, {21, 42}};
+  for (const auto& query : queries) {
+    const auto response = client.Request(
+        "POST", "/v1/rank", RankBody(query.source, query.destination));
+    ASSERT_EQ(response.status, 200) << response.body;
+    const auto expected = fx.engine.Rank(query.source, query.destination);
+    ExpectMatchesRanking(expected, ParseCandidates(response.body));
+  }
+}
+
+TEST(HttpScore, RoundTripBitwiseEqualToInProcessScoreBatch) {
+  ServerFixture fx;
+  data::CandidateGenConfig gen;
+  gen.k = 5;
+  const auto paths = GenerateCandidates(fx.network, 0, 63, gen);
+  ASSERT_FALSE(paths.empty());
+
+  json::Array path_array;
+  for (const auto& path : paths) {
+    json::Array vertices;
+    for (const auto v : path.vertices) {
+      vertices.emplace_back(static_cast<uint64_t>(v));
+    }
+    path_array.emplace_back(std::move(vertices));
+  }
+  json::Object object;
+  object["paths"] = json::Value(std::move(path_array));
+
+  HttpClient client;
+  client.Connect(fx.server.port());
+  const auto response =
+      client.Request("POST", "/v1/score", json::Dump(json::Value(object)));
+  ASSERT_EQ(response.status, 200) << response.body;
+  ExpectMatchesRanking(fx.engine.ScoreBatch(paths),
+                       ParseCandidates(response.body));
+}
+
+TEST(HttpProtocol, MalformedJsonIs400) {
+  ServerFixture fx;
+  HttpClient client;
+  client.Connect(fx.server.port());
+  EXPECT_EQ(client.Request("POST", "/v1/rank", "{not json").status, 400);
+  EXPECT_EQ(client.Request("POST", "/v1/rank", "").status, 400);
+  // Valid JSON, wrong shape.
+  EXPECT_EQ(client.Request("POST", "/v1/rank", "[1,2]").status, 400);
+  EXPECT_EQ(client.Request("POST", "/v1/rank",
+                           "{\"source\": 0}").status, 400);
+  // Out-of-range vertex id: would be an out-of-bounds embedding lookup.
+  EXPECT_EQ(client.Request("POST", "/v1/rank",
+                           RankBody(0, 1u << 30)).status, 400);
+  // Beyond VertexId entirely: the cast itself would be UB if admitted.
+  EXPECT_EQ(client.Request("POST", "/v1/rank",
+                           "{\"source\": 0, \"destination\": 1e18}").status,
+            400);
+  EXPECT_EQ(client.Request("POST", "/v1/rank",
+                           "{\"source\": -1, \"destination\": 1}").status,
+            400);
+  EXPECT_EQ(client.Request("POST", "/v1/score",
+                           "{\"paths\": [[]]}").status, 400);
+  // The connection survives all of that (keep-alive, no close).
+  EXPECT_EQ(client.Request("GET", "/healthz").status, 200);
+}
+
+/// Sends raw bytes on a fresh connection and returns the full response
+/// stream — for protocol tests HttpClient would refuse to produce.
+std::string RawRequest(uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// Request-smuggling vectors: a body framed two ways (Transfer-Encoding
+// alongside Content-Length, or conflicting duplicate Content-Lengths)
+// must be rejected outright, never framed by one of the candidates. A
+// syntactically invalid Content-Length is 400, not an interpretation.
+TEST(HttpProtocol, SmugglingShapedFramingIsRejected) {
+  ServerFixture fx;
+  EXPECT_EQ(RawRequest(fx.server.port(),
+                       "POST /v1/rank HTTP/1.1\r\nHost: t\r\n"
+                       "Content-Length: 5\r\nTransfer-Encoding: chunked\r\n"
+                       "\r\n0\r\n\r\n")
+                .substr(0, 12),
+            "HTTP/1.1 400");
+  EXPECT_EQ(RawRequest(fx.server.port(),
+                       "POST /v1/rank HTTP/1.1\r\nHost: t\r\n"
+                       "Content-Length: 5\r\nContent-Length: 50\r\n"
+                       "\r\nhello")
+                .substr(0, 12),
+            "HTTP/1.1 400");
+  EXPECT_EQ(RawRequest(fx.server.port(),
+                       "POST /v1/rank HTTP/1.1\r\nHost: t\r\n"
+                       "Content-Length: -1\r\n\r\n")
+                .substr(0, 12),
+            "HTTP/1.1 400");
+  EXPECT_EQ(RawRequest(fx.server.port(),
+                       "POST /v1/rank HTTP/1.1\r\nHost: t\r\n"
+                       "Content-Length: +5\r\n\r\nhello")
+                .substr(0, 12),
+            "HTTP/1.1 400");
+  // Whitespace before the colon would otherwise store the header under
+  // "content-length " and frame the body as zero-length (desync).
+  EXPECT_EQ(RawRequest(fx.server.port(),
+                       "POST /v1/rank HTTP/1.1\r\nHost: t\r\n"
+                       "Content-Length : 31\r\n\r\n"
+                       "{\"source\": 1, \"destination\": 2}")
+                .substr(0, 12),
+            "HTTP/1.1 400");
+}
+
+TEST(HttpProtocol, OversizedBodyIs413) {
+  ServerFixture fx;
+  HttpClient client;
+  client.Connect(fx.server.port());
+  const std::string big(fx.server.options().max_body_bytes + 1, 'x');
+  EXPECT_EQ(client.Request("POST", "/v1/rank", big).status, 413);
+}
+
+TEST(HttpProtocol, UnknownRouteIs404AndWrongMethodIs405) {
+  ServerFixture fx;
+  HttpClient client;
+  client.Connect(fx.server.port());
+  EXPECT_EQ(client.Request("GET", "/nope").status, 404);
+  EXPECT_EQ(client.Request("POST", "/v1/rankz", RankBody(0, 1)).status, 404);
+  EXPECT_EQ(client.Request("GET", "/v1/rank").status, 405);
+  EXPECT_EQ(client.Request("POST", "/healthz").status, 405);
+}
+
+TEST(HttpConcurrency, ParallelClientsAllGetBitwiseCorrectAnswers) {
+  ServerFixture fx;
+  const std::vector<RankQuery> queries = {{0, 63}, {7, 56}, {3, 60},
+                                          {21, 42}, {14, 49}, {8, 55}};
+  // Expected rankings computed in-process, once.
+  std::vector<std::vector<ScoredPath>> expected;
+  expected.reserve(queries.size());
+  for (const auto& query : queries) {
+    expected.push_back(fx.engine.Rank(query.source, query.destination));
+  }
+
+  constexpr size_t kClients = 8;
+  constexpr size_t kRequestsPerClient = 12;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      HttpClient client;
+      client.Connect(fx.server.port());
+      for (size_t r = 0; r < kRequestsPerClient; ++r) {
+        const size_t q = (c + r) % queries.size();
+        const auto response = client.Request(
+            "POST", "/v1/rank",
+            RankBody(queries[q].source, queries[q].destination));
+        if (response.status != 200) {
+          ++failures;
+          continue;
+        }
+        const auto actual = ParseCandidates(response.body);
+        if (actual.size() != expected[q].size()) {
+          ++failures;
+          continue;
+        }
+        for (size_t i = 0; i < actual.size(); ++i) {
+          if (actual[i].score != expected[q][i].score ||
+              actual[i].vertices != expected[q][i].path.vertices) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+/// Server over a backend whose rank() parks every call until Release() —
+/// the admission-state transitions become deterministic: a slot is
+/// provably occupied while a request is parked.
+struct BlockingServerFixture {
+  graph::RoadNetwork network = graph::BuildTestNetwork();
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t entered = 0;
+  bool released = false;
+  HttpServer server;
+
+  explicit BlockingServerFixture(const HttpServerOptions& options)
+      : server(MakeBackend(), options) {
+    server.Start();
+  }
+
+  HttpBackend MakeBackend() {
+    HttpBackend backend;
+    backend.num_vertices = network.num_vertices();
+    backend.rank = [this](graph::VertexId, graph::VertexId) {
+      std::unique_lock<std::mutex> lock(mu);
+      ++entered;
+      cv.notify_all();
+      cv.wait(lock, [this] { return released; });
+      return std::vector<ScoredPath>{};
+    };
+    backend.score = [](std::vector<routing::Path>) {
+      return std::vector<ScoredPath>{};
+    };
+    return backend;
+  }
+
+  /// Blocks until `count` rank calls are parked inside the backend.
+  void WaitEntered(size_t count) {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return entered >= count; }));
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      released = true;
+    }
+    cv.notify_all();
+  }
+
+  /// One request on its own connection, status only.
+  std::future<int> AsyncRank(graph::VertexId s, graph::VertexId d) {
+    return std::async(std::launch::async, [this, s, d] {
+      HttpClient client;
+      client.Connect(server.port());
+      return client.Request("POST", "/v1/rank", RankBody(s, d)).status;
+    });
+  }
+};
+
+TEST(HttpAdmission, SaturatedMaxInflightSheds429WithRetryAfter) {
+  HttpServerOptions options;
+  options.port = 0;
+  options.num_threads = 4;
+  options.max_inflight = 1;
+  options.max_queue_wait_us = 0;  // shed immediately when saturated
+  options.retry_after_s = 7;
+  BlockingServerFixture fx(options);
+
+  // Client A occupies the only slot...
+  auto blocked = fx.AsyncRank(0, 1);
+  fx.WaitEntered(1);
+
+  // ...so client B is shed with 429 + Retry-After.
+  HttpClient prober;
+  prober.Connect(fx.server.port());
+  const auto shed = prober.Request("POST", "/v1/rank", RankBody(2, 3));
+  EXPECT_EQ(shed.status, 429);
+  EXPECT_EQ(shed.retry_after_s, 7);
+
+  // /healthz and /statsz bypass admission: they answer during overload.
+  EXPECT_EQ(prober.Request("GET", "/healthz").status, 200);
+  const auto statsz = prober.Request("GET", "/statsz");
+  EXPECT_EQ(statsz.status, 200);
+  const auto stats = json::Parse(statsz.body);
+  ASSERT_TRUE(stats);
+  EXPECT_EQ(stats->Find("shed_total")->number_value(), 1.0);
+  EXPECT_EQ(stats->Find("inflight")->number_value(), 1.0);
+
+  fx.Release();
+  EXPECT_EQ(blocked.get(), 200);
+
+  // With the slot free again, the same endpoint admits.
+  EXPECT_EQ(prober.Request("POST", "/v1/rank", RankBody(0, 1)).status, 200);
+  EXPECT_EQ(fx.server.stats().shed_total, 1u);
+}
+
+TEST(HttpAdmission, TimedWaitAdmitsWhenSlotFreesWithinWindow) {
+  HttpServerOptions options;
+  options.port = 0;
+  options.num_threads = 4;
+  options.max_inflight = 1;
+  options.max_queue_wait_us = 10'000'000;  // far longer than the test
+  BlockingServerFixture fx(options);
+
+  auto holder = fx.AsyncRank(0, 1);
+  fx.WaitEntered(1);
+
+  // The second request queues for the slot instead of shedding.
+  auto waiter = fx.AsyncRank(2, 3);
+  HttpClient prober;
+  prober.Connect(fx.server.port());
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  for (;;) {  // the waiter shows up in the admission queue depth
+    const auto stats = fx.server.stats();
+    if (stats.admission_waiting == 1) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "request never queued for admission";
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_NE(waiter.wait_for(std::chrono::milliseconds(50)),
+            std::future_status::ready);
+
+  // Releasing the holder frees the slot; the waiter is admitted (200,
+  // not 429) well before its wait window expires.
+  fx.Release();
+  EXPECT_EQ(holder.get(), 200);
+  EXPECT_EQ(waiter.get(), 200);
+  const auto stats = fx.server.stats();
+  EXPECT_EQ(stats.shed_total, 0u);
+  EXPECT_EQ(stats.admission_waiting, 0u);
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+TEST(HttpAdmission, TimedWaitShedsAfterWindowExpires) {
+  HttpServerOptions options;
+  options.port = 0;
+  options.num_threads = 4;
+  options.max_inflight = 1;
+  options.max_queue_wait_us = 30'000;  // 30 ms window, never released
+  BlockingServerFixture fx(options);
+
+  auto holder = fx.AsyncRank(0, 1);
+  fx.WaitEntered(1);
+
+  HttpClient prober;
+  prober.Connect(fx.server.port());
+  const auto shed = prober.Request("POST", "/v1/rank", RankBody(2, 3));
+  EXPECT_EQ(shed.status, 429);
+
+  fx.Release();
+  EXPECT_EQ(holder.get(), 200);
+  const auto stats = fx.server.stats();
+  EXPECT_EQ(stats.shed_total, 1u);
+  EXPECT_EQ(stats.admission_waiting, 0u);
+}
+
+TEST(HttpHealth, HealthzFlipsAcrossSwapSnapshot) {
+  ServerFixture fx;
+  HttpClient client;
+  client.Connect(fx.server.port());
+
+  const auto before = json::Parse(client.Request("GET", "/healthz").body);
+  ASSERT_TRUE(before);
+  EXPECT_EQ(before->Find("status")->string_value(), "ok");
+  EXPECT_EQ(before->Find("swap_count")->number_value(), 0.0);
+
+  // Hot-swap the served model; the health endpoint must reflect it so an
+  // external watcher can observe the rollout landing.
+  core::PathRankModel next(fx.network.num_vertices(), SmallConfig());
+  fx.engine.SwapSnapshot(ModelSnapshot::Capture(next));
+
+  const auto after = json::Parse(client.Request("GET", "/healthz").body);
+  ASSERT_TRUE(after);
+  EXPECT_EQ(after->Find("status")->string_value(), "ok");
+  EXPECT_EQ(after->Find("swap_count")->number_value(), 1.0);
+
+  // And ranking still works on the new snapshot, bitwise.
+  const auto response = client.Request("POST", "/v1/rank", RankBody(0, 63));
+  ASSERT_EQ(response.status, 200);
+  ExpectMatchesRanking(fx.engine.Rank(0, 63),
+                       ParseCandidates(response.body));
+}
+
+TEST(HttpStats, StatszTracksPerEndpointLatency) {
+  ServerFixture fx;
+  HttpClient client;
+  client.Connect(fx.server.port());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(client.Request("POST", "/v1/rank", RankBody(0, 63)).status,
+              200);
+  }
+  const auto stats = json::Parse(client.Request("GET", "/statsz").body);
+  ASSERT_TRUE(stats);
+  const json::Value* endpoints = stats->Find("endpoints");
+  ASSERT_TRUE(endpoints != nullptr);
+  const json::Value* rank = endpoints->Find("/v1/rank");
+  ASSERT_TRUE(rank != nullptr);
+  EXPECT_EQ(rank->Find("requests")->number_value(), 3.0);
+  EXPECT_EQ(rank->Find("errors")->number_value(), 0.0);
+  EXPECT_GT(rank->Find("latency_p50_s")->number_value(), 0.0);
+  EXPECT_GE(rank->Find("latency_p99_s")->number_value(),
+            rank->Find("latency_p50_s")->number_value());
+  EXPECT_EQ(stats->Find("requests_total")->number_value(), 4.0);
+}
+
+// The wire-format property every bitwise assertion above rests on.
+TEST(Json, DumpParseRoundTripsDoublesBitwise) {
+  const std::vector<double> cases = {0.0,
+                                     -0.0,
+                                     1.0 / 3.0,
+                                     -2.718281828459045,
+                                     1e-300,
+                                     -1.7976931348623157e308,
+                                     5e-324,
+                                     0.1f + 0.2f,
+                                     42.0};
+  for (const double d : cases) {
+    const auto parsed = json::Parse(json::Dump(json::Value(d)));
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->number_value(), d);
+    // operator== treats -0.0 == 0.0; bitwise means the sign survives too.
+    EXPECT_EQ(std::signbit(parsed->number_value()), std::signbit(d))
+        << json::Dump(json::Value(d));
+  }
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "1.2.3", "\"\\q\"", "01",
+        "{\"a\":1} extra", "\"unterminated", "[1 2]", "nan", "+1",
+        "1e999", "-1e999"}) {
+    EXPECT_FALSE(json::Parse(bad)) << bad;
+  }
+  // Deep nesting is rejected, not a stack overflow.
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(json::Parse(deep));
+}
+
+TEST(Json, UnderflowFoldsToSignedZeroButOverflowIsRejected) {
+  const auto tiny = json::Parse("1e-999");
+  ASSERT_TRUE(tiny);
+  EXPECT_EQ(tiny->number_value(), 0.0);
+  EXPECT_FALSE(std::signbit(tiny->number_value()));
+  const auto tiny_negative = json::Parse("-0.0000000001e-2000");
+  ASSERT_TRUE(tiny_negative);
+  EXPECT_EQ(tiny_negative->number_value(), 0.0);
+  EXPECT_TRUE(std::signbit(tiny_negative->number_value()));
+  // A 400-digit integer overflows without any exponent field.
+  EXPECT_FALSE(json::Parse("9" + std::string(399, '0')));
+}
+
+TEST(Json, ParsesEscapesAndStructures) {
+  const auto parsed = json::Parse(
+      "{\"text\": \"a\\n\\\"b\\\" \\u0041\\u00e9\\ud83d\\ude00\", "
+      "\"list\": [1, -2.5, true, false, null]}");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->Find("text")->string_value(),
+            "a\n\"b\" A\xC3\xA9\xF0\x9F\x98\x80");
+  const auto& list = parsed->Find("list")->array();
+  ASSERT_EQ(list.size(), 5u);
+  EXPECT_EQ(list[0].number_value(), 1.0);
+  EXPECT_EQ(list[1].number_value(), -2.5);
+  EXPECT_TRUE(list[2].bool_value());
+  EXPECT_FALSE(list[3].bool_value());
+  EXPECT_TRUE(list[4].is_null());
+}
+
+}  // namespace
+}  // namespace pathrank::serving

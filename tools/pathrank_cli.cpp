@@ -11,7 +11,7 @@
 //   pathrank_cli serve    --network net --model model.bin --num-queries 128 \
 //                         --threads 4 --repeat 3 \
 //                         [--batch 1 --clients 8] [--shards 4] \
-//                         [--watch-model 1]
+//                         [--watch-model 1] [--http 8080]
 //
 // `serve` drives the serving stack with a batch of queries (from --queries
 // CSV of "source,destination" lines, or sampled randomly) and reports
@@ -22,11 +22,20 @@
 // snapshot whenever the file changes — all three without restarting the
 // process.
 //
+// `serve --http PORT` skips the self-drive and instead exposes the same
+// stack over HTTP/1.1 (POST /v1/rank, POST /v1/score, GET /healthz, GET
+// /statsz) until SIGINT/SIGTERM, with admission control in front of the
+// engine (--max-inflight, --max-queue-wait-us; overload answers 429 +
+// Retry-After). It composes with --batch (requests coalesce through the
+// BatchingQueue), --shards and --watch-model, so hot swap and sharding
+// work over the wire.
+//
 // Networks are stored as the CSV pair written by graph::SaveNetworkCsv,
 // trips as traj::SaveTrips CSV, models as core::SaveModel checkpoints.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -46,6 +55,7 @@
 #include "core/pathrank.h"
 #include "graph/graph_io.h"
 #include "serving/batching_queue.h"
+#include "serving/http_server.h"
 #include "serving/sharded_engine.h"
 #include "traj/trip_io.h"
 
@@ -94,13 +104,17 @@ class Args {
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
   int GetInt(const std::string& key, int fallback) const {
-    auto it = values_.find(key);
-    return it != values_.end() ? std::stoi(it->second) : fallback;
+    return GetParsed<int>(key, fallback, "an integer",
+                          [](const std::string& s, size_t* consumed) {
+                            return std::stoi(s, consumed);
+                          });
   }
 
   double GetDouble(const std::string& key, double fallback) const {
-    auto it = values_.find(key);
-    return it != values_.end() ? std::stod(it->second) : fallback;
+    return GetParsed<double>(key, fallback, "a number",
+                             [](const std::string& s, size_t* consumed) {
+                               return std::stod(s, consumed);
+                             });
   }
 
   std::string Require(const std::string& key) const {
@@ -113,6 +127,26 @@ class Args {
   }
 
  private:
+  /// Shared lookup/parse/diagnostic for the numeric getters: the whole
+  /// value must convert, anything else is a clean usage error (exit 2),
+  /// never an uncaught std::stoi/stod exception.
+  template <typename T, typename Convert>
+  T GetParsed(const std::string& key, T fallback, const char* expected,
+              Convert convert) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+      size_t consumed = 0;
+      const T value = convert(it->second, &consumed);
+      if (consumed != it->second.size()) throw std::invalid_argument(key);
+      return value;
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "flag --%s expects %s, got '%s'\n", key.c_str(),
+                   expected, it->second.c_str());
+      std::exit(2);
+    }
+  }
+
   std::map<std::string, std::string> values_;
 };
 
@@ -411,6 +445,125 @@ class ModelWatcher {
   std::thread thread_;
 };
 
+/// SIGINT/SIGTERM flag for `serve --http`: handlers may only touch
+/// lock-free atomics, so the serving loop polls this and does the actual
+/// shutdown outside signal context.
+std::atomic<bool> g_http_interrupted{false};
+
+void OnHttpSignal(int /*signum*/) { g_http_interrupted.store(true); }
+
+/// `serve --http PORT`: serves the engine stack over HTTP until a signal
+/// arrives, then reports the traffic counters. The backend seams route
+/// through whichever composition the flags built — sharded, coalescing
+/// queue, or bare engine.
+int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
+                    serving::ServingEngine* engine,
+                    serving::ShardedEngine* sharded,
+                    serving::BatchingQueue* queue,
+                    const ModelWatcher* watcher) {
+  serving::HttpServerOptions options;
+  options.bind_address = args.Get("http-addr", "0.0.0.0");
+  const int port = args.GetInt("http", 0);
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "--http expects a port in [0, 65535]\n");
+    return 2;
+  }
+  options.port = static_cast<uint16_t>(port);
+  options.max_inflight =
+      static_cast<size_t>(std::max(1, args.GetInt("max-inflight", 64)));
+  // 0 = auto (max_inflight + 4): admission stays the binding constraint
+  // and spare workers keep /healthz answering under a saturated engine.
+  options.num_threads =
+      static_cast<size_t>(std::max(0, args.GetInt("http-threads", 0)));
+  options.max_queue_wait_us = std::max(0, args.GetInt("max-queue-wait-us", 0));
+  if (options.num_threads != 0 &&
+      options.num_threads <= options.max_inflight) {
+    std::fprintf(stderr,
+                 "warning: --http-threads %zu <= --max-inflight %zu: "
+                 "admission control cannot engage (concurrency is already "
+                 "capped by the worker count)\n",
+                 options.num_threads, options.max_inflight);
+  }
+
+  serving::HttpBackend backend;
+  backend.num_vertices = network.num_vertices();
+  if (sharded != nullptr) {
+    backend.rank = [sharded](graph::VertexId s, graph::VertexId d) {
+      return sharded->Rank(s, d);
+    };
+    backend.score = [sharded](std::vector<routing::Path> paths) {
+      return sharded->ScoreBatch(paths);
+    };
+    backend.swap_count = [sharded] {
+      uint64_t total = 0;
+      for (size_t i = 0; i < sharded->num_shards(); ++i) {
+        total += sharded->shard(i).swap_count();
+      }
+      return total;
+    };
+  } else if (queue != nullptr) {
+    // HTTP workers are plain threads, so blocking on queue futures here
+    // is the supported submit-and-wait pattern (batching_queue.h).
+    backend.rank = [queue](graph::VertexId s, graph::VertexId d) {
+      return queue->SubmitRank(s, d).get();
+    };
+    backend.score = [queue](std::vector<routing::Path> paths) {
+      return queue->SubmitScore(std::move(paths)).get();
+    };
+    backend.swap_count = [engine] { return engine->swap_count(); };
+  } else {
+    backend.rank = [engine](graph::VertexId s, graph::VertexId d) {
+      return engine->Rank(s, d);
+    };
+    backend.score = [engine](std::vector<routing::Path> paths) {
+      return engine->ScoreBatch(paths);
+    };
+    backend.swap_count = [engine] { return engine->swap_count(); };
+  }
+
+  serving::HttpServer server(std::move(backend), options);
+  server.Start();
+  std::printf("HTTP serving on %s:%u  (threads=%zu, max_inflight=%zu, "
+              "max_queue_wait_us=%lld%s%s%s)\n",
+              options.bind_address.c_str(), server.port(),
+              server.options().num_threads, options.max_inflight,
+              static_cast<long long>(options.max_queue_wait_us),
+              queue != nullptr ? ", batched" : "",
+              sharded != nullptr ? ", sharded" : "",
+              watcher != nullptr ? ", watch-model" : "");
+  std::printf("endpoints: POST /v1/rank  POST /v1/score  GET /healthz  "
+              "GET /statsz  (Ctrl-C to stop)\n");
+
+  g_http_interrupted.store(false);
+  std::signal(SIGINT, OnHttpSignal);
+  std::signal(SIGTERM, OnHttpSignal);
+  while (!g_http_interrupted.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  server.Stop();
+
+  const auto stats = server.stats();
+  std::printf("\nshutting down: %llu connections, %llu requests, "
+              "%llu shed\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.requests_total),
+              static_cast<unsigned long long>(stats.shed_total));
+  std::printf("rank:  %llu requests  p50 %.2f ms  p99 %.2f ms\n",
+              static_cast<unsigned long long>(stats.rank.requests),
+              stats.rank.latency_p50_s * 1e3, stats.rank.latency_p99_s * 1e3);
+  std::printf("score: %llu requests  p50 %.2f ms  p99 %.2f ms\n",
+              static_cast<unsigned long long>(stats.score.requests),
+              stats.score.latency_p50_s * 1e3,
+              stats.score.latency_p99_s * 1e3);
+  if (watcher != nullptr) {
+    std::printf("watch-model: %llu hot swap(s) while serving\n",
+                static_cast<unsigned long long>(watcher->swaps()));
+  }
+  return 0;
+}
+
 /// Sorts `latency` and prints the wall-clock / QPS / percentile report
 /// shared by the serve drive modes. PercentileSorted keeps the quantile
 /// convention identical to the gated bench metrics.
@@ -487,19 +640,16 @@ int CmdServe(const Args& args) {
                    : engine->Rank(q.source, q.destination);
   };
 
-  std::vector<serving::RankQuery> queries;
-  if (args.Has("queries")) {
-    queries = LoadQueriesCsv(args.Get("queries", ""), network);
-  } else {
-    queries = SampleQueries(network, args.GetInt("num-queries", 64),
-                            static_cast<uint64_t>(args.GetInt("seed", 1)));
+  // The coalescing front end, shared by the HTTP server and the
+  // closed-loop drive below.
+  std::unique_ptr<serving::BatchingQueue> queue;
+  if (batch) {
+    serving::BatchingOptions batch_options;
+    batch_options.max_batch =
+        static_cast<size_t>(std::max(1, args.GetInt("max-batch", 64)));
+    batch_options.max_wait_us = std::max(0, args.GetInt("max-wait-us", 200));
+    queue = std::make_unique<serving::BatchingQueue>(*engine, batch_options);
   }
-  if (queries.empty()) {
-    std::fprintf(stderr, "no queries to serve\n");
-    return 1;
-  }
-  const int repeat = std::max(1, args.GetInt("repeat", 1));
-  const size_t total = queries.size() * static_cast<size_t>(repeat);
 
   std::unique_ptr<ModelWatcher> watcher;
   if (args.GetInt("watch-model", 0) != 0) {
@@ -515,6 +665,49 @@ int CmdServe(const Args& args) {
         std::max(1, args.GetInt("watch-interval-ms", 200)));
   }
 
+  // --http: network front end instead of the self-drive (no query set
+  // needed; traffic arrives over the wire). Self-drive-only flags are an
+  // error here, not a silent no-op — same rule RejectUnknown enforces.
+  if (args.Has("http")) {
+    for (const char* flag : {"queries", "num-queries", "clients", "repeat",
+                             "seed"}) {
+      if (args.Has(flag)) {
+        std::fprintf(stderr,
+                     "--%s drives the self-serve benchmark and has no "
+                     "effect with --http\n",
+                     flag);
+        return 2;
+      }
+    }
+    return RunHttpFrontEnd(args, network, engine.get(), sharded.get(),
+                           queue.get(), watcher.get());
+  }
+  // Symmetric rule: HTTP-only flags without --http are an error too —
+  // the self-drive has no admission control to configure.
+  for (const char* flag :
+       {"http-addr", "http-threads", "max-inflight", "max-queue-wait-us"}) {
+    if (args.Has(flag)) {
+      std::fprintf(stderr, "--%s configures the HTTP front end; add --http "
+                           "PORT or drop it\n",
+                   flag);
+      return 2;
+    }
+  }
+
+  std::vector<serving::RankQuery> queries;
+  if (args.Has("queries")) {
+    queries = LoadQueriesCsv(args.Get("queries", ""), network);
+  } else {
+    queries = SampleQueries(network, args.GetInt("num-queries", 64),
+                            static_cast<uint64_t>(args.GetInt("seed", 1)));
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "no queries to serve\n");
+    return 1;
+  }
+  const int repeat = std::max(1, args.GetInt("repeat", 1));
+  const size_t total = queries.size() * static_cast<size_t>(repeat);
+
   // Warm-up (pool spin-up, scratch allocation, cache warming).
   for (size_t q = 0; q < std::min<size_t>(queries.size(), 4); ++q) {
     rank(queries[q]);
@@ -527,11 +720,6 @@ int CmdServe(const Args& args) {
   double wall_s = 0.0;
 
   if (batch) {
-    serving::BatchingOptions batch_options;
-    batch_options.max_batch =
-        static_cast<size_t>(std::max(1, args.GetInt("max-batch", 64)));
-    batch_options.max_wait_us = std::max(0, args.GetInt("max-wait-us", 200));
-    serving::BatchingQueue queue(*engine, batch_options);
     // Closed-loop clients on plain threads (pool workers must never block
     // on queue futures — see batching_queue.h); the global pool stays
     // available to the dispatcher's coalesced kernels.
@@ -548,7 +736,7 @@ int CmdServe(const Args& args) {
           const auto& query = queries[i % queries.size()];
           Stopwatch per_query;
           const auto ranked =
-              queue.SubmitRank(query.source, query.destination).get();
+              queue->SubmitRank(query.source, query.destination).get();
           latency[i] = per_query.ElapsedSeconds();
           candidate_counts[i] = ranked.size();
         }
@@ -560,13 +748,13 @@ int CmdServe(const Args& args) {
         "served %zu queries (%zu unique x %d) batched via %zu clients: "
         "%llu flushes, %.1f rows/flush (max-batch %zu, max-wait %lld us)\n",
         total, queries.size(), repeat, clients,
-        static_cast<unsigned long long>(queue.num_flushes()),
-        queue.num_flushes() > 0
-            ? static_cast<double>(queue.num_rows()) /
-                  static_cast<double>(queue.num_flushes())
+        static_cast<unsigned long long>(queue->num_flushes()),
+        queue->num_flushes() > 0
+            ? static_cast<double>(queue->num_rows()) /
+                  static_cast<double>(queue->num_flushes())
             : 0.0,
-        batch_options.max_batch,
-        static_cast<long long>(batch_options.max_wait_us));
+        queue->options().max_batch,
+        static_cast<long long>(queue->options().max_wait_us));
   } else {
     ParallelForShards(0, total, [&](size_t /*shard*/, size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
@@ -623,7 +811,9 @@ void PrintUsage() {
       "--k K --threshold T]\n"
       "            [--batch 0|1 --max-batch N --max-wait-us U --clients C]\n"
       "            [--shards N --shard-policy hash|rr]\n"
-      "            [--watch-model 0|1 --watch-interval-ms M]\n");
+      "            [--watch-model 0|1 --watch-interval-ms M]\n"
+      "            [--http PORT --http-addr A --max-inflight N\n"
+      "             --max-queue-wait-us U --http-threads T (0 = auto)]\n");
 }
 
 }  // namespace
@@ -654,7 +844,8 @@ int main(int argc, char** argv) {
        {"network", "model", "queries", "num-queries", "seed", "threads",
         "replicas", "repeat", "strategy", "k", "threshold", "batch",
         "max-batch", "max-wait-us", "clients", "shards", "shard-policy",
-        "watch-model", "watch-interval-ms"}},
+        "watch-model", "watch-interval-ms", "http", "http-addr",
+        "http-threads", "max-inflight", "max-queue-wait-us"}},
   };
   const auto known = kKnownFlags.find(command);
   if (known != kKnownFlags.end()) {

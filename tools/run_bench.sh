@@ -3,14 +3,20 @@
 # committed baseline (BENCH_throughput.json) with a relative tolerance.
 # This gates GEMM GFLOP/s, walk/candidate throughput, training epoch time
 # AND the serving sections — per-request rank latency/QPS, the coalesced
-# serve_batched_* latency/QPS, and snapshot capture/hot-swap latency at
-# 1..N threads — a serving regression fails the check like any other
-# metric. The required-family check below additionally fails the run if a
-# bench edit silently drops one of those metric families, and the doc link
+# serve_batched_* latency/QPS, the end-to-end serve_http_* loopback
+# latency/QPS/shed-rate, and snapshot capture/hot-swap latency at 1..N
+# threads — a serving regression fails the check like any other metric.
+# The required-family check below additionally fails the run if a bench
+# edit silently drops one of those metric families, and the doc link
 # checker keeps README/docs references resolvable.
 #
 #   tools/run_bench.sh                 check against the committed baseline
 #   tools/run_bench.sh --update        overwrite the committed baseline
+#   tools/run_bench.sh --smoke         metric-family gate only: run the
+#                                      bench, verify every family is
+#                                      emitted, skip the perf thresholds
+#                                      (for CI on shared runners, where
+#                                      absolute numbers are noise)
 #
 # PATHRANK_BENCH_TOLERANCE (default 0.30) sets the allowed relative
 # regression; PATHRANK_BENCH_SCALE (tiny|small|paper) sizes the workload.
@@ -35,6 +41,10 @@ REQUIRED_FAMILIES=(
   serve_batched_per_s
   serve_batched_p50_s
   serve_batched_p99_s
+  serve_http_per_s
+  serve_http_p50_s
+  serve_http_p99_s
+  serve_http_shed_rate
   snapshot_capture_s
   swap_latency_s
   train_epoch_s
@@ -62,6 +72,10 @@ if [[ "${1:-}" == "--update" ]]; then
   PATHRANK_BENCH_OUT="$BASELINE" "$BUILD/bench_throughput"
   require_families "$BASELINE"
   echo "baseline updated: $BASELINE"
+elif [[ "${1:-}" == "--smoke" ]]; then
+  PATHRANK_BENCH_OUT="$BUILD/BENCH_throughput.json" "$BUILD/bench_throughput"
+  require_families "$BUILD/BENCH_throughput.json"
+  echo "bench smoke: all required metric families emitted"
 elif [[ -f "$BASELINE" ]]; then
   PATHRANK_BENCH_OUT="$BUILD/BENCH_throughput.json" \
     "$BUILD/bench_throughput" --check "$BASELINE"
