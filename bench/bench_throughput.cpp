@@ -2,7 +2,9 @@
 // training epoch time, random-walk generation, candidate generation,
 // ServingEngine rank latency/QPS, coalesced (BatchingQueue) serving
 // latency/QPS, end-to-end HTTP serving latency/QPS/shed rate over the
-// loopback, and snapshot capture/hot-swap latency at 1/2/4/N threads.
+// loopback, the online route-planning pipeline (cold vs candidate-cached
+// latency + routes/s), and snapshot capture/hot-swap latency at 1/2/4/N
+// threads.
 // Emits BENCH_throughput.json (override the path with PATHRANK_BENCH_OUT)
 // so the perf trajectory is tracked across PRs.
 //
@@ -21,6 +23,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -33,6 +36,7 @@
 #include "common/thread_pool.h"
 #include "experiment_common.h"
 #include "serving/http_server.h"
+#include "serving/route_planner.h"
 
 namespace {
 
@@ -473,6 +477,112 @@ void BenchServingHttp(const bench::ExperimentScale& scale,
       clients, qps, p50 * 1e3, p99 * 1e3, shed_rate, errors.load());
 }
 
+// Online route planning (RoutePlanner, the /v1/route pipeline): cold =
+// candidate enumeration (Yen / D-TkDI) + scoring, warm = LRU-cached
+// candidate sets + scoring. Enumeration dominates, so the committed
+// baseline documents the gap the cache buys; serve_route_per_s is the
+// steady-state (warm) throughput. Latencies are single-caller — the
+// concurrency story is measured by the serve_rank_*/serve_http_*
+// sections; this one isolates the routing pipeline itself.
+void BenchServingRoute(const bench::ExperimentScale& scale,
+                       const bench::Workload& workload, Metrics* metrics) {
+  core::PathRankConfig model_cfg;
+  model_cfg.embedding_dim = 64;
+  model_cfg.hidden_size = scale.hidden_size;
+  model_cfg.seed = 7;
+  const core::PathRankModel model(workload.network.num_vertices(), model_cfg,
+                                  core::InitMode::kRandomInit);
+  const auto snapshot = serving::ModelSnapshot::Capture(model);
+
+  serving::ServingOptions options;
+  options.candidates.k = scale.candidates_k;
+  options.candidates.similarity_threshold = 0.6;
+  options.candidates.max_enumerated = 300;
+  const size_t threads =
+      std::max<unsigned>(1, std::thread::hardware_concurrency());
+  SetNumThreads(threads);
+  const serving::ServingEngine engine(workload.network, snapshot, options);
+
+  serving::RoutePlannerOptions route_options;
+  route_options.candidates = options.candidates;
+  route_options.cache_capacity = 4096;
+  const auto score = [&engine](std::vector<routing::Path> paths) {
+    return engine.ScoreBatch(paths);
+  };
+
+  // Unique (source, destination) pairs only: a duplicate would be a
+  // cache HIT inside the "cold" rounds and would double-count in the
+  // warm hit check below.
+  std::vector<serving::RouteRequest> queries;
+  std::set<std::pair<graph::VertexId, graph::VertexId>> seen;
+  for (const auto& trip : workload.trips) {
+    if (queries.size() >= 48) break;
+    if (seen.emplace(trip.source(), trip.destination()).second) {
+      queries.push_back({trip.source(), trip.destination()});
+    }
+  }
+
+  // Cold: a fresh planner per round, so every Plan is a cache miss and
+  // pays the full enumeration.
+  std::vector<double> cold;
+  Stopwatch cold_watch;
+  do {
+    const serving::RoutePlanner fresh(workload.network, score,
+                                      route_options);
+    for (const auto& query : queries) {
+      Stopwatch per_query;
+      const auto result = fresh.Plan(query);
+      cold.push_back(per_query.ElapsedSeconds());
+      if (result.status != serving::RouteStatus::kOk) {
+        std::fprintf(stderr, "serve route bench: unexpected status %s\n",
+                     serving::RouteStatusSlug(result.status));
+        std::exit(1);
+      }
+    }
+  } while (cold.size() < 100 && cold_watch.ElapsedSeconds() < 2.0);
+
+  // Warm: one planner primed with every query; steady state is all hits.
+  const serving::RoutePlanner planner(workload.network, score,
+                                      route_options);
+  for (const auto& query : queries) planner.Plan(query);
+  std::vector<double> warm;
+  size_t served = 0;
+  Stopwatch watch;
+  do {
+    for (const auto& query : queries) {
+      Stopwatch per_query;
+      planner.Plan(query);
+      warm.push_back(per_query.ElapsedSeconds());
+      ++served;
+    }
+  } while (watch.ElapsedSeconds() < 0.5);
+  const double wall = watch.ElapsedSeconds();
+  if (planner.cache_hits() != served) {
+    // Every timed Plan must be a hit (the priming pass seeded all 48
+    // keys), or the "warm" numbers silently measure Yen again.
+    std::fprintf(stderr,
+                 "serve route bench: warm loop missed the cache "
+                 "(%llu hits, expected %zu)\n",
+                 static_cast<unsigned long long>(planner.cache_hits()),
+                 served);
+    std::exit(1);
+  }
+
+  std::sort(cold.begin(), cold.end());
+  std::sort(warm.begin(), warm.end());
+  (*metrics)["serve_route_cold_p50_s"] = PercentileSorted(cold, 0.50);
+  (*metrics)["serve_route_cold_p99_s"] = PercentileSorted(cold, 0.99);
+  (*metrics)["serve_route_warm_p50_s"] = PercentileSorted(warm, 0.50);
+  (*metrics)["serve_route_warm_p99_s"] = PercentileSorted(warm, 0.99);
+  (*metrics)["serve_route_per_s"] = static_cast<double>(served) / wall;
+  std::printf(
+      "serve route cold p50 %.2f ms  p99 %.2f ms | warm p50 %.2f ms  "
+      "p99 %.2f ms  %.1f routes/s\n",
+      PercentileSorted(cold, 0.50) * 1e3, PercentileSorted(cold, 0.99) * 1e3,
+      PercentileSorted(warm, 0.50) * 1e3, PercentileSorted(warm, 0.99) * 1e3,
+      static_cast<double>(served) / wall);
+}
+
 void BenchSnapshotSwap(const bench::ExperimentScale& scale,
                        const bench::Workload& workload, Metrics* metrics) {
   core::PathRankConfig model_cfg;
@@ -636,6 +746,7 @@ int main(int argc, char** argv) {
   BenchServing(scale, workload, thread_counts, &metrics);
   BenchServingBatched(scale, workload, thread_counts, &metrics);
   BenchServingHttp(scale, workload, &metrics);
+  BenchServingRoute(scale, workload, &metrics);
   BenchSnapshotSwap(scale, workload, &metrics);
   BenchTraining(scale, workload, thread_counts, &metrics);
 

@@ -83,9 +83,12 @@ CsvReader::CsvReader(const std::string& path) {
     throw std::runtime_error("CsvReader: cannot open " + path);
   }
   std::string line;
+  size_t line_number = 0;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
+    ++line_number;
+    if (line.empty()) continue;  // skipped — which is why lines_ exists
     rows_.push_back(ParseCsvLine(line));
+    lines_.push_back(line_number);
   }
 }
 

@@ -42,11 +42,17 @@ class CsvReader {
   /// Returns row `i`.
   const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
 
+  /// 1-based source line of row `i`. Not simply i + 1: empty lines are
+  /// skipped at parse time, so this is what loader diagnostics must
+  /// report for the message to point at the right line in the file.
+  size_t line(size_t i) const { return lines_[i]; }
+
   /// All rows.
   const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
  private:
   std::vector<std::vector<std::string>> rows_;
+  std::vector<size_t> lines_;
 };
 
 /// Parses one CSV line into fields (exposed for testing).

@@ -1,0 +1,94 @@
+#include "common/parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pathrank {
+namespace {
+
+/// std::from_chars for the integral types: no locale, no allocation, and
+/// "did the whole token convert" is one pointer comparison.
+template <typename T>
+bool ParseIntegral(const std::string& s, T* out) {
+  if (s.empty()) return false;
+  T value{};
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return false;
+  *out = value;
+  return true;
+}
+
+[[noreturn]] void ThrowFieldError(const std::string& token,
+                                  const char* column, const char* expected,
+                                  const std::string& file, size_t line) {
+  throw std::runtime_error(file + ":" + std::to_string(line) + ": " +
+                           column + " expects " + expected + ", got '" +
+                           token + "'");
+}
+
+}  // namespace
+
+bool ParseInt32(const std::string& s, int32_t* out) {
+  return ParseIntegral(s, out);
+}
+
+bool ParseUInt32(const std::string& s, uint32_t* out) {
+  // from_chars on an unsigned type rejects "-1" outright (no modular
+  // wrap-around like strtoul's).
+  return ParseIntegral(s, out);
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  // strtod rather than from_chars<double>: the FP overload is still
+  // missing from some libstdc++/libc++ versions this repo builds on.
+  // strtod skips leading whitespace, so reject that explicitly to keep
+  // the whole-token contract.
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s.front()))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || errno == ERANGE) return false;
+  // strtod happily reads "nan" and "inf"; no field in this repo's file
+  // formats legitimately holds a non-finite value, and a NaN edge cost
+  // would poison every shortest-path comparison downstream.
+  if (!std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+int32_t ParseInt32Field(const std::string& token, const char* column,
+                        const std::string& file, size_t line) {
+  int32_t value = 0;
+  if (!ParseInt32(token, &value)) {
+    ThrowFieldError(token, column, "an integer", file, line);
+  }
+  return value;
+}
+
+uint32_t ParseUInt32Field(const std::string& token, const char* column,
+                          const std::string& file, size_t line) {
+  uint32_t value = 0;
+  if (!ParseUInt32(token, &value)) {
+    ThrowFieldError(token, column, "a non-negative integer", file, line);
+  }
+  return value;
+}
+
+double ParseDoubleField(const std::string& token, const char* column,
+                        const std::string& file, size_t line) {
+  double value = 0.0;
+  if (!ParseDouble(token, &value)) {
+    ThrowFieldError(token, column, "a number", file, line);
+  }
+  return value;
+}
+
+}  // namespace pathrank

@@ -1,0 +1,35 @@
+// Strict, non-throwing numeric parsing plus loader-facing wrappers that
+// turn a garbled CSV field into a diagnosable error. The std::sto*
+// family is the wrong tool for file loaders twice over: it throws bare
+// std::invalid_argument / std::out_of_range (which, uncaught on a
+// non-numeric field, terminates the whole process), and it happily
+// accepts trailing junk ("12abc" parses as 12). These helpers consume
+// the ENTIRE token or fail, and the *Field variants report the file,
+// line number and offending token so a bad row in a 10^5-line edge list
+// is a one-glance fix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pathrank {
+
+/// Parses all of `s` as the target type. Returns false on an empty
+/// string, leading whitespace, trailing junk, an out-of-range value, or
+/// (for doubles) a non-finite value; never throws. ("1e3" and "-0.5"
+/// parse; "12,3", "nan" and "inf" do not.)
+bool ParseInt32(const std::string& s, int32_t* out);
+bool ParseUInt32(const std::string& s, uint32_t* out);
+bool ParseDouble(const std::string& s, double* out);
+
+/// Loader-facing wrappers: parse one field of `file` or throw
+/// std::runtime_error("<file>:<line>: <column> expects ..., got
+/// '<token>'"). `line` is 1-based (header row = line 1).
+int32_t ParseInt32Field(const std::string& token, const char* column,
+                        const std::string& file, size_t line);
+uint32_t ParseUInt32Field(const std::string& token, const char* column,
+                          const std::string& file, size_t line);
+double ParseDoubleField(const std::string& token, const char* column,
+                        const std::string& file, size_t line);
+
+}  // namespace pathrank

@@ -12,8 +12,21 @@ namespace pathrank::graph {
 /// `<prefix>_edges.csv` (from,to,length_m,travel_time_s,category).
 void SaveNetworkCsv(const RoadNetwork& network, const std::string& prefix);
 
-/// Loads a network previously written by SaveNetworkCsv.
+/// Loads a network previously written by SaveNetworkCsv. Throws
+/// std::runtime_error naming the file, line and offending token on
+/// malformed rows.
 RoadNetwork LoadNetworkCsv(const std::string& prefix);
+
+/// Loads a network from a single edges CSV (the `<prefix>_edges.csv`
+/// half of the pair: from,to,length_m,travel_time_s,category with a
+/// header row). The vertex set is inferred as [0, max referenced id] and
+/// every coordinate defaults to (0, 0) — sufficient for the travel-time
+/// candidate generation and serving paths (Dijkstra/Yen need topology
+/// and costs only; a zero-coordinate heuristic is admissible), not for
+/// coordinate-based tooling like map matching. Throws std::runtime_error
+/// with file:line:token context on malformed rows, and when the file has
+/// no edge rows at all.
+RoadNetwork LoadNetworkEdgesCsv(const std::string& path);
 
 /// Writes a single binary file (magic + counts + raw arrays).
 void SaveNetworkBinary(const RoadNetwork& network, const std::string& path);

@@ -91,6 +91,22 @@ Response ErrorResponse(int status, const std::string& message) {
   return response;
 }
 
+/// Strict 1*DIGIT parse (RFC 9110 numeric fields): non-empty, digits
+/// only — no sign, no whitespace, no trailing junk — and bounded well
+/// inside uint64_t. Used by HttpClient for status codes, Content-Length
+/// and Retry-After, where the std::atoi/strtoull "garbage parses as 0"
+/// behaviour hid malformed responses from callers.
+bool ParseDigits(const std::string& s, uint64_t* out) {
+  if (s.empty() || s.size() > 18) return false;
+  uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
 bool SendAll(int fd, const char* data, size_t size) {
   size_t sent = 0;
   while (sent < size) {
@@ -328,6 +344,7 @@ json::Value RankingJson(const std::vector<ScoredPath>& ranking,
 
 Response HandleRank(const HttpBackend& backend, const std::string& body);
 Response HandleScore(const HttpBackend& backend, const std::string& body);
+Response HandleRoute(const HttpBackend& backend, const std::string& body);
 json::Value StatszJson(const HttpServerStats& stats,
                        const HttpServerOptions& options);
 
@@ -384,7 +401,8 @@ HttpServer::HttpServer(HttpBackend backend, const HttpServerOptions& options)
     : backend_(std::move(backend)),
       options_(options),
       rank_stats_(std::make_unique<Endpoint>()),
-      score_stats_(std::make_unique<Endpoint>()) {
+      score_stats_(std::make_unique<Endpoint>()),
+      route_stats_(std::make_unique<Endpoint>()) {
   if (!backend_.rank || !backend_.score) {
     throw std::invalid_argument("HttpBackend needs rank and score handlers");
   }
@@ -653,10 +671,16 @@ void HttpServer::ServeConnection(int fd) {
         response.body = json::Dump(StatszJson(stats(), options_));
       }
     } else if (request.target == "/v1/rank" ||
-               request.target == "/v1/score") {
+               request.target == "/v1/score" ||
+               request.target == "/v1/route") {
       const bool is_rank = request.target == "/v1/rank";
+      const bool is_route = request.target == "/v1/route";
       if (request.method != "POST") {
         response = ErrorResponse(405, "use POST");
+      } else if (is_route && !backend_.route) {
+        // Cheap rejection before admission: no backend work happens.
+        response = ErrorResponse(
+            404, "route planning is not enabled on this server");
       } else if (!Admit()) {
         shed_total_.fetch_add(1, std::memory_order_relaxed);
         response = ErrorResponse(429, "overloaded: max_inflight reached");
@@ -664,8 +688,9 @@ void HttpServer::ServeConnection(int fd) {
       } else {
         Stopwatch watch;
         try {
-          response = is_rank ? HandleRank(backend_, request.body)
-                             : HandleScore(backend_, request.body);
+          response = is_route ? HandleRoute(backend_, request.body)
+                     : is_rank ? HandleRank(backend_, request.body)
+                               : HandleScore(backend_, request.body);
         } catch (...) {
           // Non-std exceptions from the backend seam (and bad_alloc in
           // the response path) must not escape this std::thread —
@@ -674,7 +699,7 @@ void HttpServer::ServeConnection(int fd) {
           response = ErrorResponse(500, "internal error");
         }
         Release();
-        (is_rank ? rank_stats_ : score_stats_)
+        (is_route ? route_stats_ : is_rank ? rank_stats_ : score_stats_)
             ->Record(watch.ElapsedSeconds(), response.status >= 400);
       }
     } else {
@@ -762,6 +787,113 @@ Response HandleScore(const HttpBackend& backend, const std::string& body) {
   }
 }
 
+/// Renders a RouteResult's ranked paths: the /v1/rank candidate fields
+/// plus the enumeration cost and the edge-id list (clients replaying the
+/// route on the network need edges, not just vertices — parallel edges
+/// make the vertex list ambiguous).
+json::Value RouteJson(const RouteResult& result) {
+  json::Array routes;
+  routes.reserve(result.ranked.size());
+  for (const auto& scored : result.ranked) {
+    json::Object route;
+    route["score"] = json::Value(scored.score);
+    route["cost"] = json::Value(scored.path.cost);
+    route["length_m"] = json::Value(scored.path.length_m);
+    route["time_s"] = json::Value(scored.path.time_s);
+    json::Array vertices;
+    vertices.reserve(scored.path.vertices.size());
+    for (const auto v : scored.path.vertices) {
+      vertices.emplace_back(static_cast<uint64_t>(v));
+    }
+    route["vertices"] = json::Value(std::move(vertices));
+    json::Array edges;
+    edges.reserve(scored.path.edges.size());
+    for (const auto e : scored.path.edges) {
+      edges.emplace_back(static_cast<uint64_t>(e));
+    }
+    route["edges"] = json::Value(std::move(edges));
+    routes.push_back(json::Value(std::move(route)));
+  }
+  json::Object object;
+  object["cache_hit"] = json::Value(result.cache_hit);
+  object["routes"] = json::Value(std::move(routes));
+  return json::Value(std::move(object));
+}
+
+/// Route error bodies carry the taxonomy slug next to the message so
+/// clients can branch on "unreachable" vs "unknown_vertex" without
+/// string-matching prose.
+Response RouteErrorResponse(int http_status, const RouteResult& result) {
+  Response response;
+  response.status = http_status;
+  json::Object object;
+  object["error"] = json::Value(result.message);
+  object["status"] = json::Value(RouteStatusSlug(result.status));
+  response.body = json::Dump(json::Value(std::move(object)));
+  return response;
+}
+
+Response HandleRoute(const HttpBackend& backend, const std::string& body) {
+  std::string parse_error;
+  const auto parsed = json::Parse(body, &parse_error);
+  if (!parsed) return ErrorResponse(400, "invalid JSON: " + parse_error);
+  // Local validation failures carry the taxonomy slug too — clients
+  // branching on body["status"] per the docs must never see a bare
+  // {"error": ...} from this endpoint.
+  const auto bad_request = [](std::string message) {
+    RouteResult result;
+    result.status = RouteStatus::kBadRequest;
+    result.message = std::move(message);
+    return RouteErrorResponse(400, result);
+  };
+  graph::VertexId source = 0;
+  graph::VertexId destination = 0;
+  std::string message;
+  // num_vertices is deliberately NOT passed: the range check belongs to
+  // the route backend, so an out-of-range id earns the unknown_vertex
+  // slug instead of this generic 400. (ParseVertexId still enforces the
+  // VertexId-representability bound — casting an out-of-range double
+  // would be UB.)
+  if (!ParseVertexId(parsed->Find("source"), /*num_vertices=*/0, "source",
+                     &source, &message) ||
+      !ParseVertexId(parsed->Find("destination"), /*num_vertices=*/0,
+                     "destination", &destination, &message)) {
+    return bad_request(message);
+  }
+  int k = 0;  // 0 = the planner's configured default
+  if (const json::Value* k_value = parsed->Find("k"); k_value != nullptr) {
+    const double d = k_value->number_value();
+    // The int-representability bound is checked here because casting an
+    // out-of-range double is UB; the planner's max_k policy cap comes
+    // after.
+    if (!k_value->is_number() || d < 1 || d != std::floor(d) ||
+        d > static_cast<double>(std::numeric_limits<int>::max())) {
+      return bad_request("\"k\" must be a positive integer");
+    }
+    k = static_cast<int>(d);
+  }
+  try {
+    const RouteResult result = backend.route({source, destination, k});
+    switch (result.status) {
+      case RouteStatus::kOk: {
+        Response response;
+        response.body = json::Dump(RouteJson(result));
+        return response;
+      }
+      case RouteStatus::kUnreachable:
+        return RouteErrorResponse(404, result);
+      default:
+        return RouteErrorResponse(400, result);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "http: /v1/route backend error: %s\n", e.what());
+    return ErrorResponse(500, "internal error");
+  } catch (...) {
+    std::fprintf(stderr, "http: /v1/route backend error (non-std)\n");
+    return ErrorResponse(500, "internal error");
+  }
+}
+
 json::Value StatszJson(const HttpServerStats& stats,
                        const HttpServerOptions& options) {
   json::Object object;
@@ -786,6 +918,7 @@ json::Value StatszJson(const HttpServerStats& stats,
   };
   endpoints["/v1/rank"] = endpoint_json(stats.rank);
   endpoints["/v1/score"] = endpoint_json(stats.score);
+  endpoints["/v1/route"] = endpoint_json(stats.route);
   object["endpoints"] = json::Value(std::move(endpoints));
   return json::Value(std::move(object));
 }
@@ -805,6 +938,7 @@ HttpServerStats HttpServer::stats() const {
   }
   stats.rank = rank_stats_->Snapshot();
   stats.score = score_stats_->Snapshot();
+  stats.route = route_stats_->Snapshot();
   return stats;
 }
 
@@ -880,13 +1014,30 @@ HttpClient::Response HttpClient::Request(const std::string& method,
   buffer_.erase(0, header_end + 4);
 
   Response response;
-  // "HTTP/1.1 NNN reason"
-  const size_t sp = head.find(' ');
-  if (sp == std::string::npos) {
-    Close();
-    throw std::runtime_error("malformed status line");
+  // Status line: "HTTP/1.x SP 3DIGIT SP reason". std::atoi here would
+  // read a garbled line ("HTTP/0.9 garbage") as status 0 and hand it to
+  // the caller as if the server had answered — bench and tests could not
+  // tell a broken counterparty from a real response. Parse strictly and
+  // make malformation an error instead.
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) line_end = head.size();
+  const std::string status_line = head.substr(0, line_end);
+  const size_t sp = status_line.find(' ');
+  bool status_ok = status_line.rfind("HTTP/1.", 0) == 0 &&
+                   sp != std::string::npos;
+  if (status_ok) {
+    size_t code_end = status_line.find(' ', sp + 1);
+    if (code_end == std::string::npos) code_end = status_line.size();
+    uint64_t code = 0;
+    status_ok = code_end - (sp + 1) == 3 &&
+                ParseDigits(status_line.substr(sp + 1, 3), &code) &&
+                code >= 100 && code <= 599;
+    response.status = static_cast<int>(code);
   }
-  response.status = std::atoi(head.c_str() + sp + 1);
+  if (!status_ok) {
+    Close();
+    throw std::runtime_error("malformed status line: '" + status_line + "'");
+  }
 
   size_t content_length = 0;
   bool server_closes = false;
@@ -907,10 +1058,27 @@ HttpClient::Response HttpClient::Request(const std::string& method,
     }
     const std::string value = line.substr(value_begin);
     if (name == "content-length") {
-      content_length = static_cast<size_t>(std::strtoull(value.c_str(),
-                                                         nullptr, 10));
+      // strtoull would wrap "-1" to ULLONG_MAX and stop at junk; a bad
+      // length mis-frames every response after this one on the
+      // keep-alive connection, so bail out instead.
+      uint64_t length = 0;
+      if (!ParseDigits(value, &length)) {
+        Close();
+        throw std::runtime_error("malformed Content-Length: '" + value +
+                                 "'");
+      }
+      content_length = static_cast<size_t>(length);
     } else if (name == "retry-after") {
-      response.retry_after_s = std::atoi(value.c_str());
+      // Delta-seconds only (what HttpServer emits). std::atoi read
+      // garbage as 0, which callers treat as "retry immediately" — the
+      // opposite of what a mangled back-off hint should do.
+      uint64_t delay = 0;
+      if (!ParseDigits(value, &delay) ||
+          delay > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+        Close();
+        throw std::runtime_error("malformed Retry-After: '" + value + "'");
+      }
+      response.retry_after_s = static_cast<int>(delay);
     } else if (name == "connection" && value == "close") {
       server_closes = true;
     }

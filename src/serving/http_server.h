@@ -11,10 +11,15 @@
 //                                        "length_m", "time_s"}, ...]}
 //   POST /v1/score   {"paths": [[id, id, ...], ...]}
 //                    -> {"candidates": [{"score", "vertices"}, ...]}
+//   POST /v1/route   {"source": id, "destination": id, "k": n?}
+//                    -> {"cache_hit": b, "routes": [{"score", "cost",
+//                        "length_m", "time_s", "vertices", "edges"},...]}
+//                    (RoutePlanner pipeline: candidate cache + explicit
+//                    error taxonomy; 404 when no route backend is set)
 //   GET  /healthz    -> {"status": "ok", "swap_count": n, ...}
 //   GET  /statsz     -> queue depth, shed count, per-endpoint latency
 //
-// Admission control: the two /v1/* endpoints share a bounded in-flight
+// Admission control: the /v1/* endpoints share a bounded in-flight
 // budget (`max_inflight`). A request that cannot take a slot within
 // `max_queue_wait_us` is SHED with `429 Too Many Requests` +
 // `Retry-After` instead of queuing unboundedly — under overload the
@@ -44,6 +49,7 @@
 #include <thread>
 #include <vector>
 
+#include "serving/route_planner.h"
 #include "serving/serving_engine.h"
 
 namespace pathrank::serving {
@@ -95,6 +101,7 @@ struct HttpServerStats {
   uint64_t admission_waiting = 0;  ///< currently queued for a slot
   HttpEndpointStats rank;
   HttpEndpointStats score;
+  HttpEndpointStats route;
 };
 
 /// What the server serves. Thin std::function seams rather than a fixed
@@ -109,6 +116,12 @@ struct HttpBackend {
   /// Required: POST /v1/score. May throw; the server answers 500.
   std::function<std::vector<ScoredPath>(std::vector<routing::Path> paths)>
       score;
+  /// Optional: POST /v1/route — the full RoutePlanner pipeline (candidate
+  /// enumeration + cache + scoring). When absent the endpoint answers 404
+  /// ("route planning is not enabled"). RouteResult::status maps to the
+  /// HTTP code (kUnreachable -> 404, other non-kOk -> 400); only a thrown
+  /// exception becomes a 500.
+  std::function<RouteResult(const RouteRequest& request)> route;
   /// Optional: surfaced in /healthz as "swap_count" so a watcher can see
   /// a model hot-swap land (the value flips when SwapSnapshot runs).
   std::function<uint64_t()> swap_count;
@@ -180,6 +193,7 @@ class HttpServer {
   std::atomic<uint64_t> shed_total_{0};
   std::unique_ptr<Endpoint> rank_stats_;
   std::unique_ptr<Endpoint> score_stats_;
+  std::unique_ptr<Endpoint> route_stats_;
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;

@@ -1,0 +1,142 @@
+#include "serving/route_planner.h"
+
+#include "common/logging.h"
+
+namespace pathrank::serving {
+
+const char* RouteStatusSlug(RouteStatus status) {
+  switch (status) {
+    case RouteStatus::kOk: return "ok";
+    case RouteStatus::kUnknownVertex: return "unknown_vertex";
+    case RouteStatus::kSameVertex: return "same_vertex";
+    case RouteStatus::kUnreachable: return "unreachable";
+    case RouteStatus::kBadRequest: return "bad_request";
+  }
+  return "?";
+}
+
+size_t RoutePlanner::CacheKeyHash::operator()(const CacheKey& key) const {
+  // splitmix64 finalizer over the packed fields: cheap, and good enough
+  // that grid-network id patterns do not cluster buckets.
+  uint64_t h = (static_cast<uint64_t>(key.source) << 32) | key.destination;
+  h ^= ((static_cast<uint64_t>(static_cast<uint32_t>(key.k)) << 32) |
+        static_cast<uint32_t>(key.strategy)) *
+       0x9e3779b97f4a7c15ULL;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<size_t>(h);
+}
+
+RoutePlanner::RoutePlanner(const graph::RoadNetwork& network, ScoreFn score,
+                           const RoutePlannerOptions& options)
+    : network_(&network), score_(std::move(score)), options_(options) {
+  PR_CHECK(score_ != nullptr) << "RoutePlanner needs a scoring backend";
+}
+
+RoutePlanner::CacheValue RoutePlanner::CacheLookup(
+    const CacheKey& key) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  // Touch: move the node to the front without invalidating iterators.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void RoutePlanner::CacheInsert(const CacheKey& key, CacheValue value) const {
+  if (options_.cache_capacity == 0) return;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // A concurrent miss for the same key beat us here; both computed the
+    // same deterministic set, so keeping either is correct.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second = std::move(value);
+    return;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+  while (lru_.size() > options_.cache_capacity) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+size_t RoutePlanner::cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return lru_.size();
+}
+
+RouteResult RoutePlanner::Plan(const RouteRequest& request) const {
+  RouteResult result;
+  const size_t num_vertices = network_->num_vertices();
+  if (request.source >= num_vertices ||
+      request.destination >= num_vertices) {
+    const graph::VertexId offender =
+        request.source >= num_vertices ? request.source
+                                       : request.destination;
+    result.status = RouteStatus::kUnknownVertex;
+    result.message = "unknown vertex " + std::to_string(offender) +
+                     " (network has " + std::to_string(num_vertices) +
+                     " vertices)";
+    return result;
+  }
+  if (request.source == request.destination) {
+    result.status = RouteStatus::kSameVertex;
+    result.message = "source and destination are both vertex " +
+                     std::to_string(request.source) + "; nothing to rank";
+    return result;
+  }
+  const int k = request.k > 0 ? request.k : options_.candidates.k;
+  if (k <= 0) {
+    result.status = RouteStatus::kBadRequest;
+    result.message = "k must be positive (got " + std::to_string(k) + ")";
+    return result;
+  }
+  // The cap applies to the CLIENT's k only: the operator's configured
+  // default (candidates.k) is trusted however large, so starting the
+  // server with --k 100 must not make every default-k query a 400.
+  if (options_.max_k > 0 && request.k > options_.max_k) {
+    result.status = RouteStatus::kBadRequest;
+    result.message = "k = " + std::to_string(request.k) +
+                     " exceeds this server's limit of " +
+                     std::to_string(options_.max_k);
+    return result;
+  }
+
+  data::CandidateGenConfig gen = options_.candidates;
+  gen.k = k;
+  const CacheKey key{request.source, request.destination,
+                     static_cast<int>(gen.strategy), k};
+  CacheValue candidates = CacheLookup(key);
+  if (candidates != nullptr) {
+    result.cache_hit = true;
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    candidates =
+        std::make_shared<const std::vector<routing::Path>>(
+            GenerateCandidates(*network_, request.source,
+                               request.destination, gen));
+    CacheInsert(key, candidates);
+  }
+
+  if (candidates->empty()) {
+    result.status = RouteStatus::kUnreachable;
+    result.message = "no route from " + std::to_string(request.source) +
+                     " to " + std::to_string(request.destination) +
+                     " (strategy " +
+                     data::CandidateStrategyName(gen.strategy) + ")";
+    return result;
+  }
+  // The backend takes ownership of its input, and the cached set must
+  // survive for the next hit: hand it a copy. Scoring runs on the
+  // CURRENT snapshot every time — the cache holds paths, never scores.
+  result.ranked = score_(*candidates);
+  return result;
+}
+
+}  // namespace pathrank::serving

@@ -1,0 +1,172 @@
+// Online route-ranking pipeline: the first request path that spans every
+// layer of the repo. For one (origin, destination) query a RoutePlanner
+//
+//   1. validates the query against the road network (explicit error
+//      taxonomy: unknown vertex, source == destination, unreachable pair,
+//      malformed k),
+//   2. enumerates candidate paths with the configured strategy (Yen
+//      TkDI / D-TkDI / penalty baselines — the same
+//      data::CandidateGenConfig training used, so served candidates match
+//      the training distribution),
+//   3. scores the candidates through the injected engine backend (a bare
+//      ServingEngine::ScoreBatch, a BatchingQueue submit-and-wait, or a
+//      ShardedEngine — the same seam HttpBackend::score uses), and
+//   4. returns them ordered by descending predicted score.
+//
+// Candidate enumeration dominates the cost (Yen is milliseconds; scoring
+// a handful of short sequences is not), so the planner keeps an LRU cache
+// of candidate SETS keyed by (source, destination, strategy, k). A cache
+// hit skips Yen entirely but still scores through the engine — cached
+// responses always reflect the CURRENT model snapshot, so hot-swap
+// semantics are unchanged. Because enumeration and scoring are both
+// deterministic, a cache hit is bitwise identical to the miss that seeded
+// it (route_planner_test asserts the HTTP bodies are byte-identical).
+//
+// Thread-safety: Plan may be called concurrently from any number of
+// threads (the HTTP worker pool does). The cache is guarded by one
+// mutex; enumeration and scoring run outside it, so concurrent misses
+// for the SAME key may both enumerate — last insert wins, both compute
+// identical sets, and the only cost is the duplicated work.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "data/candidate_generation.h"
+#include "graph/road_network.h"
+#include "routing/path.h"
+#include "serving/serving_engine.h"
+
+namespace pathrank::serving {
+
+/// Outcome taxonomy for one route query. Everything except kOk is a
+/// client-input condition and maps to a 4xx over HTTP (kUnreachable to
+/// 404, the rest to 400) — never a 500.
+enum class RouteStatus {
+  kOk,
+  kUnknownVertex,  ///< source or destination is not a vertex of the network
+  kSameVertex,     ///< source == destination: nothing to rank
+  kUnreachable,    ///< the strategy found no path between the endpoints
+  kBadRequest,     ///< malformed parameters (k out of range)
+};
+
+/// Stable lower_snake_case slug ("unknown_vertex", ...) used in HTTP
+/// error bodies and logs.
+const char* RouteStatusSlug(RouteStatus status);
+
+/// One (origin, destination) route query. k <= 0 means "use the
+/// planner's configured candidate count"; an explicit non-positive k on
+/// the wire is rejected by the HTTP layer before it gets here.
+struct RouteRequest {
+  graph::VertexId source = graph::kInvalidVertex;
+  graph::VertexId destination = graph::kInvalidVertex;
+  int k = 0;
+};
+
+/// One answered route query.
+struct RouteResult {
+  RouteStatus status = RouteStatus::kOk;
+  /// Human-readable detail when status != kOk.
+  std::string message;
+  /// True when the candidate set came from the LRU cache (set for cached
+  /// unreachable verdicts too — negative results are cached so repeated
+  /// dead-end queries also skip Yen).
+  bool cache_hit = false;
+  /// Candidates sorted by descending predicted score; empty unless kOk.
+  std::vector<ScoredPath> ranked;
+};
+
+/// Planner construction knobs.
+struct RoutePlannerOptions {
+  /// Candidate strategy and parameters; `candidates.k` is the default
+  /// per-query k.
+  data::CandidateGenConfig candidates;
+  /// LRU capacity in candidate sets. 0 disables caching (every query
+  /// re-enumerates).
+  size_t cache_capacity = 1024;
+  /// Largest CLIENT-supplied per-request k accepted (kBadRequest above
+  /// it): enumeration cost grows with k, and an open endpoint must not
+  /// let one request buy an unbounded Yen run. The configured default
+  /// (candidates.k) is exempt — the operator set it deliberately, and a
+  /// `--k` above this cap must not turn every default-k query into a
+  /// 400. <= 0 disables the cap.
+  int max_k = 64;
+};
+
+/// The query -> candidates -> ranked-paths pipeline behind POST
+/// /v1/route. Borrows the network (caller keeps it alive) and owns a
+/// copy of the scoring seam.
+class RoutePlanner {
+ public:
+  /// Scores candidate paths, returning them sorted by descending score —
+  /// the contract of ServingEngine::ScoreBatch and
+  /// BatchingQueue::SubmitScore(...).get() (same signature as
+  /// HttpBackend::score, so the CLI reuses one lambda for both seams).
+  using ScoreFn =
+      std::function<std::vector<ScoredPath>(std::vector<routing::Path>)>;
+
+  RoutePlanner(const graph::RoadNetwork& network, ScoreFn score,
+               const RoutePlannerOptions& options = {});
+
+  /// Answers one query. Thread-safe; never throws on bad input (that is
+  /// what RouteResult::status is for). Exceptions out of the scoring
+  /// backend propagate (the HTTP layer answers 500).
+  RouteResult Plan(const RouteRequest& request) const;
+
+  /// Queries answered from / past the candidate cache so far.
+  uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  /// Candidate sets currently cached (<= options().cache_capacity).
+  size_t cache_size() const;
+
+  const graph::RoadNetwork& network() const { return *network_; }
+  const RoutePlannerOptions& options() const { return options_; }
+
+ private:
+  struct CacheKey {
+    graph::VertexId source;
+    graph::VertexId destination;
+    int strategy;
+    int k;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& key) const;
+  };
+  /// Cached candidate sets are shared_ptr so a hit can score a set that a
+  /// concurrent insert is about to evict.
+  using CacheValue = std::shared_ptr<const std::vector<routing::Path>>;
+
+  CacheValue CacheLookup(const CacheKey& key) const;
+  void CacheInsert(const CacheKey& key, CacheValue value) const;
+
+  const graph::RoadNetwork* network_;
+  ScoreFn score_;
+  RoutePlannerOptions options_;
+
+  mutable std::mutex cache_mu_;
+  /// Front = most recently used. The map indexes list nodes for O(1)
+  /// lookup + splice-to-front.
+  mutable std::list<std::pair<CacheKey, CacheValue>> lru_;
+  mutable std::unordered_map<CacheKey,
+                             std::list<std::pair<CacheKey, CacheValue>>::
+                                 iterator,
+                             CacheKeyHash>
+      index_;
+  mutable std::atomic<uint64_t> cache_hits_{0};
+  mutable std::atomic<uint64_t> cache_misses_{0};
+};
+
+}  // namespace pathrank::serving

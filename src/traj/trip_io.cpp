@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/csv.h"
+#include "common/parse.h"
 #include "common/string_util.h"
 #include "routing/path.h"
 
@@ -28,31 +29,41 @@ std::vector<TripPath> LoadTrips(const graph::RoadNetwork& network,
   std::vector<TripPath> trips;
   for (size_t i = 1; i < reader.num_rows(); ++i) {
     const auto& row = reader.row(i);
+    const size_t line = reader.line(i);  // NOT i + 1: blank lines skip
     if (row.size() < 2) {
-      throw std::runtime_error("trips csv: malformed row " +
-                               std::to_string(i));
+      throw std::runtime_error(path + ":" + std::to_string(line) +
+                               ": expected 2 fields (driver_id,vertices), "
+                               "got " +
+                               std::to_string(row.size()));
     }
     TripPath trip;
-    trip.driver_id = std::stoi(row[0]);
+    trip.driver_id = ParseInt32Field(row[0], "driver_id", path, line);
     std::vector<graph::EdgeId> edges;
     graph::VertexId prev = graph::kInvalidVertex;
     for (const std::string& tok : Split(row[1], ';')) {
-      const auto v = static_cast<graph::VertexId>(std::stoul(tok));
+      const auto v = static_cast<graph::VertexId>(
+          ParseUInt32Field(tok, "vertex id", path, line));
       if (v >= network.num_vertices()) {
-        throw std::runtime_error("trips csv: vertex out of range");
+        throw std::runtime_error(
+            path + ":" + std::to_string(line) + ": vertex id " + tok +
+            " is out of range (network has " +
+            std::to_string(network.num_vertices()) + " vertices)");
       }
       if (prev != graph::kInvalidVertex) {
         const graph::EdgeId e = network.FindEdge(prev, v);
         if (e == graph::kInvalidEdge) {
           throw std::runtime_error(
-              "trips csv: consecutive vertices not connected");
+              path + ":" + std::to_string(line) +
+              ": consecutive vertices " + std::to_string(prev) + " -> " +
+              tok + " are not connected");
         }
         edges.push_back(e);
       }
       prev = v;
     }
     if (edges.empty()) {
-      throw std::runtime_error("trips csv: trip with fewer than 2 vertices");
+      throw std::runtime_error(path + ":" + std::to_string(line) +
+                               ": trip with fewer than 2 vertices");
     }
     trip.path = routing::PathFromEdges(network, edges);
     trips.push_back(std::move(trip));

@@ -8,6 +8,7 @@
 #include "common/csv.h"
 #include "common/env.h"
 #include "common/logging.h"
+#include "common/percentile.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 
@@ -218,6 +219,36 @@ TEST(Logging, CheckThrowsOnFailure) {
 
 TEST(Logging, CheckPassesSilently) {
   EXPECT_NO_THROW([] { PR_CHECK(1 == 1) << "fine"; }());
+}
+
+// Hand-computed nearest-rank quantiles: PercentileSorted must return the
+// element at index ceil(p * n) - 1. The cases where p * n is an exact
+// integer (p50 of an even-sized sample) are the ones the old floor(p * n)
+// indexing got one rank too high.
+TEST(Percentile, NearestRankEvenSample) {
+  const std::vector<double> four = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(PercentileSorted(four, 0.50), 2.0);   // ceil(2) - 1 = index 1
+  EXPECT_EQ(PercentileSorted(four, 0.25), 1.0);   // ceil(1) - 1 = index 0
+  EXPECT_EQ(PercentileSorted(four, 0.75), 3.0);   // ceil(3) - 1 = index 2
+  EXPECT_EQ(PercentileSorted(four, 0.99), 4.0);   // ceil(3.96) - 1 = 3
+  EXPECT_EQ(PercentileSorted(four, 1.00), 4.0);
+  EXPECT_EQ(PercentileSorted(four, 0.00), 1.0);   // clamped to the min
+}
+
+TEST(Percentile, NearestRankOddSample) {
+  const std::vector<double> five = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_EQ(PercentileSorted(five, 0.50), 30.0);  // ceil(2.5) - 1 = 2
+  EXPECT_EQ(PercentileSorted(five, 0.60), 30.0);  // ceil(3) - 1 = 2
+  EXPECT_EQ(PercentileSorted(five, 0.61), 40.0);  // ceil(3.05) - 1 = 3
+  EXPECT_EQ(PercentileSorted(five, 0.99), 50.0);
+}
+
+TEST(Percentile, SingleSampleIsEveryQuantile) {
+  const std::vector<double> one = {7.0};
+  EXPECT_EQ(PercentileSorted(one, 0.0), 7.0);
+  EXPECT_EQ(PercentileSorted(one, 0.5), 7.0);
+  EXPECT_EQ(PercentileSorted(one, 0.99), 7.0);
+  EXPECT_EQ(PercentileSorted(one, 1.0), 7.0);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <queue>
 #include <set>
 
@@ -242,6 +243,155 @@ TEST(GraphIo, CsvRoundTrip) {
   }
   std::remove((prefix + "_vertices.csv").c_str());
   std::remove((prefix + "_edges.csv").c_str());
+}
+
+TEST(GraphIo, EdgesOnlyLoaderMatchesCsvPair) {
+  const RoadNetwork original = BuildTestNetwork();
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "pr_net_eo").string();
+  SaveNetworkCsv(original, prefix);
+  const RoadNetwork loaded = LoadNetworkEdgesCsv(prefix + "_edges.csv");
+  ASSERT_EQ(loaded.num_vertices(), original.num_vertices());
+  ASSERT_EQ(loaded.num_edges(), original.num_edges());
+  for (EdgeId e = 0; e < original.num_edges(); ++e) {
+    EXPECT_EQ(loaded.edge(e).from, original.edge(e).from);
+    EXPECT_EQ(loaded.edge(e).to, original.edge(e).to);
+    EXPECT_EQ(loaded.edge(e).category, original.edge(e).category);
+  }
+  std::remove((prefix + "_vertices.csv").c_str());
+  std::remove((prefix + "_edges.csv").c_str());
+}
+
+// Writes a CSV-pair network whose edges.csv data line is `edge_row`, and
+// returns the prefix (caller removes the two files).
+std::string WriteNetworkWithEdgeRow(const char* name,
+                                    const std::string& edge_row) {
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / name).string();
+  {
+    std::ofstream vertices(prefix + "_vertices.csv");
+    vertices << "id,lat,lon\n0,57.0,9.9\n1,57.01,9.9\n";
+  }
+  {
+    std::ofstream edges(prefix + "_edges.csv");
+    edges << "from,to,length_m,travel_time_s,category\n" << edge_row << "\n";
+  }
+  return prefix;
+}
+
+// A non-numeric field used to escape as a bare std::invalid_argument out
+// of std::stoul and terminate the process; now it is a runtime_error
+// naming file, line and token.
+TEST(GraphIo, MalformedEdgeFieldReportsFileLineToken) {
+  const std::string prefix =
+      WriteNetworkWithEdgeRow("pr_net_bad", "0,abc,1000.0,50.0,primary");
+  try {
+    LoadNetworkCsv(prefix);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("_edges.csv:2"), std::string::npos) << what;
+    EXPECT_NE(what.find("'abc'"), std::string::npos) << what;
+    EXPECT_NE(what.find("to"), std::string::npos) << what;
+  }
+  std::remove((prefix + "_vertices.csv").c_str());
+  std::remove((prefix + "_edges.csv").c_str());
+}
+
+TEST(GraphIo, OutOfRangeAndJunkSuffixFieldsRejected) {
+  // 2^32 overflows VertexId; "12x" has a trailing non-digit; both were
+  // silent (wrap / prefix-parse) under std::stoul. "nan"/"inf" parse
+  // under bare strtod but would poison shortest-path comparisons, and a
+  // negative length breaks the non-negative-weight assumption.
+  for (const char* row :
+       {"4294967296,1,1000.0,50.0,primary", "12x,1,1000.0,50.0,primary",
+        "0,1,12,3.0,50.0,primary", "0,1,1000.0,50.0,motorbike",
+        "0,1,nan,50.0,primary", "0,1,inf,50.0,primary",
+        "0,1,-1000.0,50.0,primary", "0,1,1000.0,-50.0,primary"}) {
+    const std::string prefix = WriteNetworkWithEdgeRow("pr_net_bad2", row);
+    EXPECT_THROW(LoadNetworkCsv(prefix), std::runtime_error) << row;
+    std::remove((prefix + "_vertices.csv").c_str());
+    std::remove((prefix + "_edges.csv").c_str());
+  }
+}
+
+TEST(GraphIo, DiagnosticLineNumbersSkipBlankLines) {
+  // CsvReader drops blank lines; the reported line must still be the
+  // FILE line, not the row index.
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "pr_net_blank").string();
+  {
+    std::ofstream vertices(prefix + "_vertices.csv");
+    vertices << "id,lat,lon\n0,57.0,9.9\n1,57.01,9.9\n";
+  }
+  {
+    std::ofstream edges(prefix + "_edges.csv");
+    edges << "from,to,length_m,travel_time_s,category\n"
+          << "\n\n"  // two blank lines: the bad row sits on file line 4
+          << "0,1,1e3,oops,primary\n";
+  }
+  try {
+    LoadNetworkCsv(prefix);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("_edges.csv:4"), std::string::npos) << what;
+    EXPECT_NE(what.find("'oops'"), std::string::npos) << what;
+  }
+  std::remove((prefix + "_vertices.csv").c_str());
+  std::remove((prefix + "_edges.csv").c_str());
+}
+
+TEST(GraphIo, MalformedVertexCoordinateReportsFileLine) {
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "pr_net_badv").string();
+  {
+    std::ofstream vertices(prefix + "_vertices.csv");
+    vertices << "id,lat,lon\n0,57.0,9.9\n1,five,9.9\n";
+  }
+  {
+    std::ofstream edges(prefix + "_edges.csv");
+    edges << "from,to,length_m,travel_time_s,category\n";
+  }
+  try {
+    LoadNetworkCsv(prefix);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("_vertices.csv:3"), std::string::npos) << what;
+    EXPECT_NE(what.find("'five'"), std::string::npos) << what;
+  }
+  std::remove((prefix + "_vertices.csv").c_str());
+  std::remove((prefix + "_edges.csv").c_str());
+}
+
+TEST(GraphIo, EdgesOnlyLoaderRejectsImplausibleVertexIds) {
+  // One corrupt id must be a file:line diagnostic, not a multi-gigabyte
+  // vertex allocation (4294967295 would even wrap the seeding loop —
+  // it is the kInvalidVertex sentinel).
+  for (const char* row : {"4294967295,1,100.0,10.0,primary",
+                          "4000000000,1,100.0,10.0,primary"}) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "pr_net_hugeid.csv")
+            .string();
+    {
+      std::ofstream edges(path);
+      edges << "from,to,length_m,travel_time_s,category\n" << row << "\n";
+    }
+    EXPECT_THROW(LoadNetworkEdgesCsv(path), std::runtime_error) << row;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(GraphIo, EdgesOnlyLoaderRejectsEmptyFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pr_net_empty.csv").string();
+  {
+    std::ofstream edges(path);
+    edges << "from,to,length_m,travel_time_s,category\n";
+  }
+  EXPECT_THROW(LoadNetworkEdgesCsv(path), std::runtime_error);
+  std::remove(path.c_str());
 }
 
 TEST(GraphIo, BinaryRoundTripExact) {

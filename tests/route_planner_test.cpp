@@ -1,0 +1,472 @@
+// RoutePlanner: the online query -> candidates -> ranked-paths pipeline.
+// Asserts (1) ranked output is bitwise identical to the offline
+// GenerateCandidates + ServingEngine::ScoreBatch composition, (2) a cache
+// hit returns bitwise-identical results (and byte-identical HTTP bodies
+// modulo the cache_hit flag), (3) the LRU evicts and touches correctly,
+// (4) the error taxonomy (unknown vertex, s == d, unreachable, bad k)
+// maps to 4xx over HTTP with stable status slugs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model.h"
+#include "graph/network_builder.h"
+#include "serving/http_server.h"
+#include "serving/json.h"
+#include "serving/model_snapshot.h"
+#include "serving/route_planner.h"
+#include "serving/serving_engine.h"
+
+namespace pathrank::serving {
+namespace {
+
+core::PathRankConfig SmallConfig() {
+  core::PathRankConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.hidden_size = 12;
+  cfg.seed = 3;
+  return cfg;
+}
+
+data::CandidateGenConfig GenConfig() {
+  data::CandidateGenConfig gen;
+  gen.strategy = data::CandidateStrategy::kDiversifiedTopK;
+  gen.k = 5;
+  gen.similarity_threshold = 0.6;
+  gen.max_enumerated = 200;
+  return gen;
+}
+
+/// Planner over a real engine on the 8x8 test grid.
+struct PlannerFixture {
+  graph::RoadNetwork network = graph::BuildTestNetwork();
+  core::PathRankModel model;
+  ServingEngine engine;
+  RoutePlanner planner;
+
+  static RoutePlannerOptions Options(size_t cache_capacity) {
+    RoutePlannerOptions options;
+    options.candidates = GenConfig();
+    options.cache_capacity = cache_capacity;
+    return options;
+  }
+
+  explicit PlannerFixture(size_t cache_capacity = 64)
+      : model(network.num_vertices(), SmallConfig()),
+        engine(network, model),
+        planner(
+            network,
+            [this](std::vector<routing::Path> paths) {
+              return engine.ScoreBatch(paths);
+            },
+            Options(cache_capacity)) {}
+};
+
+/// Two disconnected components: 0-1-2 (bidirectional chain) and 3-4.
+graph::RoadNetwork BuildDisconnectedNetwork() {
+  graph::RoadNetworkBuilder b;
+  for (int i = 0; i < 5; ++i) {
+    b.AddVertex({57.0 + 0.01 * i, 9.9});
+  }
+  b.AddBidirectionalEdge(0, 1, 500.0, graph::RoadCategory::kResidential);
+  b.AddBidirectionalEdge(1, 2, 500.0, graph::RoadCategory::kResidential);
+  b.AddBidirectionalEdge(3, 4, 500.0, graph::RoadCategory::kResidential);
+  return b.Build();
+}
+
+void ExpectSameRanking(const std::vector<ScoredPath>& actual,
+                       const std::vector<ScoredPath>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    // Bitwise: double ==, no tolerance.
+    EXPECT_EQ(actual[i].score, expected[i].score) << "rank " << i;
+    EXPECT_EQ(actual[i].path.vertices, expected[i].path.vertices);
+    EXPECT_EQ(actual[i].path.edges, expected[i].path.edges);
+    EXPECT_EQ(actual[i].path.cost, expected[i].path.cost);
+  }
+}
+
+TEST(RoutePlanner, MatchesOfflinePipelineBitwise) {
+  PlannerFixture fx;
+  const graph::VertexId source = 0;
+  const graph::VertexId destination = 63;
+
+  const auto offline = fx.engine.ScoreBatch(
+      GenerateCandidates(fx.network, source, destination, GenConfig()));
+  ASSERT_GT(offline.size(), 1u);
+
+  const RouteResult result = fx.planner.Plan({source, destination});
+  ASSERT_EQ(result.status, RouteStatus::kOk);
+  EXPECT_FALSE(result.cache_hit);
+  ExpectSameRanking(result.ranked, offline);
+  // Ranked means ranked: scores descend.
+  for (size_t i = 1; i < result.ranked.size(); ++i) {
+    EXPECT_GE(result.ranked[i - 1].score, result.ranked[i].score);
+  }
+}
+
+TEST(RoutePlanner, PerRequestKOverridesDefault) {
+  PlannerFixture fx;
+  auto gen = GenConfig();
+  gen.k = 2;
+  const auto offline = fx.engine.ScoreBatch(
+      GenerateCandidates(fx.network, 0, 63, gen));
+
+  const RouteResult result = fx.planner.Plan({0, 63, /*k=*/2});
+  ASSERT_EQ(result.status, RouteStatus::kOk);
+  ExpectSameRanking(result.ranked, offline);
+  // Different k = different cache key: the k=2 entry must not shadow a
+  // later default-k query.
+  const RouteResult full = fx.planner.Plan({0, 63});
+  EXPECT_FALSE(full.cache_hit);
+  EXPECT_GT(full.ranked.size(), result.ranked.size());
+}
+
+TEST(RoutePlanner, CacheHitIsBitwiseIdenticalAndSkipsEnumeration) {
+  PlannerFixture fx;
+  const RouteResult miss = fx.planner.Plan({5, 60});
+  ASSERT_EQ(miss.status, RouteStatus::kOk);
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_EQ(fx.planner.cache_misses(), 1u);
+  EXPECT_EQ(fx.planner.cache_hits(), 0u);
+
+  const RouteResult hit = fx.planner.Plan({5, 60});
+  ASSERT_EQ(hit.status, RouteStatus::kOk);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(fx.planner.cache_hits(), 1u);
+  EXPECT_EQ(fx.planner.cache_misses(), 1u);
+  ExpectSameRanking(hit.ranked, miss.ranked);
+}
+
+TEST(RoutePlanner, LruEvictsLeastRecentlyUsed) {
+  PlannerFixture fx(/*cache_capacity=*/2);
+  const RouteRequest a{0, 63};
+  const RouteRequest b{1, 62};
+  const RouteRequest c{2, 61};
+  EXPECT_FALSE(fx.planner.Plan(a).cache_hit);  // {A}
+  EXPECT_FALSE(fx.planner.Plan(b).cache_hit);  // {B, A}
+  EXPECT_TRUE(fx.planner.Plan(a).cache_hit);   // touch: {A, B}
+  EXPECT_FALSE(fx.planner.Plan(c).cache_hit);  // evicts B: {C, A}
+  EXPECT_TRUE(fx.planner.Plan(a).cache_hit);   // A survived the eviction
+  EXPECT_FALSE(fx.planner.Plan(b).cache_hit);  // B did not
+  EXPECT_EQ(fx.planner.cache_size(), 2u);
+}
+
+TEST(RoutePlanner, ZeroCapacityDisablesCache) {
+  PlannerFixture fx(/*cache_capacity=*/0);
+  EXPECT_FALSE(fx.planner.Plan({0, 63}).cache_hit);
+  EXPECT_FALSE(fx.planner.Plan({0, 63}).cache_hit);
+  EXPECT_EQ(fx.planner.cache_size(), 0u);
+  EXPECT_EQ(fx.planner.cache_hits(), 0u);
+}
+
+TEST(RoutePlanner, ErrorTaxonomy) {
+  PlannerFixture fx;
+  const auto n = static_cast<graph::VertexId>(fx.network.num_vertices());
+
+  const RouteResult unknown = fx.planner.Plan({n, 0});
+  EXPECT_EQ(unknown.status, RouteStatus::kUnknownVertex);
+  EXPECT_TRUE(unknown.ranked.empty());
+  EXPECT_NE(unknown.message.find(std::to_string(n)), std::string::npos);
+
+  const RouteResult same = fx.planner.Plan({7, 7});
+  EXPECT_EQ(same.status, RouteStatus::kSameVertex);
+
+  const RouteResult too_big =
+      fx.planner.Plan({0, 63, fx.planner.options().max_k + 1});
+  EXPECT_EQ(too_big.status, RouteStatus::kBadRequest);
+
+  EXPECT_STREQ(RouteStatusSlug(unknown.status), "unknown_vertex");
+  EXPECT_STREQ(RouteStatusSlug(same.status), "same_vertex");
+  EXPECT_STREQ(RouteStatusSlug(too_big.status), "bad_request");
+}
+
+TEST(RoutePlanner, ConfiguredDefaultKIsExemptFromMaxK) {
+  // max_k bounds the CLIENT's k; the operator's own --k must keep
+  // working even when it exceeds the cap.
+  graph::RoadNetwork network = graph::BuildTestNetwork();
+  const core::PathRankModel model(network.num_vertices(), SmallConfig());
+  const ServingEngine engine(network, model);
+  RoutePlannerOptions options;
+  options.candidates = GenConfig();
+  options.candidates.strategy = data::CandidateStrategy::kTopK;
+  options.candidates.k = 70;  // above max_k
+  options.max_k = 64;
+  options.cache_capacity = 4;
+  const RoutePlanner planner(
+      network,
+      [&engine](std::vector<routing::Path> paths) {
+        return engine.ScoreBatch(paths);
+      },
+      options);
+  EXPECT_EQ(planner.Plan({0, 63}).status, RouteStatus::kOk);
+  EXPECT_EQ(planner.Plan({0, 63, 70}).status, RouteStatus::kBadRequest);
+}
+
+TEST(RoutePlanner, UnreachablePairReportedAndNegativelyCached) {
+  const auto network = BuildDisconnectedNetwork();
+  const core::PathRankModel model(network.num_vertices(), SmallConfig());
+  const ServingEngine engine(network, model);
+  const RoutePlanner planner(
+      network,
+      [&engine](std::vector<routing::Path> paths) {
+        return engine.ScoreBatch(paths);
+      },
+      PlannerFixture::Options(8));
+
+  const RouteResult miss = planner.Plan({0, 4});
+  EXPECT_EQ(miss.status, RouteStatus::kUnreachable);
+  EXPECT_FALSE(miss.cache_hit);
+  // The dead-end verdict is cached too: the retry skips Yen.
+  const RouteResult hit = planner.Plan({0, 4});
+  EXPECT_EQ(hit.status, RouteStatus::kUnreachable);
+  EXPECT_TRUE(hit.cache_hit);
+  // Reachable pairs in the same component still rank.
+  EXPECT_EQ(planner.Plan({0, 2}).status, RouteStatus::kOk);
+}
+
+TEST(RoutePlanner, ConcurrentPlansAgreeBitwise) {
+  PlannerFixture fx;
+  const RouteResult expected = fx.planner.Plan({0, 63});
+  ASSERT_EQ(expected.status, RouteStatus::kOk);
+  constexpr int kThreads = 8;
+  std::vector<RouteResult> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { results[t] = fx.planner.Plan({0, 63}); });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& result : results) {
+    ASSERT_EQ(result.status, RouteStatus::kOk);
+    EXPECT_TRUE(result.cache_hit);  // the sequential miss seeded the cache
+    ExpectSameRanking(result.ranked, expected.ranked);
+  }
+}
+
+// ---- HTTP mapping ------------------------------------------------------
+
+/// Loopback server whose route seam is a real RoutePlanner. /v1/route
+/// delegates vertex range checking to the planner regardless of
+/// backend.num_vertices (so out-of-range ids earn the unknown_vertex
+/// slug, not the generic 400 /v1/rank gives) — the taxonomy tests below
+/// therefore exercise exactly what a production `pathrank_cli serve`
+/// emits.
+struct RouteServerFixture {
+  graph::RoadNetwork network = graph::BuildTestNetwork();
+  core::PathRankModel model;
+  ServingEngine engine;
+  RoutePlanner planner;
+  HttpServer server;
+
+  static HttpServerOptions ServerOptions() {
+    HttpServerOptions options;
+    options.port = 0;  // ephemeral
+    options.num_threads = 4;
+    options.max_inflight = 8;
+    return options;
+  }
+
+  HttpBackend Backend() {
+    HttpBackend backend;
+    backend.rank = [this](graph::VertexId s, graph::VertexId d) {
+      return engine.Rank(s, d);
+    };
+    backend.score = [this](std::vector<routing::Path> paths) {
+      return engine.ScoreBatch(paths);
+    };
+    backend.route = [this](const RouteRequest& request) {
+      return planner.Plan(request);
+    };
+    return backend;
+  }
+
+  RouteServerFixture()
+      : model(network.num_vertices(), SmallConfig()),
+        engine(network, model),
+        planner(
+            network,
+            [this](std::vector<routing::Path> paths) {
+              return engine.ScoreBatch(paths);
+            },
+            PlannerFixture::Options(64)),
+        server(Backend(), ServerOptions()) {
+    server.Start();
+  }
+};
+
+std::string RouteBody(graph::VertexId source, graph::VertexId destination,
+                      int k = 0) {
+  std::string body = "{\"source\": " + std::to_string(source) +
+                     ", \"destination\": " + std::to_string(destination);
+  if (k > 0) body += ", \"k\": " + std::to_string(k);
+  return body + "}";
+}
+
+TEST(RouteHttp, RoundTripMatchesOfflinePipelineBitwise) {
+  RouteServerFixture fx;
+  const auto offline = fx.engine.ScoreBatch(
+      GenerateCandidates(fx.network, 3, 59, GenConfig()));
+  ASSERT_GT(offline.size(), 1u);
+
+  HttpClient client;
+  client.Connect(fx.server.port());
+  const auto response = client.Request("POST", "/v1/route", RouteBody(3, 59));
+  ASSERT_EQ(response.status, 200);
+
+  const auto parsed = json::Parse(response.body);
+  ASSERT_TRUE(parsed.has_value());
+  const json::Value* cache_hit = parsed->Find("cache_hit");
+  ASSERT_NE(cache_hit, nullptr);
+  EXPECT_FALSE(cache_hit->bool_value());
+  const json::Value* routes = parsed->Find("routes");
+  ASSERT_NE(routes, nullptr);
+  ASSERT_EQ(routes->array().size(), offline.size());
+  for (size_t i = 0; i < offline.size(); ++i) {
+    const json::Value& route = routes->array()[i];
+    // Shortest-round-trip doubles: the wire value parses back BITWISE
+    // equal to the in-process score.
+    EXPECT_EQ(route.Find("score")->number_value(), offline[i].score);
+    EXPECT_EQ(route.Find("length_m")->number_value(),
+              offline[i].path.length_m);
+    EXPECT_EQ(route.Find("time_s")->number_value(), offline[i].path.time_s);
+    EXPECT_EQ(route.Find("cost")->number_value(), offline[i].path.cost);
+    const auto& vertices = route.Find("vertices")->array();
+    ASSERT_EQ(vertices.size(), offline[i].path.vertices.size());
+    for (size_t v = 0; v < vertices.size(); ++v) {
+      EXPECT_EQ(static_cast<graph::VertexId>(vertices[v].number_value()),
+                offline[i].path.vertices[v]);
+    }
+    const auto& edges = route.Find("edges")->array();
+    ASSERT_EQ(edges.size(), offline[i].path.edges.size());
+    for (size_t e = 0; e < edges.size(); ++e) {
+      EXPECT_EQ(static_cast<graph::EdgeId>(edges[e].number_value()),
+                offline[i].path.edges[e]);
+    }
+  }
+}
+
+TEST(RouteHttp, CachedResponseIsByteIdenticalModuloCacheFlag) {
+  RouteServerFixture fx;
+  HttpClient client;
+  client.Connect(fx.server.port());
+  const auto first = client.Request("POST", "/v1/route", RouteBody(10, 45));
+  const auto second = client.Request("POST", "/v1/route", RouteBody(10, 45));
+  ASSERT_EQ(first.status, 200);
+  ASSERT_EQ(second.status, 200);
+  ASSERT_NE(first.body.find("\"cache_hit\":false"), std::string::npos);
+  ASSERT_NE(second.body.find("\"cache_hit\":true"), std::string::npos);
+  // Same candidates, same snapshot, shortest-round-trip serialization:
+  // the bodies must agree byte for byte once the flag is normalised.
+  std::string normalized = second.body;
+  normalized.replace(normalized.find("\"cache_hit\":true"),
+                     std::string("\"cache_hit\":true").size(),
+                     "\"cache_hit\":false");
+  EXPECT_EQ(normalized, first.body);
+}
+
+TEST(RouteHttp, ErrorTaxonomyMapsTo4xx) {
+  RouteServerFixture fx;
+  const auto n = static_cast<graph::VertexId>(fx.network.num_vertices());
+  HttpClient client;
+  client.Connect(fx.server.port());
+
+  const auto unknown =
+      client.Request("POST", "/v1/route", RouteBody(n, 0));
+  EXPECT_EQ(unknown.status, 400);
+  EXPECT_NE(unknown.body.find("\"status\":\"unknown_vertex\""),
+            std::string::npos)
+      << unknown.body;
+
+  const auto same = client.Request("POST", "/v1/route", RouteBody(4, 4));
+  EXPECT_EQ(same.status, 400);
+  EXPECT_NE(same.body.find("\"status\":\"same_vertex\""), std::string::npos);
+
+  const auto bad_k =
+      client.Request("POST", "/v1/route",
+                     "{\"source\": 0, \"destination\": 9, \"k\": 0}");
+  EXPECT_EQ(bad_k.status, 400);
+  // HTTP-layer validation failures carry the slug too, not a bare error.
+  EXPECT_NE(bad_k.body.find("\"status\":\"bad_request\""),
+            std::string::npos)
+      << bad_k.body;
+  const auto negative_k =
+      client.Request("POST", "/v1/route",
+                     "{\"source\": 0, \"destination\": 9, \"k\": -3}");
+  EXPECT_EQ(negative_k.status, 400);
+  const auto huge_k = client.Request(
+      "POST", "/v1/route", RouteBody(0, 9, fx.planner.options().max_k + 1));
+  EXPECT_EQ(huge_k.status, 400);
+  EXPECT_NE(huge_k.body.find("\"status\":\"bad_request\""),
+            std::string::npos);
+
+  const auto bad_json =
+      client.Request("POST", "/v1/route", "{\"source\": }");
+  EXPECT_EQ(bad_json.status, 400);
+  const auto wrong_method = client.Request("GET", "/v1/route");
+  EXPECT_EQ(wrong_method.status, 405);
+}
+
+TEST(RouteHttp, UnreachablePairIs404) {
+  const auto network = BuildDisconnectedNetwork();
+  const core::PathRankModel model(network.num_vertices(), SmallConfig());
+  const ServingEngine engine(network, model);
+  const RoutePlanner planner(
+      network,
+      [&engine](std::vector<routing::Path> paths) {
+        return engine.ScoreBatch(paths);
+      },
+      PlannerFixture::Options(8));
+  HttpBackend backend;
+  backend.rank = [&engine](graph::VertexId s, graph::VertexId d) {
+    return engine.Rank(s, d);
+  };
+  backend.score = [&engine](std::vector<routing::Path> paths) {
+    return engine.ScoreBatch(paths);
+  };
+  backend.route = [&planner](const RouteRequest& request) {
+    return planner.Plan(request);
+  };
+  HttpServer server(std::move(backend),
+                    RouteServerFixture::ServerOptions());
+  server.Start();
+  HttpClient client;
+  client.Connect(server.port());
+  const auto response =
+      client.Request("POST", "/v1/route", RouteBody(0, 4));
+  EXPECT_EQ(response.status, 404);
+  EXPECT_NE(response.body.find("\"status\":\"unreachable\""),
+            std::string::npos)
+      << response.body;
+  server.Stop();
+}
+
+TEST(RouteHttp, MissingRouteBackendIs404) {
+  // A server wired without the route seam (PR-4 style) must answer 404,
+  // not crash on a null std::function.
+  graph::RoadNetwork network = graph::BuildTestNetwork();
+  const core::PathRankModel model(network.num_vertices(), SmallConfig());
+  const ServingEngine engine(network, model);
+  HttpBackend backend;
+  backend.rank = [&engine](graph::VertexId s, graph::VertexId d) {
+    return engine.Rank(s, d);
+  };
+  backend.score = [&engine](std::vector<routing::Path> paths) {
+    return engine.ScoreBatch(paths);
+  };
+  HttpServer server(std::move(backend),
+                    RouteServerFixture::ServerOptions());
+  server.Start();
+  HttpClient client;
+  client.Connect(server.port());
+  const auto response =
+      client.Request("POST", "/v1/route", RouteBody(0, 9));
+  EXPECT_EQ(response.status, 404);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace pathrank::serving

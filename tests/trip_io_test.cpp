@@ -75,5 +75,62 @@ TEST(TripIo, RejectsSingleVertexTrip) {
   std::remove(path.c_str());
 }
 
+// A non-numeric driver_id used to escape as a bare std::invalid_argument
+// out of std::stoi and terminate the process; now it is a runtime_error
+// naming the file, line and token.
+TEST(TripIo, MalformedDriverIdReportsFileLineToken) {
+  const auto net = BuildTestNetwork(3);
+  const std::string path = TempPath("pr_trips_badid.csv");
+  {
+    std::ofstream out(path);
+    out << "driver_id,vertices\n";
+    out << "0,0;1\n";
+    out << "bogus,0;1\n";
+  }
+  try {
+    LoadTrips(net, path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path + ":3"), std::string::npos) << what;
+    EXPECT_NE(what.find("'bogus'"), std::string::npos) << what;
+    EXPECT_NE(what.find("driver_id"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TripIo, MalformedVertexTokenReportsFileLineToken) {
+  const auto net = BuildTestNetwork(3);
+  const std::string path = TempPath("pr_trips_badtok.csv");
+  {
+    std::ofstream out(path);
+    out << "driver_id,vertices\n";
+    out << "0,0;1;zz\n";
+  }
+  try {
+    LoadTrips(net, path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path + ":2"), std::string::npos) << what;
+    EXPECT_NE(what.find("'zz'"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TripIo, NegativeVertexTokenRejected) {
+  // std::stoul would wrap "-1" modularly into a huge VertexId; the
+  // checked parse refuses it outright.
+  const auto net = BuildTestNetwork(3);
+  const std::string path = TempPath("pr_trips_badneg.csv");
+  {
+    std::ofstream out(path);
+    out << "driver_id,vertices\n";
+    out << "0,0;-1\n";
+  }
+  EXPECT_THROW(LoadTrips(net, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace pathrank::traj

@@ -23,12 +23,17 @@
 // process.
 //
 // `serve --http PORT` skips the self-drive and instead exposes the same
-// stack over HTTP/1.1 (POST /v1/rank, POST /v1/score, GET /healthz, GET
-// /statsz) until SIGINT/SIGTERM, with admission control in front of the
-// engine (--max-inflight, --max-queue-wait-us; overload answers 429 +
-// Retry-After). It composes with --batch (requests coalesce through the
-// BatchingQueue), --shards and --watch-model, so hot swap and sharding
-// work over the wire.
+// stack over HTTP/1.1 (POST /v1/rank, POST /v1/score, POST /v1/route,
+// GET /healthz, GET /statsz) until SIGINT/SIGTERM, with admission
+// control in front of the engine (--max-inflight, --max-queue-wait-us;
+// overload answers 429 + Retry-After). It composes with --batch
+// (requests coalesce through the BatchingQueue), --shards and
+// --watch-model, so hot swap and sharding work over the wire. /v1/route
+// is the full online pipeline (candidate enumeration + LRU candidate
+// cache + scoring, see serving::RoutePlanner); --route-cache N sizes the
+// cache. The serving network comes from --network PREFIX (the CSV pair)
+// or --graph EDGES.csv (edges-only: vertex set inferred, coordinates
+// zeroed — enough for travel-time routing).
 //
 // Networks are stored as the CSV pair written by graph::SaveNetworkCsv,
 // trips as traj::SaveTrips CSV, models as core::SaveModel checkpoints.
@@ -56,6 +61,7 @@
 #include "graph/graph_io.h"
 #include "serving/batching_queue.h"
 #include "serving/http_server.h"
+#include "serving/route_planner.h"
 #include "serving/sharded_engine.h"
 #include "traj/trip_io.h"
 
@@ -521,8 +527,25 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
     backend.swap_count = [engine] { return engine->swap_count(); };
   }
 
+  // The online route pipeline behind POST /v1/route: candidate
+  // enumeration + LRU candidate cache + scoring through the SAME seam
+  // backend.score uses, so /v1/route composes with --batch and --shards
+  // for free.
+  serving::RoutePlannerOptions route_options;
+  route_options.candidates = GenConfigFromArgs(args);
+  route_options.cache_capacity =
+      static_cast<size_t>(std::max(0, args.GetInt("route-cache", 1024)));
+  const serving::RoutePlanner planner(network, backend.score, route_options);
+  backend.route = [&planner](const serving::RouteRequest& request) {
+    return planner.Plan(request);
+  };
+
   serving::HttpServer server(std::move(backend), options);
   server.Start();
+  std::printf("route planner: strategy %s, k=%d, cache %zu entries\n",
+              data::CandidateStrategyName(route_options.candidates.strategy)
+                  .c_str(),
+              route_options.candidates.k, route_options.cache_capacity);
   std::printf("HTTP serving on %s:%u  (threads=%zu, max_inflight=%zu, "
               "max_queue_wait_us=%lld%s%s%s)\n",
               options.bind_address.c_str(), server.port(),
@@ -531,8 +554,8 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
               queue != nullptr ? ", batched" : "",
               sharded != nullptr ? ", sharded" : "",
               watcher != nullptr ? ", watch-model" : "");
-  std::printf("endpoints: POST /v1/rank  POST /v1/score  GET /healthz  "
-              "GET /statsz  (Ctrl-C to stop)\n");
+  std::printf("endpoints: POST /v1/rank  POST /v1/score  POST /v1/route  "
+              "GET /healthz  GET /statsz  (Ctrl-C to stop)\n");
 
   g_http_interrupted.store(false);
   std::signal(SIGINT, OnHttpSignal);
@@ -557,6 +580,13 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
               static_cast<unsigned long long>(stats.score.requests),
               stats.score.latency_p50_s * 1e3,
               stats.score.latency_p99_s * 1e3);
+  std::printf("route: %llu requests  p50 %.2f ms  p99 %.2f ms  "
+              "cache %llu hit / %llu miss\n",
+              static_cast<unsigned long long>(stats.route.requests),
+              stats.route.latency_p50_s * 1e3,
+              stats.route.latency_p99_s * 1e3,
+              static_cast<unsigned long long>(planner.cache_hits()),
+              static_cast<unsigned long long>(planner.cache_misses()));
   if (watcher != nullptr) {
     std::printf("watch-model: %llu hot swap(s) while serving\n",
                 static_cast<unsigned long long>(watcher->swaps()));
@@ -583,8 +613,24 @@ void ReportServeStats(std::vector<double>& latency, double wall_s,
               mean_ms, pct(0.50), pct(0.95), pct(0.99));
 }
 
+/// Serving network source: --network PREFIX (the SaveNetworkCsv pair) or
+/// --graph EDGES.csv (edges-only; vertex set inferred, coordinates
+/// zeroed). Exactly one must be given.
+graph::RoadNetwork LoadServeNetwork(const Args& args) {
+  const bool has_network = args.Has("network");
+  const bool has_graph = args.Has("graph");
+  if (has_network == has_graph) {
+    std::fprintf(stderr,
+                 "serve needs exactly one of --network PREFIX or "
+                 "--graph EDGES.csv\n");
+    std::exit(2);
+  }
+  return has_graph ? graph::LoadNetworkEdgesCsv(args.Get("graph", ""))
+                   : graph::LoadNetworkCsv(args.Get("network", ""));
+}
+
 int CmdServe(const Args& args) {
-  const auto network = graph::LoadNetworkCsv(args.Require("network"));
+  const auto network = LoadServeNetwork(args);
   auto model = core::LoadModel(args.Require("model"));
   if (model->vocab_size() != network.num_vertices()) {
     std::fprintf(stderr, "model/network vertex-count mismatch\n");
@@ -683,9 +729,11 @@ int CmdServe(const Args& args) {
                            queue.get(), watcher.get());
   }
   // Symmetric rule: HTTP-only flags without --http are an error too —
-  // the self-drive has no admission control to configure.
+  // the self-drive has no admission control, and no /v1/route planner
+  // whose cache --route-cache would size.
   for (const char* flag :
-       {"http-addr", "http-threads", "max-inflight", "max-queue-wait-us"}) {
+       {"http-addr", "http-threads", "max-inflight", "max-queue-wait-us",
+        "route-cache"}) {
     if (args.Has(flag)) {
       std::fprintf(stderr, "--%s configures the HTTP front end; add --http "
                            "PORT or drop it\n",
@@ -805,7 +853,7 @@ void PrintUsage() {
       "  evaluate  --network PREFIX --trips TRIPS.csv --model MODEL.bin\n"
       "  rank      --network PREFIX --model MODEL.bin --from V --to V\n"
       "            [--strategy tkdi|dtkdi|penalty --k K --threshold T]\n"
-      "  serve     --network PREFIX --model MODEL.bin\n"
+      "  serve     (--network PREFIX | --graph EDGES.csv) --model MODEL.bin\n"
       "            [--queries Q.csv | --num-queries N --seed S]\n"
       "            [--threads T --replicas R --repeat K --strategy ... "
       "--k K --threshold T]\n"
@@ -813,7 +861,8 @@ void PrintUsage() {
       "            [--shards N --shard-policy hash|rr]\n"
       "            [--watch-model 0|1 --watch-interval-ms M]\n"
       "            [--http PORT --http-addr A --max-inflight N\n"
-      "             --max-queue-wait-us U --http-threads T (0 = auto)]\n");
+      "             --max-queue-wait-us U --http-threads T (0 = auto)\n"
+      "             --route-cache N (LRU candidate sets for /v1/route)]\n");
 }
 
 }  // namespace
@@ -841,11 +890,12 @@ int main(int argc, char** argv) {
       {"rank",
        {"network", "model", "from", "to", "strategy", "k", "threshold"}},
       {"serve",
-       {"network", "model", "queries", "num-queries", "seed", "threads",
-        "replicas", "repeat", "strategy", "k", "threshold", "batch",
-        "max-batch", "max-wait-us", "clients", "shards", "shard-policy",
-        "watch-model", "watch-interval-ms", "http", "http-addr",
-        "http-threads", "max-inflight", "max-queue-wait-us"}},
+       {"network", "graph", "model", "queries", "num-queries", "seed",
+        "threads", "replicas", "repeat", "strategy", "k", "threshold",
+        "batch", "max-batch", "max-wait-us", "clients", "shards",
+        "shard-policy", "watch-model", "watch-interval-ms", "http",
+        "http-addr", "http-threads", "max-inflight", "max-queue-wait-us",
+        "route-cache"}},
   };
   const auto known = kKnownFlags.find(command);
   if (known != kKnownFlags.end()) {

@@ -4,8 +4,10 @@
 # This gates GEMM GFLOP/s, walk/candidate throughput, training epoch time
 # AND the serving sections — per-request rank latency/QPS, the coalesced
 # serve_batched_* latency/QPS, the end-to-end serve_http_* loopback
-# latency/QPS/shed-rate, and snapshot capture/hot-swap latency at 1..N
-# threads — a serving regression fails the check like any other metric.
+# latency/QPS/shed-rate, the serve_route_* online-routing pipeline (cold
+# vs candidate-cached latency + routes/s), and snapshot capture/hot-swap
+# latency at 1..N threads — a serving regression fails the check like any
+# other metric.
 # The required-family check below additionally fails the run if a bench
 # edit silently drops one of those metric families, and the doc link
 # checker keeps README/docs references resolvable.
@@ -45,6 +47,11 @@ REQUIRED_FAMILIES=(
   serve_http_p50_s
   serve_http_p99_s
   serve_http_shed_rate
+  serve_route_cold_p50_s
+  serve_route_cold_p99_s
+  serve_route_warm_p50_s
+  serve_route_warm_p99_s
+  serve_route_per_s
   snapshot_capture_s
   swap_latency_s
   train_epoch_s
