@@ -23,7 +23,8 @@ std::string CandidateStrategyName(CandidateStrategy strategy) {
 
 std::vector<routing::Path> GenerateCandidatePaths(
     const graph::RoadNetwork& network, graph::VertexId source,
-    graph::VertexId destination, const CandidateGenConfig& config) {
+    graph::VertexId destination, const CandidateGenConfig& config,
+    const CancelToken* cancel) {
   // Candidates are enumerated under free-flow travel time: the metric
   // commercial routing engines optimise and the domain the simulated
   // drivers perturb. (Length-based enumeration systematically misses the
@@ -32,21 +33,21 @@ std::vector<routing::Path> GenerateCandidatePaths(
   switch (config.strategy) {
     case CandidateStrategy::kTopK:
       return routing::TopKShortestPaths(network, source, destination, cost,
-                                        config.k);
+                                        config.k, cancel);
     case CandidateStrategy::kDiversifiedTopK: {
       routing::DiversifiedOptions options;
       options.k = config.k;
       options.similarity_threshold = config.similarity_threshold;
       options.max_enumerated = config.max_enumerated;
       return routing::DiversifiedTopK(network, source, destination, cost,
-                                      options);
+                                      options, cancel);
     }
     case CandidateStrategy::kPenalty: {
       routing::PenaltyOptions options;
       options.k = config.k;
       options.penalty_factor = config.penalty_factor;
       return routing::PenaltyAlternatives(network, source, destination, cost,
-                                          options);
+                                          options, cancel);
     }
   }
   return {};

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "routing/diversified.h"
 #include "routing/path.h"
 #include "traj/trajectory.h"
@@ -60,9 +61,13 @@ struct RankingQuery {
 /// configured strategy under the free-flow travel-time metric — the one
 /// switch shared by training-data generation and the serving engine, so
 /// deployment-time candidates always match the training distribution.
+/// `cancel` (optional, serving only — training never sets it) threads
+/// cooperative cancellation into the strategy's enumeration loops; when
+/// it expires mid-run the candidates found so far are returned.
 std::vector<routing::Path> GenerateCandidatePaths(
     const graph::RoadNetwork& network, graph::VertexId source,
-    graph::VertexId destination, const CandidateGenConfig& config);
+    graph::VertexId destination, const CandidateGenConfig& config,
+    const CancelToken* cancel = nullptr);
 
 /// Generates the candidate set for one trip. Candidates are computed with
 /// the free-flow travel-time metric (the advanced-routing component of the

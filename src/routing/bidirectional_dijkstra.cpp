@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "routing/dijkstra.h"
 
 namespace pathrank::routing {
 namespace {
@@ -20,9 +21,11 @@ BidirectionalDijkstra::BidirectionalDijkstra(const RoadNetwork& network)
       stamp_bwd_(network.num_vertices(), 0) {}
 
 std::optional<Path> BidirectionalDijkstra::ShortestPath(
-    VertexId source, VertexId target, const EdgeCostFn& cost) {
+    VertexId source, VertexId target, const EdgeCostFn& cost,
+    const CancelToken* cancel) {
   PR_CHECK(source < network_->num_vertices());
   PR_CHECK(target < network_->num_vertices());
+  if (cancel != nullptr && cancel->Expired()) return std::nullopt;
   ++epoch_;
   settled_count_ = 0;
   if (source == target) {
@@ -59,7 +62,16 @@ std::optional<Path> BidirectionalDijkstra::ShortestPath(
 
   double top_fwd = 0.0;
   double top_bwd = 0.0;
+  size_t pops = 0;
   while (!fwd_queue.empty() || !bwd_queue.empty()) {
+    // Same amortised checkpoint as Dijkstra::Run: free when no token, and
+    // never influences which frontier expands, so deadline-free results
+    // stay bitwise identical.
+    if (cancel != nullptr &&
+        (++pops & (Dijkstra::kCancelCheckPops - 1)) == 0 &&
+        cancel->Expired()) {
+      return std::nullopt;
+    }
     top_fwd = fwd_queue.empty() ? kInf : fwd_queue.top().dist;
     top_bwd = bwd_queue.empty() ? kInf : bwd_queue.top().dist;
     // Termination: the meeting-point path cannot improve once the sum of

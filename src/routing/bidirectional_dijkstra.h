@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/deadline.h"
 #include "routing/cost_model.h"
 #include "routing/path.h"
 
@@ -18,8 +19,12 @@ class BidirectionalDijkstra {
   explicit BidirectionalDijkstra(const RoadNetwork& network);
 
   /// Exact shortest path under `cost`; std::nullopt when unreachable.
+  /// `cancel` (optional) is polled every Dijkstra::kCancelCheckPops pops;
+  /// an expired token aborts the search with std::nullopt (callers
+  /// re-check cancel->Expired() to distinguish that from unreachable).
   std::optional<Path> ShortestPath(VertexId source, VertexId target,
-                                   const EdgeCostFn& cost);
+                                   const EdgeCostFn& cost,
+                                   const CancelToken* cancel = nullptr);
 
   /// Vertices settled by the last query (both directions).
   size_t last_settled_count() const { return settled_count_; }

@@ -24,20 +24,25 @@ void Dijkstra::Reset() {
 
 std::optional<Path> Dijkstra::ShortestPath(VertexId source, VertexId target,
                                            const EdgeCostFn& cost,
-                                           const BanSet* bans) {
+                                           const BanSet* bans,
+                                           const CancelToken* cancel) {
   PR_CHECK(source < network_->num_vertices());
   PR_CHECK(target < network_->num_vertices());
-  return Run(source, target, cost, bans);
+  return Run(source, target, cost, bans, cancel);
 }
 
 void Dijkstra::ComputeAllFrom(VertexId source, const EdgeCostFn& cost) {
   PR_CHECK(source < network_->num_vertices());
-  Run(source, graph::kInvalidVertex, cost, nullptr);
+  Run(source, graph::kInvalidVertex, cost, nullptr, nullptr);
 }
 
 std::optional<Path> Dijkstra::Run(VertexId source, VertexId target,
                                   const EdgeCostFn& cost,
-                                  const BanSet* bans) {
+                                  const BanSet* bans,
+                                  const CancelToken* cancel) {
+  // Entry checkpoint: an already-expired token (deadline spent before the
+  // search even starts) must not buy a full search.
+  if (cancel != nullptr && cancel->Expired()) return std::nullopt;
   Reset();
   cost_ = &cost;
   last_source_ = source;
@@ -52,7 +57,16 @@ std::optional<Path> Dijkstra::Run(VertexId source, VertexId target,
 
   // Settled marker: we reuse stamp_ for "touched"; settled is implied by
   // popping an entry whose dist matches dist_ (lazy deletion).
+  size_t pops = 0;
   while (!queue.empty()) {
+    // Cooperative cancellation, amortised to every kCancelCheckPops pops.
+    // With cancel == nullptr (every pre-deadline call site) this is one
+    // never-taken branch: no arithmetic the result depends on, so the
+    // deadline-free search stays bitwise identical.
+    if (cancel != nullptr && (++pops & (kCancelCheckPops - 1)) == 0 &&
+        cancel->Expired()) {
+      return std::nullopt;
+    }
     const QueueEntry top = queue.top();
     queue.pop();
     const VertexId u = top.vertex;

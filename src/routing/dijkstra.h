@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/deadline.h"
 #include "routing/ban_set.h"
 #include "routing/cost_model.h"
 #include "routing/path.h"
@@ -19,10 +20,20 @@ class Dijkstra {
 
   /// Point-to-point query; returns std::nullopt when `target` is
   /// unreachable. `bans` (optional) excludes vertices/edges from the search;
-  /// the source itself must not be banned.
+  /// the source itself must not be banned. `cancel` (optional) is polled
+  /// every kCancelCheckPops heap pops; an expired token aborts the search
+  /// with std::nullopt — indistinguishable from "unreachable" here, so
+  /// callers that must tell the two apart re-check cancel->Expired().
   std::optional<Path> ShortestPath(VertexId source, VertexId target,
                                    const EdgeCostFn& cost,
-                                   const BanSet* bans = nullptr);
+                                   const BanSet* bans = nullptr,
+                                   const CancelToken* cancel = nullptr);
+
+  /// Cancellation-poll cadence, in heap pops. Small enough that even the
+  /// tiny test graphs hit a checkpoint, large enough that the per-pop
+  /// cost with a live token is one predictable branch plus a rare clock
+  /// read.
+  static constexpr size_t kCancelCheckPops = 64;
 
   /// Full one-to-all relaxation from `source`. After the call,
   /// DistanceTo/PathTo answer queries for any target.
@@ -50,7 +61,8 @@ class Dijkstra {
 
   void Reset();
   std::optional<Path> Run(VertexId source, VertexId target,
-                          const EdgeCostFn& cost, const BanSet* bans);
+                          const EdgeCostFn& cost, const BanSet* bans,
+                          const CancelToken* cancel);
   Path Reconstruct(VertexId target, double dist) const;
 
   const RoadNetwork* network_;

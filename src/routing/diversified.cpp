@@ -10,12 +10,17 @@ namespace pathrank::routing {
 
 std::vector<Path> DiversifiedTopK(const RoadNetwork& network, VertexId source,
                                   VertexId target, const EdgeCostFn& cost,
-                                  const DiversifiedOptions& options) {
+                                  const DiversifiedOptions& options,
+                                  const CancelToken* cancel) {
   PR_CHECK(options.k >= 1);
   PR_CHECK(options.similarity_threshold >= 0.0 &&
            options.similarity_threshold <= 1.0);
 
-  YenEnumerator yen(network, source, target, cost);
+  // The enumerator polls the token inside every spur search; an expired
+  // token makes Next() return nullopt, which ends the loop below and
+  // falls through to the normal pad-and-sort — so a cancelled run returns
+  // a well-formed (just shorter) candidate set.
+  YenEnumerator yen(network, source, target, cost, cancel);
   std::vector<Path> accepted;
   std::vector<Path> rejected;
   int enumerated = 0;

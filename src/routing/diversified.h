@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "routing/cost_model.h"
 #include "routing/path.h"
 
@@ -32,9 +33,13 @@ struct DiversifiedOptions {
   bool pad_with_rejected = true;
 };
 
-/// Returns up to k mutually diverse shortest paths in cost order.
+/// Returns up to k mutually diverse shortest paths in cost order. When
+/// `cancel` expires mid-enumeration the paths accepted so far (padded
+/// with already-enumerated rejects when configured) are returned —
+/// possibly fewer than k, possibly zero.
 std::vector<Path> DiversifiedTopK(const RoadNetwork& network, VertexId source,
                                   VertexId target, const EdgeCostFn& cost,
-                                  const DiversifiedOptions& options);
+                                  const DiversifiedOptions& options,
+                                  const CancelToken* cancel = nullptr);
 
 }  // namespace pathrank::routing

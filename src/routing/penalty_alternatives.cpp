@@ -11,7 +11,8 @@ namespace pathrank::routing {
 std::vector<Path> PenaltyAlternatives(const graph::RoadNetwork& network,
                                       VertexId source, VertexId target,
                                       const EdgeCostFn& cost,
-                                      const PenaltyOptions& options) {
+                                      const PenaltyOptions& options,
+                                      const CancelToken* cancel) {
   PR_CHECK(options.k >= 1);
   PR_CHECK(options.penalty_factor > 1.0);
 
@@ -28,8 +29,13 @@ std::vector<Path> PenaltyAlternatives(const graph::RoadNetwork& network,
        iter < options.max_iterations &&
        static_cast<int>(found.size()) < options.k;
        ++iter) {
+    // Per-iteration checkpoint on top of the per-pop polling inside the
+    // search below: an expired token ends the loop with whatever distinct
+    // paths have accumulated (the degraded partial set).
+    if (cancel != nullptr && cancel->Expired()) break;
     const auto penalised = EdgeCostFn::Custom(network, weights);
-    auto path = dijkstra.ShortestPath(source, target, penalised);
+    auto path = dijkstra.ShortestPath(source, target, penalised,
+                                      /*bans=*/nullptr, cancel);
     if (!path.has_value() || path->edges.empty()) break;
 
     // Penalise the edges of this path (and their reverse twins, so the

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "routing/cost_model.h"
 #include "routing/path.h"
 
@@ -27,9 +28,12 @@ struct PenaltyOptions {
 /// Returns up to k distinct paths. The first is always the true shortest
 /// path under `cost`; later paths are progressively more different.
 /// Paths are reported with their *unpenalised* cost and sorted by it.
+/// When `cancel` expires mid-iteration the paths found so far are
+/// returned (possibly fewer than k, possibly zero).
 std::vector<Path> PenaltyAlternatives(const graph::RoadNetwork& network,
                                       VertexId source, VertexId target,
                                       const EdgeCostFn& cost,
-                                      const PenaltyOptions& options);
+                                      const PenaltyOptions& options,
+                                      const CancelToken* cancel = nullptr);
 
 }  // namespace pathrank::routing

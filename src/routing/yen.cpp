@@ -7,11 +7,13 @@
 namespace pathrank::routing {
 
 YenEnumerator::YenEnumerator(const RoadNetwork& network, VertexId source,
-                             VertexId target, const EdgeCostFn& cost)
+                             VertexId target, const EdgeCostFn& cost,
+                             const CancelToken* cancel)
     : network_(&network),
       source_(source),
       target_(target),
       cost_(cost),
+      cancel_(cancel),
       dijkstra_(network),
       bans_(network.num_vertices(), network.num_edges()) {}
 
@@ -30,10 +32,15 @@ uint64_t YenEnumerator::HashVertexSeq(
 
 std::optional<Path> YenEnumerator::Next() {
   if (exhausted_) return std::nullopt;
+  // Expiry does NOT set exhausted_: the token is sticky, so every later
+  // call lands here again — and the distinction keeps "ran out of paths"
+  // separate from "ran out of time" for callers inspecting the token.
+  if (cancel_ != nullptr && cancel_->Expired()) return std::nullopt;
 
   if (!first_done_) {
     first_done_ = true;
-    auto sp = dijkstra_.ShortestPath(source_, target_, cost_);
+    auto sp = dijkstra_.ShortestPath(source_, target_, cost_,
+                                     /*bans=*/nullptr, cancel_);
     if (!sp.has_value() || sp->edges.empty()) {
       exhausted_ = true;
       return std::nullopt;
@@ -46,6 +53,12 @@ std::optional<Path> YenEnumerator::Next() {
   // Generate deviations of the most recently accepted path, then pop the
   // cheapest candidate overall.
   GenerateSpurs(accepted_.back());
+  if (cancel_ != nullptr && cancel_->Expired()) {
+    // The spur pass was cut short, so the candidate pool may be missing
+    // cheaper deviations: popping from it could yield out-of-order paths.
+    // Stop here; accepted() still holds a correct (partial) prefix.
+    return std::nullopt;
+  }
   if (candidates_.empty()) {
     exhausted_ = true;
     return std::nullopt;
@@ -61,6 +74,9 @@ void YenEnumerator::GenerateSpurs(const Path& base) {
   // ban (a) the i-th edge of every accepted path sharing that root and
   // (b) all root vertices except the spur node, then search spur->target.
   for (size_t i = 0; i + 1 < base.vertices.size(); ++i) {
+    // Per-spur checkpoint: a base path of L vertices means L-1 banned
+    // Dijkstra runs, each of which also polls the token internally.
+    if (cancel_ != nullptr && cancel_->Expired()) return;
     const VertexId spur = base.vertices[i];
 
     bans_.Clear();
@@ -75,7 +91,8 @@ void YenEnumerator::GenerateSpurs(const Path& base) {
       bans_.BanVertex(base.vertices[j]);
     }
 
-    auto spur_path = dijkstra_.ShortestPath(spur, target_, cost_, &bans_);
+    auto spur_path = dijkstra_.ShortestPath(spur, target_, cost_, &bans_,
+                                            cancel_);
     if (!spur_path.has_value()) continue;
 
     Candidate cand;
@@ -102,9 +119,10 @@ void YenEnumerator::GenerateSpurs(const Path& base) {
 
 std::vector<Path> TopKShortestPaths(const RoadNetwork& network,
                                     VertexId source, VertexId target,
-                                    const EdgeCostFn& cost, int k) {
+                                    const EdgeCostFn& cost, int k,
+                                    const CancelToken* cancel) {
   PR_CHECK(k >= 1) << "k must be positive";
-  YenEnumerator yen(network, source, target, cost);
+  YenEnumerator yen(network, source, target, cost, cancel);
   std::vector<Path> out;
   out.reserve(static_cast<size_t>(k));
   for (int i = 0; i < k; ++i) {

@@ -22,11 +22,16 @@ namespace pathrank::routing {
 /// target) query; call Next() repeatedly.
 class YenEnumerator {
  public:
+  /// `cancel` (optional, borrowed — must outlive the enumerator) threads
+  /// cooperative cancellation into every spur search. Once it expires,
+  /// Next() returns std::nullopt; paths already accepted stay valid, which
+  /// is what lets callers degrade to a partial candidate set.
   YenEnumerator(const RoadNetwork& network, VertexId source, VertexId target,
-                const EdgeCostFn& cost);
+                const EdgeCostFn& cost, const CancelToken* cancel = nullptr);
 
   /// Returns the next shortest simple path, or std::nullopt when the path
-  /// space is exhausted. The first call returns the shortest path.
+  /// space is exhausted or the cancel token has expired. The first call
+  /// returns the shortest path.
   std::optional<Path> Next();
 
   /// Paths returned so far.
@@ -51,6 +56,7 @@ class YenEnumerator {
   VertexId source_;
   VertexId target_;
   EdgeCostFn cost_;
+  const CancelToken* cancel_;
   Dijkstra dijkstra_;
   BanSet bans_;
   std::vector<Path> accepted_;
@@ -61,8 +67,11 @@ class YenEnumerator {
 };
 
 /// One-shot convenience: up to k shortest simple paths in cost order.
+/// When `cancel` expires mid-enumeration the paths found so far are
+/// returned (possibly fewer than k, possibly zero).
 std::vector<Path> TopKShortestPaths(const RoadNetwork& network,
                                     VertexId source, VertexId target,
-                                    const EdgeCostFn& cost, int k);
+                                    const EdgeCostFn& cost, int k,
+                                    const CancelToken* cancel = nullptr);
 
 }  // namespace pathrank::routing

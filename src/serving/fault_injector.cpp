@@ -1,0 +1,166 @@
+#include "serving/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace pathrank::serving {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(const std::string& name) {
+  // FNV-1a: stable across runs and platforms (std::hash is neither
+  // guaranteed), which the determinism contract needs.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Uniform draw in [0,1) from the keyed counter — the same finalizer-on-
+/// a-counter construction common::Rng uses.
+double UniformDraw(uint64_t seed, uint64_t site_hash, uint64_t ordinal) {
+  const uint64_t bits = SplitMix64(seed ^ SplitMix64(site_hash ^ ordinal));
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+std::nullptr_t Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return nullptr;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  int64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (value > (INT64_MAX - (c - '0')) / 10) return false;
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseProbability(const std::string& s, double* out) {
+  // Accepts "0", "1", "0.25" — digits with at most one dot; strtod-free
+  // to keep behaviour locale-independent.
+  if (s.empty()) return false;
+  int64_t whole = 0;
+  double frac = 0.0;
+  const size_t dot = s.find('.');
+  if (!ParseInt(s.substr(0, dot == std::string::npos ? s.size() : dot),
+                &whole)) {
+    return false;
+  }
+  if (dot != std::string::npos) {
+    const std::string tail = s.substr(dot + 1);
+    int64_t digits = 0;
+    if (!ParseInt(tail, &digits)) return false;
+    double scale = 1.0;
+    for (size_t i = 0; i < tail.size(); ++i) scale *= 10.0;
+    frac = static_cast<double>(digits) / scale;
+  }
+  const double value = static_cast<double>(whole) + frac;
+  if (value < 0.0 || value > 1.0) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::shared_ptr<FaultInjector> FaultInjector::Parse(const std::string& spec,
+                                                    uint64_t seed,
+                                                    std::string* error) {
+  auto injector = std::shared_ptr<FaultInjector>(new FaultInjector());
+  injector->seed_ = seed;
+  if (spec.empty()) return injector;
+  for (const std::string& rule_text : Split(spec, ';')) {
+    if (rule_text.empty()) {
+      return Fail(error, "empty rule in fault spec");
+    }
+    const std::vector<std::string> fields = Split(rule_text, ':');
+    const std::string& site = fields[0];
+    if (site.empty() || site.find('=') != std::string::npos) {
+      return Fail(error, "bad site name in rule '" + rule_text + "'");
+    }
+    auto [it, inserted] = injector->rules_.try_emplace(site);
+    if (!inserted) {
+      return Fail(error, "duplicate site '" + site + "' in fault spec");
+    }
+    Rule& rule = it->second;
+    bool has_effect = false;
+    for (size_t i = 1; i < fields.size(); ++i) {
+      const std::string& field = fields[i];
+      if (field == "error") {
+        rule.error = true;
+        has_effect = true;
+      } else if (field.rfind("delay_ms=", 0) == 0) {
+        if (!ParseInt(field.substr(9), &rule.delay_ms)) {
+          return Fail(error, "bad delay in '" + field + "'");
+        }
+        has_effect = true;
+      } else if (field.rfind("p=", 0) == 0) {
+        if (!ParseProbability(field.substr(2), &rule.probability)) {
+          return Fail(error,
+                      "bad probability in '" + field + "' (want [0,1])");
+        }
+      } else {
+        return Fail(error, "unknown field '" + field + "' in rule '" +
+                               rule_text + "'");
+      }
+    }
+    if (!has_effect) {
+      return Fail(error, "rule '" + rule_text +
+                             "' has no effect (need delay_ms= or error)");
+    }
+  }
+  return injector;
+}
+
+void FaultInjector::Inject(const std::string& site) const {
+  const auto it = rules_.find(site);
+  if (it == rules_.end()) return;
+  const Rule& rule = it->second;
+  // The ordinal advances on every PASS through the site (fired or not):
+  // which calls fault is then a pure function of (seed, site, ordinal),
+  // independent of timing.
+  const uint64_t ordinal = rule.ordinal.fetch_add(1, std::memory_order_relaxed);
+  if (rule.probability < 1.0 &&
+      UniformDraw(seed_, HashName(site), ordinal) >= rule.probability) {
+    return;
+  }
+  if (rule.delay_ms > 0) {
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(rule.delay_ms));
+  }
+  if (rule.error) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    throw FaultInjectedError(site);
+  }
+}
+
+}  // namespace pathrank::serving

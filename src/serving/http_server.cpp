@@ -20,6 +20,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "common/deadline.h"
 #include "common/percentile.h"
 #include "common/stopwatch.h"
 #include "serving/json.h"
@@ -34,15 +35,6 @@ constexpr size_t kMaxHeaderBytes = 16 * 1024;
 /// Connections queued for a worker beyond this are closed outright —
 /// a connection flood must not grow memory without bound.
 constexpr size_t kMaxQueuedConnections = 1024;
-/// Idle keep-alive connections are dropped after this long so a silent
-/// client cannot hold a worker forever. Applied as both SO_RCVTIMEO and
-/// SO_SNDTIMEO: the send timeout also bounds Stop() — a worker mid-send
-/// to a non-reading client fails out instead of pinning join().
-constexpr int kIdleTimeoutS = 30;
-/// Wall-clock budget for reading ONE request (headers + body + error
-/// drain). SO_RCVTIMEO alone is per-recv: a slow-trickle client feeding
-/// one byte per 29 s would otherwise hold a worker for days.
-constexpr int kRequestDeadlineS = 60;
 /// Latency samples kept per endpoint for the /statsz percentiles.
 constexpr size_t kLatencyRing = 1024;
 
@@ -57,6 +49,7 @@ const char* StatusText(int status) {
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
 }
@@ -344,7 +337,14 @@ json::Value RankingJson(const std::vector<ScoredPath>& ranking,
 
 Response HandleRank(const HttpBackend& backend, const std::string& body);
 Response HandleScore(const HttpBackend& backend, const std::string& body);
-Response HandleRoute(const HttpBackend& backend, const std::string& body);
+/// What /v1/route did beyond the status code — feeds the server-level
+/// deadline/degradation counters ServeConnection maintains.
+struct RouteOutcome {
+  bool deadline_exceeded = false;
+  bool degraded = false;
+};
+Response HandleRoute(const HttpBackend& backend, const Request& request,
+                     const HttpServerOptions& options, RouteOutcome* outcome);
 json::Value StatszJson(const HttpServerStats& stats,
                        const HttpServerOptions& options);
 
@@ -355,14 +355,16 @@ struct HttpServer::Endpoint {
   mutable std::mutex mu;
   uint64_t requests = 0;
   uint64_t errors = 0;
+  uint64_t timeouts = 0;
   double latency_sum_s = 0;
   std::vector<double> ring;
   size_t ring_next = 0;
 
-  void Record(double latency_s, bool error) {
+  void Record(double latency_s, bool error, bool timeout = false) {
     std::lock_guard<std::mutex> lock(mu);
     ++requests;
     if (error) ++errors;
+    if (timeout) ++timeouts;
     latency_sum_s += latency_s;
     if (ring.size() < kLatencyRing) {
       ring.push_back(latency_s);
@@ -383,6 +385,7 @@ struct HttpServer::Endpoint {
       std::lock_guard<std::mutex> lock(mu);
       stats.requests = requests;
       stats.errors = errors;
+      stats.timeouts = timeouts;
       if (requests > 0) {
         stats.latency_mean_s = latency_sum_s / static_cast<double>(requests);
       }
@@ -407,6 +410,10 @@ HttpServer::HttpServer(HttpBackend backend, const HttpServerOptions& options)
     throw std::invalid_argument("HttpBackend needs rank and score handlers");
   }
   if (options_.max_inflight == 0) options_.max_inflight = 1;
+  // Zero timeouts would turn every recv into an immediate failure;
+  // clamp rather than surprise (timeval has no "infinite" either).
+  if (options_.idle_timeout_s < 1) options_.idle_timeout_s = 1;
+  if (options_.request_deadline_s < 1) options_.request_deadline_s = 1;
   if (options_.num_threads == 0) {
     // Headroom above the admission budget: the budget stays the binding
     // constraint, and /healthz keeps a worker while the engine is full.
@@ -547,7 +554,7 @@ void HttpServer::AcceptLoop() {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     timeval idle{};
-    idle.tv_sec = kIdleTimeoutS;
+    idle.tv_sec = options_.idle_timeout_s;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &idle, sizeof(idle));
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &idle, sizeof(idle));
     {
@@ -618,8 +625,9 @@ void HttpServer::ServeConnection(int fd) {
   for (;;) {
     Request request;
     int error_status = 400;
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::seconds(kRequestDeadlineS);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::seconds(options_.request_deadline_s);
     const ReadResult read = ReadRequest(fd, &buffer, &request,
                                         options_.max_body_bytes,
                                         &error_status, deadline);
@@ -687,8 +695,10 @@ void HttpServer::ServeConnection(int fd) {
         response.retry_after_s = options_.retry_after_s;
       } else {
         Stopwatch watch;
+        RouteOutcome outcome;
         try {
-          response = is_route ? HandleRoute(backend_, request.body)
+          response = is_route
+                         ? HandleRoute(backend_, request, options_, &outcome)
                      : is_rank ? HandleRank(backend_, request.body)
                                : HandleScore(backend_, request.body);
         } catch (...) {
@@ -699,8 +709,15 @@ void HttpServer::ServeConnection(int fd) {
           response = ErrorResponse(500, "internal error");
         }
         Release();
+        if (outcome.deadline_exceeded) {
+          deadline_exceeded_total_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (outcome.degraded) {
+          degraded_total_.fetch_add(1, std::memory_order_relaxed);
+        }
         (is_route ? route_stats_ : is_rank ? rank_stats_ : score_stats_)
-            ->Record(watch.ElapsedSeconds(), response.status >= 400);
+            ->Record(watch.ElapsedSeconds(), response.status >= 400,
+                     response.status == 504);
       }
     } else {
       response = ErrorResponse(404, "no such endpoint: " + request.target);
@@ -816,6 +833,10 @@ json::Value RouteJson(const RouteResult& result) {
   }
   json::Object object;
   object["cache_hit"] = json::Value(result.cache_hit);
+  // Emitted only when true: a deadline-free request's body stays byte
+  // identical to a server that predates deadlines, which the route
+  // round-trip tests (and any byte-diffing client) rely on.
+  if (result.degraded) object["degraded"] = json::Value(true);
   object["routes"] = json::Value(std::move(routes));
   return json::Value(std::move(object));
 }
@@ -833,9 +854,10 @@ Response RouteErrorResponse(int http_status, const RouteResult& result) {
   return response;
 }
 
-Response HandleRoute(const HttpBackend& backend, const std::string& body) {
+Response HandleRoute(const HttpBackend& backend, const Request& request,
+                     const HttpServerOptions& options, RouteOutcome* outcome) {
   std::string parse_error;
-  const auto parsed = json::Parse(body, &parse_error);
+  const auto parsed = json::Parse(request.body, &parse_error);
   if (!parsed) return ErrorResponse(400, "invalid JSON: " + parse_error);
   // Local validation failures carry the taxonomy slug too — clients
   // branching on body["status"] per the docs must never see a bare
@@ -872,8 +894,40 @@ Response HandleRoute(const HttpBackend& backend, const std::string& body) {
     }
     k = static_cast<int>(d);
   }
+  // Budget: the budget_ms body field wins over the X-Deadline-Ms header
+  // (the field travels with the query; the header is for clients that
+  // cannot touch the body, e.g. proxies stamping a global budget).
+  // Anchored HERE — before the backend call — so time lost between
+  // anchor and enumeration (a stalled engine, an injected fault) counts
+  // against the budget rather than extending it.
+  int64_t budget_ms = -1;  // -1 = client sent nothing
+  if (const json::Value* b = parsed->Find("budget_ms"); b != nullptr) {
+    const double d = b->number_value();
+    if (!b->is_number() || d < 1 || d != std::floor(d) ||
+        d > static_cast<double>(std::numeric_limits<int32_t>::max())) {
+      return bad_request("\"budget_ms\" must be a positive integer");
+    }
+    budget_ms = static_cast<int64_t>(d);
+  } else if (const std::string header = request.Header("x-deadline-ms");
+             !header.empty()) {
+    uint64_t parsed_ms = 0;
+    if (!ParseDigits(header, &parsed_ms) || parsed_ms == 0) {
+      return bad_request("X-Deadline-Ms must be a positive integer");
+    }
+    budget_ms = static_cast<int64_t>(parsed_ms);
+  }
+  if (budget_ms < 0) budget_ms = options.default_deadline_ms;  // 0 = none
+  if (options.max_deadline_ms > 0 &&
+      (budget_ms == 0 || budget_ms > options.max_deadline_ms)) {
+    budget_ms = options.max_deadline_ms;
+  }
+  RouteRequest route_request{source, destination, k};
+  if (budget_ms > 0) route_request.deadline = Deadline::AfterMs(budget_ms);
   try {
-    const RouteResult result = backend.route({source, destination, k});
+    const RouteResult result = backend.route(route_request);
+    outcome->deadline_exceeded =
+        result.status == RouteStatus::kDeadlineExceeded;
+    outcome->degraded = result.degraded;
     switch (result.status) {
       case RouteStatus::kOk: {
         Response response;
@@ -882,6 +936,8 @@ Response HandleRoute(const HttpBackend& backend, const std::string& body) {
       }
       case RouteStatus::kUnreachable:
         return RouteErrorResponse(404, result);
+      case RouteStatus::kDeadlineExceeded:
+        return RouteErrorResponse(504, result);
       default:
         return RouteErrorResponse(400, result);
     }
@@ -900,6 +956,9 @@ json::Value StatszJson(const HttpServerStats& stats,
   object["connections_accepted"] = json::Value(stats.connections_accepted);
   object["requests_total"] = json::Value(stats.requests_total);
   object["shed_total"] = json::Value(stats.shed_total);
+  object["deadline_exceeded_count"] =
+      json::Value(stats.deadline_exceeded_total);
+  object["degraded_count"] = json::Value(stats.degraded_total);
   object["inflight"] = json::Value(stats.inflight);
   object["admission_waiting"] = json::Value(stats.admission_waiting);
   object["max_inflight"] =
@@ -911,6 +970,7 @@ json::Value StatszJson(const HttpServerStats& stats,
     json::Object endpoint;
     endpoint["requests"] = json::Value(endpoint_stats.requests);
     endpoint["errors"] = json::Value(endpoint_stats.errors);
+    endpoint["timeouts"] = json::Value(endpoint_stats.timeouts);
     endpoint["latency_mean_s"] = json::Value(endpoint_stats.latency_mean_s);
     endpoint["latency_p50_s"] = json::Value(endpoint_stats.latency_p50_s);
     endpoint["latency_p99_s"] = json::Value(endpoint_stats.latency_p99_s);
@@ -931,6 +991,9 @@ HttpServerStats HttpServer::stats() const {
       connections_accepted_.load(std::memory_order_relaxed);
   stats.requests_total = requests_total_.load(std::memory_order_relaxed);
   stats.shed_total = shed_total_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded_total =
+      deadline_exceeded_total_.load(std::memory_order_relaxed);
+  stats.degraded_total = degraded_total_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(admit_mu_);
     stats.inflight = inflight_;
@@ -971,6 +1034,7 @@ void HttpClient::Connect(uint16_t port) {
   io_timeout.tv_sec = 10;
   ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &io_timeout, sizeof(io_timeout));
   ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &io_timeout, sizeof(io_timeout));
+  port_ = port;
   buffer_.clear();
 }
 
@@ -1097,6 +1161,64 @@ HttpClient::Response HttpClient::Request(const std::string& method,
   buffer_.erase(0, content_length);
   if (server_closes) Close();
   return response;
+}
+
+HttpClient::Response HttpClient::RequestWithRetry(const std::string& method,
+                                                  const std::string& path,
+                                                  const std::string& body,
+                                                  const RetryOptions& retry) {
+  uint64_t jitter_state = retry.jitter_seed;
+  const auto next_jitter = [&jitter_state] {
+    // splitmix64 step: deterministic per (seed, attempt), no global RNG.
+    jitter_state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = jitter_state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  for (int attempt = 0;; ++attempt) {
+    const bool last = attempt >= retry.max_retries;
+    Response response;
+    try {
+      response = Request(method, path, body);
+    } catch (const std::runtime_error&) {
+      // Transport failure: Request() already closed the connection.
+      // Reconnect and replay — the request never completed, so a replay
+      // cannot double-apply it any harder than the network already
+      // might. (Connect throws through when the server is truly gone.)
+      if (last) throw;
+      SleepBackoff(attempt, retry, /*retry_after_s=*/-1, next_jitter());
+      Connect(port_);
+      continue;
+    }
+    // Only explicit back-pressure is retried: 429 *asks* for a replay.
+    // Any other status — success or failure — is the server's answer.
+    if (response.status != 429 || last) return response;
+    SleepBackoff(attempt, retry, response.retry_after_s, next_jitter());
+  }
+}
+
+void HttpClient::SleepBackoff(int attempt, const RetryOptions& retry,
+                              int retry_after_s, uint64_t jitter_bits) {
+  int64_t backoff_ms =
+      attempt < 30 ? static_cast<int64_t>(retry.base_backoff_ms) << attempt
+                   : retry.max_backoff_ms;
+  if (backoff_ms > retry.max_backoff_ms) backoff_ms = retry.max_backoff_ms;
+  if (backoff_ms < 0) backoff_ms = 0;
+  if (backoff_ms > 0) {
+    // Up to +50% jitter so a herd of retrying clients decorrelates.
+    backoff_ms += static_cast<int64_t>(
+        jitter_bits % static_cast<uint64_t>(backoff_ms / 2 + 1));
+  }
+  // The server's explicit hint is a floor, never ignored: backing off
+  // LESS than Retry-After would re-trip the very admission control that
+  // shed us.
+  if (retry_after_s > 0) {
+    backoff_ms = std::max<int64_t>(backoff_ms, int64_t{retry_after_s} * 1000);
+  }
+  if (backoff_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+  }
 }
 
 }  // namespace pathrank::serving

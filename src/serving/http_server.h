@@ -11,11 +11,17 @@
 //                                        "length_m", "time_s"}, ...]}
 //   POST /v1/score   {"paths": [[id, id, ...], ...]}
 //                    -> {"candidates": [{"score", "vertices"}, ...]}
-//   POST /v1/route   {"source": id, "destination": id, "k": n?}
+//   POST /v1/route   {"source": id, "destination": id, "k": n?,
+//                     "budget_ms": n?}  (X-Deadline-Ms header also works;
+//                    the body field wins when both are present)
 //                    -> {"cache_hit": b, "routes": [{"score", "cost",
 //                        "length_m", "time_s", "vertices", "edges"},...]}
 //                    (RoutePlanner pipeline: candidate cache + explicit
-//                    error taxonomy; 404 when no route backend is set)
+//                    error taxonomy; 404 when no route backend is set.
+//                    An expired budget answers 504 "deadline_exceeded"
+//                    when no candidate was found in time, or 200 with
+//                    "degraded": true and the partial set otherwise —
+//                    see docs/serving.md.)
 //   GET  /healthz    -> {"status": "ok", "swap_count": n, ...}
 //   GET  /statsz     -> queue depth, shed count, per-endpoint latency
 //
@@ -81,12 +87,32 @@ struct HttpServerOptions {
   size_t max_body_bytes = 1 << 20;
   /// Value of the Retry-After header on shed (429) responses, seconds.
   int retry_after_s = 1;
+  /// Idle keep-alive connections are dropped after this long (applied as
+  /// SO_RCVTIMEO + SO_SNDTIMEO) so a silent client cannot hold a worker
+  /// forever. The send half also bounds Stop() against a non-reading
+  /// client. Clamped to >= 1.
+  int idle_timeout_s = 30;
+  /// Wall-clock budget for reading ONE request (headers + body + error
+  /// drain). The idle timeout alone is per-recv: a slow-trickle client
+  /// feeding one byte per tick would otherwise hold a worker for days.
+  /// Clamped to >= 1.
+  int request_deadline_s = 60;
+  /// Route-planning budget (ms) applied when the client sends neither an
+  /// X-Deadline-Ms header nor a budget_ms body field. 0 = unbounded, the
+  /// default — deadline-free requests take the planner's nullptr fast
+  /// path and answer bitwise identically to a server without deadlines.
+  int64_t default_deadline_ms = 0;
+  /// Ceiling on the CLIENT-supplied budget: larger asks are clamped down
+  /// to this (the operator's protection against a client buying an
+  /// unbounded enumeration by sending a huge budget). 0 = uncapped.
+  int64_t max_deadline_ms = 0;
 };
 
 /// Point-in-time per-endpoint counters, reported by stats() / GET /statsz.
 struct HttpEndpointStats {
   uint64_t requests = 0;      ///< admitted + completed (any status)
   uint64_t errors = 0;        ///< completed with a 4xx/5xx status
+  uint64_t timeouts = 0;      ///< completed with 504 (subset of errors)
   double latency_mean_s = 0;  ///< over all completed requests
   double latency_p50_s = 0;   ///< over a ring of recent completions
   double latency_p99_s = 0;
@@ -97,6 +123,8 @@ struct HttpServerStats {
   uint64_t connections_accepted = 0;
   uint64_t requests_total = 0;  ///< every parsed request, any endpoint
   uint64_t shed_total = 0;      ///< requests refused with 429
+  uint64_t deadline_exceeded_total = 0;  ///< /v1/route answered 504
+  uint64_t degraded_total = 0;  ///< /v1/route answered with a partial set
   uint64_t inflight = 0;        ///< currently past admission
   uint64_t admission_waiting = 0;  ///< currently queued for a slot
   HttpEndpointStats rank;
@@ -191,12 +219,28 @@ class HttpServer {
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> requests_total_{0};
   std::atomic<uint64_t> shed_total_{0};
+  std::atomic<uint64_t> deadline_exceeded_total_{0};
+  std::atomic<uint64_t> degraded_total_{0};
   std::unique_ptr<Endpoint> rank_stats_;
   std::unique_ptr<Endpoint> score_stats_;
   std::unique_ptr<Endpoint> route_stats_;
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;
+};
+
+/// Retry policy for HttpClient::RequestWithRetry. Backoff for attempt i
+/// (0-based) is min(base << i, max) milliseconds plus deterministic
+/// jitter in [0, backoff/2) drawn from jitter_seed — seeded, so tests
+/// replay the exact same sleep schedule. (Namespace scope, not nested:
+/// a nested struct's field defaults cannot appear in the enclosing
+/// class's own default arguments.)
+struct HttpRetryOptions {
+  /// Retries AFTER the first attempt (so max_retries + 1 tries total).
+  int max_retries = 3;
+  int base_backoff_ms = 50;
+  int max_backoff_ms = 2000;
+  uint64_t jitter_seed = 0;
 };
 
 /// Minimal blocking HTTP/1.1 client for tests and the bench load driver:
@@ -232,8 +276,27 @@ class HttpClient {
   Response Request(const std::string& method, const std::string& path,
                    const std::string& body = "");
 
+  using RetryOptions = HttpRetryOptions;
+
+  /// Request() plus bounded, opt-in resilience: a 429 response waits
+  /// max(Retry-After, backoff) and retries; a transport failure (send
+  /// error, connection lost) reconnects and retries. Anything else — any
+  /// other status, including 5xx — returns immediately: only explicit
+  /// back-pressure and broken transport are known-safe to replay, a 500
+  /// may have side effects. Exhausted retries return the last 429 or
+  /// rethrow the last transport error.
+  Response RequestWithRetry(const std::string& method,
+                            const std::string& path,
+                            const std::string& body = "",
+                            const RetryOptions& retry = {});
+
  private:
+  /// Sleeps max(capped exponential backoff + jitter, Retry-After).
+  static void SleepBackoff(int attempt, const RetryOptions& retry,
+                           int retry_after_s, uint64_t jitter_bits);
+
   int fd_ = -1;
+  uint16_t port_ = 0;   ///< last Connect() target, for retry reconnects
   std::string buffer_;  ///< bytes read past the previous response
 };
 

@@ -11,6 +11,7 @@ const char* RouteStatusSlug(RouteStatus status) {
     case RouteStatus::kSameVertex: return "same_vertex";
     case RouteStatus::kUnreachable: return "unreachable";
     case RouteStatus::kBadRequest: return "bad_request";
+    case RouteStatus::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "?";
 }
@@ -117,10 +118,42 @@ RouteResult RoutePlanner::Plan(const RouteRequest& request) const {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
   } else {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    // One token per query, chaining the request deadline to any external
+    // cancel source. Expiry is sticky (the token latches), so checking it
+    // after enumeration reliably distinguishes "ran out of budget" from
+    // "ran out of paths". Pass it down only when it can actually fire —
+    // the nullptr fast path keeps deadline-free queries bitwise identical
+    // to the pre-deadline pipeline.
+    const CancelToken token(request.deadline, request.cancel);
+    const bool cancellable =
+        request.deadline.bounded() || request.cancel != nullptr;
     candidates =
         std::make_shared<const std::vector<routing::Path>>(
             GenerateCandidates(*network_, request.source,
-                               request.destination, gen));
+                               request.destination, gen,
+                               cancellable ? &token : nullptr));
+    if (cancellable && token.Expired()) {
+      if (candidates->empty()) {
+        // Out of budget before the first candidate: nothing useful to
+        // return. NOT cached — a verdict cut short by a deadline says
+        // nothing about the graph, and caching it would poison later
+        // unhurried queries with a false "unreachable".
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        result.status = RouteStatus::kDeadlineExceeded;
+        result.message =
+            "deadline expired before any candidate was found (route " +
+            std::to_string(request.source) + " -> " +
+            std::to_string(request.destination) + ")";
+        return result;
+      }
+      // Graceful degradation: score and return what enumeration managed.
+      // Same cache-poisoning rule — a partial set must never be served to
+      // a later query as if it were the full top-k.
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      result.degraded = true;
+      result.ranked = score_(*candidates);
+      return result;
+    }
     CacheInsert(key, candidates);
   }
 

@@ -47,15 +47,20 @@
 
 namespace pathrank::serving {
 
-/// Outcome taxonomy for one route query. Everything except kOk is a
-/// client-input condition and maps to a 4xx over HTTP (kUnreachable to
-/// 404, the rest to 400) — never a 500.
+/// Outcome taxonomy for one route query. Everything except kOk and
+/// kDeadlineExceeded is a client-input condition and maps to a 4xx over
+/// HTTP (kUnreachable to 404, the rest to 400) — never a 500.
+/// kDeadlineExceeded maps to 504 Gateway Timeout: the budget ran out
+/// before even one candidate was found. (When the budget runs out with
+/// candidates in hand the planner degrades instead — kOk with
+/// RouteResult::degraded set.)
 enum class RouteStatus {
   kOk,
   kUnknownVertex,  ///< source or destination is not a vertex of the network
   kSameVertex,     ///< source == destination: nothing to rank
   kUnreachable,    ///< the strategy found no path between the endpoints
   kBadRequest,     ///< malformed parameters (k out of range)
+  kDeadlineExceeded,  ///< budget expired with zero candidates found
 };
 
 /// Stable lower_snake_case slug ("unknown_vertex", ...) used in HTTP
@@ -69,6 +74,15 @@ struct RouteRequest {
   graph::VertexId source = graph::kInvalidVertex;
   graph::VertexId destination = graph::kInvalidVertex;
   int k = 0;
+  /// Wall-clock budget for this query. Default unbounded. The HTTP layer
+  /// anchors it at request receipt (X-Deadline-Ms header / budget_ms
+  /// field, capped by HttpServerOptions), so parse time counts against
+  /// the budget.
+  Deadline deadline;
+  /// Optional external cancellation (borrowed; must outlive Plan). The
+  /// planner's internal token chains to it, so either source — deadline
+  /// or caller — stops the enumeration.
+  const CancelToken* cancel = nullptr;
 };
 
 /// One answered route query.
@@ -80,6 +94,10 @@ struct RouteResult {
   /// unreachable verdicts too — negative results are cached so repeated
   /// dead-end queries also skip Yen).
   bool cache_hit = false;
+  /// True when the deadline expired mid-enumeration but at least one
+  /// candidate was already found: status is kOk and `ranked` holds the
+  /// scored PARTIAL set (never cached — the next query re-enumerates).
+  bool degraded = false;
   /// Candidates sorted by descending predicted score; empty unless kOk.
   std::vector<ScoredPath> ranked;
 };
@@ -128,6 +146,14 @@ class RoutePlanner {
   uint64_t cache_misses() const {
     return cache_misses_.load(std::memory_order_relaxed);
   }
+  /// Queries that ran out of budget with zero candidates (-> 504).
+  uint64_t deadline_exceeded_count() const {
+    return deadline_exceeded_.load(std::memory_order_relaxed);
+  }
+  /// Queries answered with a partial candidate set (degraded == true).
+  uint64_t degraded_count() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
   /// Candidate sets currently cached (<= options().cache_capacity).
   size_t cache_size() const;
 
@@ -167,6 +193,8 @@ class RoutePlanner {
       index_;
   mutable std::atomic<uint64_t> cache_hits_{0};
   mutable std::atomic<uint64_t> cache_misses_{0};
+  mutable std::atomic<uint64_t> deadline_exceeded_{0};
+  mutable std::atomic<uint64_t> degraded_{0};
 };
 
 }  // namespace pathrank::serving

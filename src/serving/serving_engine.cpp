@@ -52,10 +52,12 @@ nn::SequenceBatch BatchFromPaths(const std::vector<routing::Path>& paths) {
 
 std::vector<routing::Path> GenerateCandidates(
     const graph::RoadNetwork& network, graph::VertexId source,
-    graph::VertexId destination, const data::CandidateGenConfig& gen) {
+    graph::VertexId destination, const data::CandidateGenConfig& gen,
+    const CancelToken* cancel) {
   // Single source of truth with training-data generation: deployment-time
   // candidates always match the training distribution.
-  return data::GenerateCandidatePaths(network, source, destination, gen);
+  return data::GenerateCandidatePaths(network, source, destination, gen,
+                                      cancel);
 }
 
 /// One scoring slot: a lock plus the per-caller activation scratch the
@@ -73,7 +75,7 @@ ServingEngine::ServingEngine(const graph::RoadNetwork& network,
   PR_CHECK(snapshot != nullptr) << "ServingEngine needs a snapshot";
   PR_CHECK(snapshot->vocab_size() == network.num_vertices())
       << "model/network vertex-count mismatch";
-  snapshot_.store(std::move(snapshot), std::memory_order_release);
+  snapshot_ = std::move(snapshot);
   const size_t n = options_.num_replicas > 0 ? options_.num_replicas
                                              : std::max<size_t>(1, GetNumThreads());
   replicas_.reserve(n);
@@ -96,10 +98,12 @@ std::shared_ptr<const ModelSnapshot> ServingEngine::SwapSnapshot(
   PR_CHECK(next->vocab_size() == network_->num_vertices())
       << "model/network vertex-count mismatch";
   swap_count_.fetch_add(1, std::memory_order_relaxed);
-  // One atomic exchange is the entire cut-over: requests that already
-  // loaded the old pointer finish on it (their shared_ptr copy keeps it
-  // alive); requests that load after this line see `next`.
-  return snapshot_.exchange(std::move(next), std::memory_order_acq_rel);
+  // One locked exchange is the entire cut-over: requests that already
+  // copied the old pointer finish on it (their shared_ptr copy keeps it
+  // alive); requests that copy after this line see `next`.
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_.swap(next);
+  return next;
 }
 
 std::vector<float> ServingEngine::ScoreOn(

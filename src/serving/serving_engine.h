@@ -23,6 +23,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/model.h"
 #include "data/candidate_generation.h"
 #include "graph/road_network.h"
@@ -54,9 +55,12 @@ struct ServingOptions {
 
 /// Generates candidate paths for one query with the configured strategy —
 /// the advanced-routing half of Rank, exposed for tools and tests.
+/// `cancel` (optional) threads the request deadline into the enumeration
+/// loops; an expired token yields the candidates found so far.
 std::vector<routing::Path> GenerateCandidates(
     const graph::RoadNetwork& network, graph::VertexId source,
-    graph::VertexId destination, const data::CandidateGenConfig& gen);
+    graph::VertexId destination, const data::CandidateGenConfig& gen,
+    const CancelToken* cancel = nullptr);
 
 /// Encodes one candidate path's vertex ids as the model's token sequence.
 /// The single source of truth for the Path -> SequenceBatch-row mapping:
@@ -141,7 +145,8 @@ class ServingEngine {
   /// The currently served snapshot (a new swap may supersede it at any
   /// time; the returned handle stays valid regardless).
   std::shared_ptr<const ModelSnapshot> shared_snapshot() const {
-    return snapshot_.load(std::memory_order_acquire);
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    return snapshot_;
   }
   /// Number of SwapSnapshot calls since construction.
   uint64_t swap_count() const {
@@ -160,7 +165,12 @@ class ServingEngine {
                              const nn::SequenceBatch& batch) const;
 
   const graph::RoadNetwork* network_;
-  std::atomic<std::shared_ptr<const ModelSnapshot>> snapshot_;
+  /// Guarded by a mutex rather than std::atomic<shared_ptr>: the critical
+  /// section is one refcounted copy (noise next to a forward pass), and
+  /// libstdc++'s lock-bit _Sp_atomic protocol is opaque to TSan, which
+  /// the CI thread-sanitizer gate runs against.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
   std::atomic<uint64_t> swap_count_{0};
   ServingOptions options_;
   std::vector<std::unique_ptr<Replica>> replicas_;

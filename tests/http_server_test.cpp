@@ -75,6 +75,15 @@ struct ServerFixture {
         server(Backend(engine, network), Options()) {
     server.Start();
   }
+
+  /// Same wiring with caller-supplied options — the adversarial
+  /// connection tests need short idle/request timeouts.
+  explicit ServerFixture(const HttpServerOptions& options)
+      : model(network.num_vertices(), SmallConfig()),
+        engine(network, model),
+        server(Backend(engine, network), options) {
+    server.Start();
+  }
 };
 
 std::string RankBody(graph::VertexId source, graph::VertexId destination) {
@@ -477,6 +486,192 @@ TEST(HttpAdmission, TimedWaitShedsAfterWindowExpires) {
   const auto stats = fx.server.stats();
   EXPECT_EQ(stats.shed_total, 1u);
   EXPECT_EQ(stats.admission_waiting, 0u);
+}
+
+// ---- Adversarial connections -------------------------------------------
+//
+// Misbehaving clients must cost the server a bounded amount of worker
+// time and nothing else: no hang, no leaked slot, no crash.
+
+/// Opens a raw connection without sending a full request.
+int RawConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+/// Drains the connection until the server closes it; returns the bytes
+/// received and asserts the close arrives within `limit`.
+std::string DrainUntilClose(int fd, std::chrono::seconds limit) {
+  const auto started = std::chrono::steady_clock::now();
+  std::string received;
+  char chunk[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // 0 = orderly close, <0 = reset/timeout
+    received.append(chunk, static_cast<size_t>(n));
+    EXPECT_LT(std::chrono::steady_clock::now() - started, limit)
+        << "server kept the connection alive past the deadline";
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - started, limit);
+  return received;
+}
+
+HttpServerOptions ShortTimeoutOptions() {
+  HttpServerOptions options;
+  options.port = 0;
+  options.num_threads = 4;
+  options.max_inflight = 16;
+  options.idle_timeout_s = 1;
+  options.request_deadline_s = 1;
+  return options;
+}
+
+TEST(HttpAdversarial, SlowLorisPartialHeadersGetDisconnected) {
+  ServerFixture fx(ShortTimeoutOptions());
+  // Drip a request line and half a header, then go silent: the read
+  // deadline must sever the connection instead of pinning a worker.
+  const int fd = RawConnect(fx.server.port());
+  const std::string drip = "POST /v1/rank HTTP/1.1\r\nHost: t\r\nConte";
+  ASSERT_EQ(::send(fd, drip.data(), drip.size(), 0),
+            static_cast<ssize_t>(drip.size()));
+  DrainUntilClose(fd, std::chrono::seconds(5));
+  ::close(fd);
+  // The worker pool survived the loris: a normal request still lands.
+  HttpClient client;
+  client.Connect(fx.server.port());
+  EXPECT_EQ(client.Request("GET", "/healthz").status, 200);
+  EXPECT_EQ(fx.server.stats().inflight, 0u);
+}
+
+TEST(HttpAdversarial, TruncatedContentLengthBodyGetsDisconnected) {
+  ServerFixture fx(ShortTimeoutOptions());
+  // Promise 100 bytes, deliver 5, never finish. The server must not
+  // wait forever for the missing 95.
+  const int fd = RawConnect(fx.server.port());
+  const std::string lie =
+      "POST /v1/rank HTTP/1.1\r\nHost: t\r\nContent-Length: 100\r\n\r\nhello";
+  ASSERT_EQ(::send(fd, lie.data(), lie.size(), 0),
+            static_cast<ssize_t>(lie.size()));
+  DrainUntilClose(fd, std::chrono::seconds(5));
+  ::close(fd);
+  HttpClient client;
+  client.Connect(fx.server.port());
+  EXPECT_EQ(client.Request("GET", "/healthz").status, 200);
+  EXPECT_EQ(fx.server.stats().inflight, 0u);
+}
+
+TEST(HttpAdversarial, ClientDisconnectMidResponseDoesNotLeakASlot) {
+  HttpServerOptions options = ShortTimeoutOptions();
+  options.max_inflight = 1;  // a leaked slot would wedge the server
+  BlockingServerFixture fx(options);
+  // Park a request in the backend, then vanish before the response.
+  const int fd = RawConnect(fx.server.port());
+  const std::string body = RankBody(0, 1);
+  const std::string request =
+      "POST /v1/rank HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n" + body;
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  fx.WaitEntered(1);
+  ::close(fd);  // gone before the backend answers
+  fx.Release();
+  // The admission slot must come back even though the write will fail.
+  const auto started = std::chrono::steady_clock::now();
+  while (fx.server.stats().inflight != 0) {
+    ASSERT_LT(std::chrono::steady_clock::now() - started,
+              std::chrono::seconds(5))
+        << "in-flight slot leaked after client disconnect";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // And the only slot is usable by the next client.
+  HttpClient client;
+  client.Connect(fx.server.port());
+  EXPECT_EQ(client.Request("POST", "/v1/rank", RankBody(2, 3)).status, 200);
+}
+
+// ---- Client-side retries -----------------------------------------------
+
+TEST(HttpRetry, RetriesShed429UntilASlotFrees) {
+  HttpServerOptions options;
+  options.port = 0;
+  options.num_threads = 4;
+  options.max_inflight = 1;
+  options.max_queue_wait_us = 0;  // shed immediately when saturated
+  options.retry_after_s = 0;      // let the client's own backoff drive
+  BlockingServerFixture fx(options);
+
+  auto holder = fx.AsyncRank(0, 1);
+  fx.WaitEntered(1);
+
+  // A plain Request would take the 429; RequestWithRetry keeps trying
+  // while the slot-holder drains, and lands a 200 on a later attempt.
+  std::future<int> retried = std::async(std::launch::async, [&fx] {
+    HttpClient client;
+    client.Connect(fx.server.port());
+    HttpClient::RetryOptions retry;
+    retry.max_retries = 50;
+    retry.base_backoff_ms = 1;
+    retry.max_backoff_ms = 20;
+    return client.RequestWithRetry("POST", "/v1/rank", RankBody(2, 3), retry)
+        .status;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  fx.Release();
+  EXPECT_EQ(holder.get(), 200);
+  EXPECT_EQ(retried.get(), 200);
+  EXPECT_GE(fx.server.stats().shed_total, 1u);  // at least one 429 eaten
+}
+
+TEST(HttpRetry, GivesUpAfterMaxRetriesWithTheLastResponse) {
+  HttpServerOptions options;
+  options.port = 0;
+  options.num_threads = 4;
+  options.max_inflight = 1;
+  options.max_queue_wait_us = 0;
+  options.retry_after_s = 0;
+  BlockingServerFixture fx(options);
+
+  auto holder = fx.AsyncRank(0, 1);
+  fx.WaitEntered(1);  // the slot never frees during the retry loop
+
+  HttpClient client;
+  client.Connect(fx.server.port());
+  HttpClient::RetryOptions retry;
+  retry.max_retries = 3;
+  retry.base_backoff_ms = 1;
+  retry.max_backoff_ms = 4;
+  const auto response =
+      client.RequestWithRetry("POST", "/v1/rank", RankBody(2, 3), retry);
+  EXPECT_EQ(response.status, 429);                    // last answer surfaces
+  EXPECT_EQ(fx.server.stats().shed_total, 4u);        // 1 try + 3 retries
+
+  fx.Release();
+  EXPECT_EQ(holder.get(), 200);
+}
+
+TEST(HttpRetry, NonRetryableStatusReturnsImmediately) {
+  ServerFixture fx;
+  HttpClient client;
+  client.Connect(fx.server.port());
+  HttpClient::RetryOptions retry;
+  retry.max_retries = 5;
+  retry.base_backoff_ms = 1;
+  // A 400 is the caller's bug: retrying it would just repeat the bug.
+  const auto response =
+      client.RequestWithRetry("POST", "/v1/rank", "{not json", retry);
+  EXPECT_EQ(response.status, 400);
+  const auto stats = json::Parse(client.Request("GET", "/statsz").body);
+  ASSERT_TRUE(stats);
+  const json::Value* rank = stats->Find("endpoints")->Find("/v1/rank");
+  ASSERT_TRUE(rank != nullptr);
+  EXPECT_EQ(rank->Find("requests")->number_value(), 1.0);  // exactly one try
 }
 
 TEST(HttpHealth, HealthzFlipsAcrossSwapSnapshot) {

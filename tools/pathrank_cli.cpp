@@ -60,6 +60,7 @@
 #include "core/pathrank.h"
 #include "graph/graph_io.h"
 #include "serving/batching_queue.h"
+#include "serving/fault_injector.h"
 #include "serving/http_server.h"
 #include "serving/route_planner.h"
 #include "serving/sharded_engine.h"
@@ -482,6 +483,12 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
   options.num_threads =
       static_cast<size_t>(std::max(0, args.GetInt("http-threads", 0)));
   options.max_queue_wait_us = std::max(0, args.GetInt("max-queue-wait-us", 0));
+  options.idle_timeout_s = std::max(1, args.GetInt("idle-timeout-s", 30));
+  options.request_deadline_s =
+      std::max(1, args.GetInt("request-deadline-s", 60));
+  options.default_deadline_ms =
+      std::max(0, args.GetInt("default-deadline-ms", 0));
+  options.max_deadline_ms = std::max(0, args.GetInt("max-deadline-ms", 0));
   if (options.num_threads != 0 &&
       options.num_threads <= options.max_inflight) {
     std::fprintf(stderr,
@@ -527,6 +534,35 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
     backend.swap_count = [engine] { return engine->swap_count(); };
   }
 
+  // --fault-spec: deterministic chaos at the backend seams (sites
+  // "rank", "score", "route"), for drills and for reproducing what
+  // chaos_test exercises programmatically. The wrappers go in BEFORE the
+  // planner captures backend.score, so injected scoring faults hit
+  // /v1/route too.
+  std::shared_ptr<serving::FaultInjector> faults;
+  if (args.Has("fault-spec")) {
+    std::string fault_error;
+    faults = serving::FaultInjector::Parse(
+        args.Get("fault-spec", ""),
+        static_cast<uint64_t>(args.GetInt("fault-seed", 1)), &fault_error);
+    if (faults == nullptr) {
+      std::fprintf(stderr, "--fault-spec: %s\n", fault_error.c_str());
+      return 2;
+    }
+  }
+  if (faults != nullptr && faults->enabled()) {
+    backend.rank = [faults, inner = backend.rank](graph::VertexId s,
+                                                  graph::VertexId d) {
+      faults->Inject("rank");
+      return inner(s, d);
+    };
+    backend.score = [faults, inner = backend.score](
+                        std::vector<routing::Path> paths) {
+      faults->Inject("score");
+      return inner(std::move(paths));
+    };
+  }
+
   // The online route pipeline behind POST /v1/route: candidate
   // enumeration + LRU candidate cache + scoring through the SAME seam
   // backend.score uses, so /v1/route composes with --batch and --shards
@@ -539,6 +575,15 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
   backend.route = [&planner](const serving::RouteRequest& request) {
     return planner.Plan(request);
   };
+  if (faults != nullptr && faults->enabled()) {
+    // The "route" site stalls/fails between deadline anchoring (HTTP
+    // parse) and Plan(), so an injected delay visibly consumes budget.
+    backend.route = [faults, inner = backend.route](
+                        const serving::RouteRequest& request) {
+      faults->Inject("route");
+      return inner(request);
+    };
+  }
 
   serving::HttpServer server(std::move(backend), options);
   server.Start();
@@ -554,6 +599,16 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
               queue != nullptr ? ", batched" : "",
               sharded != nullptr ? ", sharded" : "",
               watcher != nullptr ? ", watch-model" : "");
+  std::printf("timeouts: idle %d s, request %d s; route budget: default %lld "
+              "ms, max %lld ms (0 = unbounded)\n",
+              options.idle_timeout_s, options.request_deadline_s,
+              static_cast<long long>(options.default_deadline_ms),
+              static_cast<long long>(options.max_deadline_ms));
+  if (faults != nullptr && faults->enabled()) {
+    std::printf("FAULT INJECTION ACTIVE: %s (seed %d)\n",
+                args.Get("fault-spec", "").c_str(),
+                args.GetInt("fault-seed", 1));
+  }
   std::printf("endpoints: POST /v1/rank  POST /v1/score  POST /v1/route  "
               "GET /healthz  GET /statsz  (Ctrl-C to stop)\n");
 
@@ -587,6 +642,16 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
               stats.route.latency_p99_s * 1e3,
               static_cast<unsigned long long>(planner.cache_hits()),
               static_cast<unsigned long long>(planner.cache_misses()));
+  std::printf("deadlines: %llu exceeded (504), %llu degraded (partial), "
+              "route timeouts %llu\n",
+              static_cast<unsigned long long>(stats.deadline_exceeded_total),
+              static_cast<unsigned long long>(stats.degraded_total),
+              static_cast<unsigned long long>(stats.route.timeouts));
+  if (faults != nullptr && faults->enabled()) {
+    std::printf("fault injection: %llu delay(s), %llu error(s) fired\n",
+                static_cast<unsigned long long>(faults->injected_delays()),
+                static_cast<unsigned long long>(faults->injected_errors()));
+  }
   if (watcher != nullptr) {
     std::printf("watch-model: %llu hot swap(s) while serving\n",
                 static_cast<unsigned long long>(watcher->swaps()));
@@ -733,7 +798,9 @@ int CmdServe(const Args& args) {
   // whose cache --route-cache would size.
   for (const char* flag :
        {"http-addr", "http-threads", "max-inflight", "max-queue-wait-us",
-        "route-cache"}) {
+        "route-cache", "idle-timeout-s", "request-deadline-s",
+        "default-deadline-ms", "max-deadline-ms", "fault-spec",
+        "fault-seed"}) {
     if (args.Has(flag)) {
       std::fprintf(stderr, "--%s configures the HTTP front end; add --http "
                            "PORT or drop it\n",
@@ -862,7 +929,12 @@ void PrintUsage() {
       "            [--watch-model 0|1 --watch-interval-ms M]\n"
       "            [--http PORT --http-addr A --max-inflight N\n"
       "             --max-queue-wait-us U --http-threads T (0 = auto)\n"
-      "             --route-cache N (LRU candidate sets for /v1/route)]\n");
+      "             --route-cache N (LRU candidate sets for /v1/route)\n"
+      "             --idle-timeout-s S --request-deadline-s S\n"
+      "             --default-deadline-ms MS --max-deadline-ms MS "
+      "(0 = unbounded)\n"
+      "             --fault-spec \"site:delay_ms=N:p=F;site:error\" "
+      "--fault-seed S]\n");
 }
 
 }  // namespace
@@ -895,7 +967,9 @@ int main(int argc, char** argv) {
         "batch", "max-batch", "max-wait-us", "clients", "shards",
         "shard-policy", "watch-model", "watch-interval-ms", "http",
         "http-addr", "http-threads", "max-inflight", "max-queue-wait-us",
-        "route-cache"}},
+        "route-cache", "idle-timeout-s", "request-deadline-s",
+        "default-deadline-ms", "max-deadline-ms", "fault-spec",
+        "fault-seed"}},
   };
   const auto known = kKnownFlags.find(command);
   if (known != kKnownFlags.end()) {
