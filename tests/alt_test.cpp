@@ -118,7 +118,9 @@ TEST_P(PenaltyProperty, PathsDistinctValidSorted) {
       EXPECT_EQ(paths[j].source(), s);
       EXPECT_EQ(paths[j].destination(), t);
       EXPECT_TRUE(seen.insert(paths[j].vertices).second);
-      if (j > 0) EXPECT_GE(paths[j].cost, paths[j - 1].cost - 1e-9);
+      if (j > 0) {
+        EXPECT_GE(paths[j].cost, paths[j - 1].cost - 1e-9);
+      }
     }
   }
 }

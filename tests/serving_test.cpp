@@ -212,7 +212,9 @@ TEST(ServingEngine, ScoreBatchMatchesTrainingForward) {
   std::sort(expected.begin(), expected.end(), std::greater<double>());
   for (size_t i = 0; i < scored.size(); ++i) {
     EXPECT_EQ(expected[i], scored[i].score);
-    if (i > 0) EXPECT_GE(scored[i - 1].score, scored[i].score);
+    if (i > 0) {
+      EXPECT_GE(scored[i - 1].score, scored[i].score);
+    }
   }
 }
 
