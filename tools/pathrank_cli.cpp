@@ -2,15 +2,15 @@
 // persistence between stages so each step can run as a separate process:
 //
 //   pathrank_cli network  --rows 20 --cols 20 --seed 1 --out net
-//   pathrank_cli simulate --network net --trips 700 --drivers 40 \
+//   pathrank_cli simulate --network net --trips 700 --drivers 40
 //                         --out trips.csv
-//   pathrank_cli train    --network net --trips trips.csv --m 64 \
+//   pathrank_cli train    --network net --trips trips.csv --m 64
 //                         --strategy dtkdi --epochs 20 --out model.bin
 //   pathrank_cli evaluate --network net --trips trips.csv --model model.bin
 //   pathrank_cli rank     --network net --model model.bin --from 12 --to 245
-//   pathrank_cli serve    --network net --model model.bin --num-queries 128 \
-//                         --threads 4 --repeat 3 \
-//                         [--batch 1 --clients 8] [--shards 4] \
+//   pathrank_cli serve    --network net --model model.bin --num-queries 128
+//                         --threads 4 --repeat 3
+//                         [--batch 1 --clients 8] [--shards 4]
 //                         [--watch-model 1] [--http 8080]
 //
 // `serve` drives the serving stack with a batch of queries (from --queries
