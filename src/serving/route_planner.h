@@ -71,6 +71,16 @@ const char* RouteStatusSlug(RouteStatus status);
 /// planner's configured candidate count"; an explicit non-positive k on
 /// the wire is rejected by the HTTP layer before it gets here.
 struct RouteRequest {
+  RouteRequest() = default;
+  /// Endpoint-and-k form: the common construction everywhere (tests, the
+  /// HTTP layer, the bench driver). A real constructor rather than
+  /// aggregate init so `{source, destination, k}` call sites neither
+  /// repeat the deadline/cancel defaults nor trip
+  /// -Wmissing-field-initializers under the -Wextra gate.
+  RouteRequest(graph::VertexId source_in, graph::VertexId destination_in,
+               int k_in = 0)
+      : source(source_in), destination(destination_in), k(k_in) {}
+
   graph::VertexId source = graph::kInvalidVertex;
   graph::VertexId destination = graph::kInvalidVertex;
   int k = 0;
