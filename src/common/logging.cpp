@@ -7,11 +7,23 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "common/thread_annotations.h"
+
 namespace pathrank {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 std::once_flag g_env_once;
+
+/// Serialises emission to stderr: a log line and a check-failure dump
+/// must each land contiguously even when many serving threads log at
+/// once. (POSIX makes a single write atomic-ish, but fputs + fflush is
+/// two calls.) Leaked function-local static: loggers may run during
+/// static destruction.
+common::Mutex& StderrMutex() {
+  static common::Mutex* mu = new common::Mutex();
+  return *mu;
+}
 
 void InitFromEnv() {
   const char* env = std::getenv("PATHRANK_LOG_LEVEL");
@@ -75,6 +87,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
+  common::MutexLock lock(StderrMutex());
   std::fputs(stream_.str().c_str(), stderr);
 }
 
@@ -84,8 +97,11 @@ CheckFailure::CheckFailure(const char* condition, const char* file, int line) {
 }
 
 CheckFailure::~CheckFailure() noexcept(false) {
-  std::fputs((stream_.str() + "\n").c_str(), stderr);
-  std::fflush(stderr);
+  {
+    common::MutexLock lock(StderrMutex());
+    std::fputs((stream_.str() + "\n").c_str(), stderr);
+    std::fflush(stderr);
+  }
   throw std::logic_error(stream_.str());
 }
 

@@ -1,0 +1,180 @@
+// Compile-time lock-discipline checking for the serving stack.
+//
+// Clang's -Wthread-safety analysis proves, per translation unit, that
+// every member annotated GUARDED_BY(mu) is only touched while `mu` is
+// held, that functions annotated REQUIRES(mu) are only called with it
+// held, and that scoped locks are never leaked — the whole class of
+// "forgot the lock_guard" bugs the TSan CI job can only catch when a
+// test happens to race. The static-analysis CI job builds with
+// -Wthread-safety -Werror=thread-safety-analysis, so a missing lock is
+// a build break, not a flaky report.
+//
+// The attributes only exist on clang; on GCC (and anything else) every
+// macro expands to nothing and the wrappers below compile to the exact
+// same code as the std types they forward to.
+//
+// Usage pattern (the same shape as Abseil's mutex annotations):
+//
+//   class Account {
+//     common::Mutex mu_;
+//     int64_t balance_ GUARDED_BY(mu_);
+//     void Deposit(int64_t n) {
+//       common::MutexLock lock(mu_);
+//       balance_ += n;             // OK: mu_ held
+//     }
+//   };
+//
+// Condition variables: std::condition_variable only accepts
+// std::unique_lock<std::mutex>, which the analysis cannot see through.
+// common::CondVar wraps one and exposes Wait/WaitUntil/WaitFor taking
+// the annotated Mutex directly (REQUIRES(mu)), so waiting code stays
+// inside the proof. Predicates are written as explicit while-loops in
+// the caller — never as lambdas — so guarded reads in the condition are
+// visibly under the lock:
+//
+//   common::MutexLock lock(mu_);
+//   while (!stop_ && queue_.empty()) cv_.Wait(mu_);
+//
+// Conventions (docs/static_analysis.md):
+//   * every mutex-guarded member carries GUARDED_BY;
+//   * helpers called with a lock held carry REQUIRES instead of
+//     re-locking;
+//   * NO_THREAD_SAFETY_ANALYSIS is a last resort and needs a comment
+//     explaining why the analysis cannot follow the code.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define PATHRANK_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define PATHRANK_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a type that acts as a lock (used on common::Mutex below).
+#define CAPABILITY(x) PATHRANK_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type that acquires in its constructor and releases
+/// in its destructor (common::MutexLock).
+#define SCOPED_CAPABILITY PATHRANK_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data members: may only be read or written while holding `x`.
+#define GUARDED_BY(x) PATHRANK_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer members: the pointee (not the pointer) is guarded by `x`.
+#define PT_GUARDED_BY(x) PATHRANK_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Functions: caller must already hold the listed capabilities.
+#define REQUIRES(...) \
+  PATHRANK_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Functions: caller must NOT hold the listed capabilities (deadlock
+/// documentation — a function that takes the lock itself).
+#define EXCLUDES(...) PATHRANK_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Functions that acquire / release a capability and return with it in
+/// the new state (lock() / unlock() on the wrappers).
+#define ACQUIRE(...) \
+  PATHRANK_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  PATHRANK_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  PATHRANK_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Asserts (at analysis time) that the capability is held — for code
+/// reached only via paths the analysis cannot follow.
+#define ASSERT_CAPABILITY(x) \
+  PATHRANK_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Functions returning a reference to a capability-guarding mutex.
+#define RETURN_CAPABILITY(x) PATHRANK_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Opt-out, with a mandatory justification comment at the use site.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PATHRANK_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace pathrank::common {
+
+class CondVar;
+
+/// std::mutex with the `capability` attribute the analysis keys on.
+/// Identical layout and cost — every method is an inline forward.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::lock_guard over Mutex, visible to the analysis as a scoped
+/// capability: acquiring constructor, releasing destructor, no leaks.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. Every wait requires
+/// the mutex held (REQUIRES), releases it for the duration of the block,
+/// and reacquires before returning — the standard CV contract, but now
+/// machine-checked at the call site. Spurious wakeups are possible, as
+/// with std::condition_variable: always wait in a predicate loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held native mutex so std::condition_variable can
+    // unlock/relock it, then release ownership WITHOUT unlocking — the
+    // caller still holds the capability, exactly as annotated.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pathrank::common

@@ -3,17 +3,20 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/env.h"
+#include "common/thread_annotations.h"
 
 namespace pathrank {
 namespace {
+
+using common::CondVar;
+using common::Mutex;
+using common::MutexLock;
 
 /// True while this thread is executing chunks of a parallel region (pool
 /// worker or the region's caller); nested regions are collapsed to serial
@@ -30,8 +33,8 @@ struct Batch {
   std::atomic<size_t> next_chunk{0};
   std::atomic<size_t> done_chunks{0};
   std::atomic<size_t> active_workers{0};  // pool workers inside Work()
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  Mutex error_mutex;
+  std::exception_ptr first_error GUARDED_BY(error_mutex);
 
   /// Claims and runs chunks until none remain.
   void Work() {
@@ -43,7 +46,7 @@ struct Batch {
       try {
         run_chunk(chunk);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
       done_chunks.fetch_add(1, std::memory_order_release);
@@ -54,6 +57,13 @@ struct Batch {
   bool Finished() const {
     return done_chunks.load(std::memory_order_acquire) == num_chunks;
   }
+
+  /// The first chunk exception, if any — for the region owner, after the
+  /// region retired (taking the lock anyway keeps the proof airtight).
+  std::exception_ptr TakeError() {
+    MutexLock lock(error_mutex);
+    return first_error;
+  }
 };
 
 class ThreadPool {
@@ -63,46 +73,52 @@ class ThreadPool {
     return *pool;
   }
 
-  size_t num_threads() const { return num_threads_; }
+  size_t num_threads() const {
+    return num_threads_.load(std::memory_order_relaxed);
+  }
 
   void Resize(size_t n) {
     if (n == 0) n = DefaultThreads();
-    std::lock_guard<std::mutex> region_lock(region_mutex_);
-    if (n == num_threads_) return;
+    MutexLock region_lock(region_mutex_);
+    if (n == num_threads()) return;
     StopWorkers();
-    num_threads_ = n;
+    num_threads_.store(n, std::memory_order_relaxed);
     StartWorkers();
   }
 
   /// Executes `batch`; the calling thread participates. Blocks until every
   /// chunk finished, then rethrows the first chunk exception, if any.
   void Run(Batch& batch) {
-    std::unique_lock<std::mutex> region_lock(region_mutex_);
+    MutexLock region_lock(region_mutex_);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       current_ = &batch;
     }
-    wake_.notify_all();
+    wake_.NotifyAll();
     batch.Work();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       // Wait for the last chunk AND for every worker to step out of the
       // batch, so it can be destroyed as soon as Run returns.
-      finished_.wait(lock, [&] {
-        return batch.Finished() &&
-               batch.active_workers.load(std::memory_order_acquire) == 0;
-      });
+      while (!(batch.Finished() &&
+               batch.active_workers.load(std::memory_order_acquire) == 0)) {
+        finished_.Wait(mutex_);
+      }
       current_ = nullptr;
       ++region_seq_;
     }
-    idle_.notify_all();
-    if (batch.first_error) std::rethrow_exception(batch.first_error);
+    idle_.NotifyAll();
+    if (std::exception_ptr error = batch.TakeError()) {
+      std::rethrow_exception(error);
+    }
   }
 
  private:
   ThreadPool() {
     const int64_t env = EnvInt("PATHRANK_THREADS", 0);
-    num_threads_ = env > 0 ? static_cast<size_t>(env) : DefaultThreads();
+    num_threads_.store(env > 0 ? static_cast<size_t>(env) : DefaultThreads(),
+                       std::memory_order_relaxed);
+    MutexLock region_lock(region_mutex_);
     StartWorkers();
   }
 
@@ -111,24 +127,28 @@ class ThreadPool {
     return hw > 0 ? static_cast<size_t>(hw) : 1;
   }
 
-  void StartWorkers() {
-    stop_ = false;
+  void StartWorkers() REQUIRES(region_mutex_) {
+    {
+      MutexLock lock(mutex_);
+      stop_ = false;
+    }
     // The caller participates in every region, so N threads of compute
     // need only N - 1 pool workers.
-    const size_t helpers = num_threads_ > 0 ? num_threads_ - 1 : 0;
+    const size_t n = num_threads();
+    const size_t helpers = n > 0 ? n - 1 : 0;
     workers_.reserve(helpers);
     for (size_t i = 0; i < helpers; ++i) {
       workers_.emplace_back([this] { WorkerLoop(); });
     }
   }
 
-  void StopWorkers() {
+  void StopWorkers() REQUIRES(region_mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stop_ = true;
     }
-    wake_.notify_all();
-    idle_.notify_all();
+    wake_.NotifyAll();
+    idle_.NotifyAll();
     for (std::thread& t : workers_) t.join();
     workers_.clear();
   }
@@ -138,10 +158,10 @@ class ThreadPool {
       Batch* batch = nullptr;
       uint64_t my_region = 0;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_.wait(lock, [&] {
-          return stop_ || (current_ != nullptr && !current_->Finished());
-        });
+        MutexLock lock(mutex_);
+        while (!(stop_ || (current_ != nullptr && !current_->Finished()))) {
+          wake_.Wait(mutex_);
+        }
         if (stop_) return;
         batch = current_;
         my_region = region_seq_;
@@ -154,26 +174,29 @@ class ThreadPool {
       batch->active_workers.fetch_sub(1, std::memory_order_acq_rel);
       // Lock-then-notify so the completion cannot slip into the window
       // between the region owner's predicate check and its sleep.
-      { std::lock_guard<std::mutex> lock(mutex_); }
-      finished_.notify_all();
+      { MutexLock lock(mutex_); }
+      finished_.NotifyAll();
       // Park until this region is retired (or shutdown); otherwise the
       // wake_ predicate would spin on the still-current batch.
-      std::unique_lock<std::mutex> lock(mutex_);
-      idle_.wait(lock, [&] { return stop_ || region_seq_ != my_region; });
+      MutexLock lock(mutex_);
+      while (!(stop_ || region_seq_ != my_region)) idle_.Wait(mutex_);
       if (stop_) return;
     }
   }
 
-  std::mutex region_mutex_;  // serialises Run()/Resize() callers
-  std::mutex mutex_;
-  std::condition_variable wake_;      // new region available or shutdown
-  std::condition_variable finished_;  // last chunk of a region done
-  std::condition_variable idle_;      // region retired
-  Batch* current_ = nullptr;
-  uint64_t region_seq_ = 0;  // bumped when a region retires
-  bool stop_ = false;
-  size_t num_threads_ = 1;
-  std::vector<std::thread> workers_;
+  Mutex region_mutex_;  // serialises Run()/Resize() callers
+  Mutex mutex_;
+  CondVar wake_;      // new region available or shutdown
+  CondVar finished_;  // last chunk of a region done
+  CondVar idle_;      // region retired
+  Batch* current_ GUARDED_BY(mutex_) = nullptr;
+  uint64_t region_seq_ GUARDED_BY(mutex_) = 0;  // bumped on region retire
+  bool stop_ GUARDED_BY(mutex_) = false;
+  /// Relaxed atomic rather than GUARDED_BY(region_mutex_): GetNumThreads
+  /// is called on every parallel-loop entry and must not contend with a
+  /// running region; Resize still serialises writers via region_mutex_.
+  std::atomic<size_t> num_threads_{1};
+  std::vector<std::thread> workers_ GUARDED_BY(region_mutex_);
 };
 
 }  // namespace

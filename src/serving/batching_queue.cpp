@@ -17,10 +17,10 @@ BatchingQueue::BatchingQueue(const ServingEngine& engine,
 
 BatchingQueue::~BatchingQueue() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     stop_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   dispatcher_.join();
   // The dispatcher drains the queue before exiting, so no promise is ever
   // abandoned (a dangling future would throw broken_promise at the
@@ -47,12 +47,12 @@ std::future<std::vector<ScoredPath>> BatchingQueue::SubmitScore(
     return future;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     PR_CHECK(!stop_) << "SubmitScore on a stopped BatchingQueue";
     pending_rows_ += request.paths.size();
     pending_.push_back(std::move(request));
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
   return future;
 }
 
@@ -76,15 +76,15 @@ void BatchingQueue::DispatchLoop() {
   std::vector<Request> taken;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+      common::MutexLock lock(mu_);
+      while (!(stop_ || !pending_.empty())) wake_.Wait(mu_);
       if (pending_.empty()) return;  // stop_ set and fully drained
       // Linger until the batch fills, the oldest request's deadline
       // passes, or shutdown begins — then flush whatever is pending.
       const auto deadline = pending_.front().enqueued + max_wait;
-      wake_.wait_until(lock, deadline, [&] {
-        return stop_ || pending_rows_ >= options_.max_batch;
-      });
+      while (!(stop_ || pending_rows_ >= options_.max_batch)) {
+        if (wake_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+      }
       // Take greedily while under the row cap; always take at least one
       // request so an oversized request flushes alone rather than
       // starving.

@@ -25,15 +25,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "serving/serving_engine.h"
 
 namespace pathrank::serving {
@@ -112,11 +111,11 @@ class BatchingQueue {
   const ServingEngine* engine_;
   BatchingOptions options_;
 
-  std::mutex mu_;
-  std::condition_variable wake_;
-  std::deque<Request> pending_;
-  size_t pending_rows_ = 0;
-  bool stop_ = false;
+  common::Mutex mu_;
+  common::CondVar wake_;
+  std::deque<Request> pending_ GUARDED_BY(mu_);
+  size_t pending_rows_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 
   std::atomic<uint64_t> num_flushes_{0};
   std::atomic<uint64_t> num_requests_{0};

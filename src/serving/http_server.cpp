@@ -352,16 +352,16 @@ json::Value StatszJson(const HttpServerStats& stats,
 
 /// Per-endpoint counters + a ring of recent latencies for percentiles.
 struct HttpServer::Endpoint {
-  mutable std::mutex mu;
-  uint64_t requests = 0;
-  uint64_t errors = 0;
-  uint64_t timeouts = 0;
-  double latency_sum_s = 0;
-  std::vector<double> ring;
-  size_t ring_next = 0;
+  mutable common::Mutex mu;
+  uint64_t requests GUARDED_BY(mu) = 0;
+  uint64_t errors GUARDED_BY(mu) = 0;
+  uint64_t timeouts GUARDED_BY(mu) = 0;
+  double latency_sum_s GUARDED_BY(mu) = 0;
+  std::vector<double> ring GUARDED_BY(mu);
+  size_t ring_next GUARDED_BY(mu) = 0;
 
   void Record(double latency_s, bool error, bool timeout = false) {
-    std::lock_guard<std::mutex> lock(mu);
+    common::MutexLock lock(mu);
     ++requests;
     if (error) ++errors;
     if (timeout) ++timeouts;
@@ -382,7 +382,7 @@ struct HttpServer::Endpoint {
       // request hot path, and /statsz polling (admission-exempt, so
       // hammered hardest during overload) must not stall it for a
       // 1024-element sort.
-      std::lock_guard<std::mutex> lock(mu);
+      common::MutexLock lock(mu);
       stats.requests = requests;
       stats.errors = errors;
       stats.timeouts = timeouts;
@@ -481,7 +481,7 @@ void HttpServer::Stop() {
   // One joiner at a time: Stop is advertised as callable from any
   // thread, and two racing callers must not both join the same
   // std::thread (UB). The loser blocks here, then finds nothing to do.
-  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  common::MutexLock stop_lock(stop_mu_);
   if (stop_.exchange(true)) {
     // Never started, or already stopped: nothing to join.
     if (!acceptor_.joinable() && workers_.empty()) return;
@@ -493,17 +493,17 @@ void HttpServer::Stop() {
   {
     // Live connections: a half-close makes any blocked recv() return so
     // the worker can finish its in-flight response and exit.
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    common::MutexLock lock(conn_mu_);
     for (const int fd : active_fds_) ::shutdown(fd, SHUT_RD);
   }
-  conn_cv_.notify_all();
+  conn_cv_.NotifyAll();
   {
     // Taken (and immediately dropped) so the notify cannot slip between
     // an Admit() waiter's predicate check and its block — the classic
     // lost-wakeup, which would stall shutdown by up to max_queue_wait_us.
-    std::lock_guard<std::mutex> admit_lock(admit_mu_);
+    common::MutexLock admit_lock(admit_mu_);
   }
-  admit_cv_.notify_all();
+  admit_cv_.NotifyAll();
   if (acceptor_.joinable()) acceptor_.join();
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
@@ -514,7 +514,7 @@ void HttpServer::Stop() {
     listen_fd_ = -1;
   }
   // Accepted-but-unserviced connections are dropped.
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  common::MutexLock lock(conn_mu_);
   for (const int fd : conn_queue_) ::close(fd);
   conn_queue_.clear();
 }
@@ -558,14 +558,14 @@ void HttpServer::AcceptLoop() {
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &idle, sizeof(idle));
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &idle, sizeof(idle));
     {
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      common::MutexLock lock(conn_mu_);
       if (conn_queue_.size() >= kMaxQueuedConnections) {
         ::close(fd);  // connection flood: drop rather than grow
         continue;
       }
       conn_queue_.push_back(fd);
     }
-    conn_cv_.notify_one();
+    conn_cv_.NotifyOne();
   }
 }
 
@@ -573,9 +573,8 @@ void HttpServer::WorkerLoop() {
   for (;;) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(conn_mu_);
-      conn_cv_.wait(lock,
-                    [this] { return stop_.load() || !conn_queue_.empty(); });
+      common::MutexLock lock(conn_mu_);
+      while (!(stop_.load() || !conn_queue_.empty())) conn_cv_.Wait(conn_mu_);
       // Once stopping, queued connections are dropped by Stop(), not
       // served — picking one up here could block on a silent client.
       if (stop_.load()) return;
@@ -586,7 +585,7 @@ void HttpServer::WorkerLoop() {
     }
     ServeConnection(fd);
     {
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      common::MutexLock lock(conn_mu_);
       active_fds_.erase(fd);
     }
     ::close(fd);
@@ -594,18 +593,22 @@ void HttpServer::WorkerLoop() {
 }
 
 bool HttpServer::Admit() {
-  std::unique_lock<std::mutex> lock(admit_mu_);
+  common::MutexLock lock(admit_mu_);
   if (inflight_ < options_.max_inflight) {
     ++inflight_;
     return true;
   }
   if (options_.max_queue_wait_us <= 0) return false;
   ++admission_waiting_;
-  admit_cv_.wait_for(lock, std::chrono::microseconds(options_.max_queue_wait_us),
-                     [this] {
-                       return stop_.load() ||
-                              inflight_ < options_.max_inflight;
-                     });
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(options_.max_queue_wait_us);
+  while (!(stop_.load() || inflight_ < options_.max_inflight)) {
+    if (admit_cv_.WaitUntil(admit_mu_, deadline) ==
+        std::cv_status::timeout) {
+      break;
+    }
+  }
   --admission_waiting_;
   if (stop_.load() || inflight_ >= options_.max_inflight) return false;
   ++inflight_;
@@ -614,10 +617,10 @@ bool HttpServer::Admit() {
 
 void HttpServer::Release() {
   {
-    std::lock_guard<std::mutex> lock(admit_mu_);
+    common::MutexLock lock(admit_mu_);
     --inflight_;
   }
-  admit_cv_.notify_one();
+  admit_cv_.NotifyOne();
 }
 
 void HttpServer::ServeConnection(int fd) {
@@ -665,7 +668,7 @@ void HttpServer::ServeConnection(int fd) {
         object["swap_count"] = json::Value(
             backend_.swap_count ? backend_.swap_count() : uint64_t{0});
         {
-          std::lock_guard<std::mutex> lock(admit_mu_);
+          common::MutexLock lock(admit_mu_);
           object["inflight"] = json::Value(static_cast<uint64_t>(inflight_));
         }
         object["max_inflight"] =
@@ -995,7 +998,7 @@ HttpServerStats HttpServer::stats() const {
       deadline_exceeded_total_.load(std::memory_order_relaxed);
   stats.degraded_total = degraded_total_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(admit_mu_);
+    common::MutexLock lock(admit_mu_);
     stats.inflight = inflight_;
     stats.admission_waiting = admission_waiting_;
   }

@@ -44,17 +44,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "serving/route_planner.h"
 #include "serving/serving_engine.h"
 
@@ -201,19 +200,20 @@ class HttpServer {
   uint16_t port_ = 0;
   int listen_fd_ = -1;
   std::atomic<bool> stop_{true};
-  std::mutex stop_mu_;  ///< serialises Stop() callers (join is not reentrant)
+  common::Mutex stop_mu_;  ///< serialises Stop() callers (join is not reentrant)
 
   // Accepted connections waiting for a worker.
-  std::mutex conn_mu_;
-  std::condition_variable conn_cv_;
-  std::deque<int> conn_queue_;
-  std::set<int> active_fds_;  // fds being served, for Stop() shutdown
+  common::Mutex conn_mu_;
+  common::CondVar conn_cv_;
+  std::deque<int> conn_queue_ GUARDED_BY(conn_mu_);
+  // fds being served, for Stop() shutdown
+  std::set<int> active_fds_ GUARDED_BY(conn_mu_);
 
   // Admission state.
-  mutable std::mutex admit_mu_;
-  std::condition_variable admit_cv_;
-  size_t inflight_ = 0;
-  size_t admission_waiting_ = 0;
+  mutable common::Mutex admit_mu_;
+  common::CondVar admit_cv_;
+  size_t inflight_ GUARDED_BY(admit_mu_) = 0;
+  size_t admission_waiting_ GUARDED_BY(admit_mu_) = 0;
 
   // Counters.
   std::atomic<uint64_t> connections_accepted_{0};

@@ -39,7 +39,7 @@ RoutePlanner::RoutePlanner(const graph::RoadNetwork& network, ScoreFn score,
 
 RoutePlanner::CacheValue RoutePlanner::CacheLookup(
     const CacheKey& key) const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  common::MutexLock lock(cache_mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) return nullptr;
   // Touch: move the node to the front without invalidating iterators.
@@ -49,7 +49,7 @@ RoutePlanner::CacheValue RoutePlanner::CacheLookup(
 
 void RoutePlanner::CacheInsert(const CacheKey& key, CacheValue value) const {
   if (options_.cache_capacity == 0) return;
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  common::MutexLock lock(cache_mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     // A concurrent miss for the same key beat us here; both computed the
@@ -67,7 +67,7 @@ void RoutePlanner::CacheInsert(const CacheKey& key, CacheValue value) const {
 }
 
 size_t RoutePlanner::cache_size() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  common::MutexLock lock(cache_mu_);
   return lru_.size();
 }
 

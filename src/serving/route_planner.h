@@ -34,12 +34,12 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "data/candidate_generation.h"
 #include "graph/road_network.h"
 #include "routing/path.h"
@@ -192,15 +192,16 @@ class RoutePlanner {
   ScoreFn score_;
   RoutePlannerOptions options_;
 
-  mutable std::mutex cache_mu_;
+  mutable common::Mutex cache_mu_;
   /// Front = most recently used. The map indexes list nodes for O(1)
   /// lookup + splice-to-front.
-  mutable std::list<std::pair<CacheKey, CacheValue>> lru_;
+  mutable std::list<std::pair<CacheKey, CacheValue>> lru_
+      GUARDED_BY(cache_mu_);
   mutable std::unordered_map<CacheKey,
                              std::list<std::pair<CacheKey, CacheValue>>::
                                  iterator,
                              CacheKeyHash>
-      index_;
+      index_ GUARDED_BY(cache_mu_);
   mutable std::atomic<uint64_t> cache_hits_{0};
   mutable std::atomic<uint64_t> cache_misses_{0};
   mutable std::atomic<uint64_t> deadline_exceeded_{0};

@@ -64,8 +64,8 @@ std::vector<routing::Path> GenerateCandidates(
 /// const inference path writes into. No parameters live here — every
 /// replica scores against the one shared snapshot.
 struct ServingEngine::Replica {
-  std::mutex mu;
-  core::InferenceScratch scratch;
+  common::Mutex mu;
+  core::InferenceScratch scratch GUARDED_BY(mu);
 };
 
 ServingEngine::ServingEngine(const graph::RoadNetwork& network,
@@ -101,7 +101,7 @@ std::shared_ptr<const ModelSnapshot> ServingEngine::SwapSnapshot(
   // One locked exchange is the entire cut-over: requests that already
   // copied the old pointer finish on it (their shared_ptr copy keeps it
   // alive); requests that copy after this line see `next`.
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  common::MutexLock lock(snapshot_mu_);
   snapshot_.swap(next);
   return next;
 }
@@ -115,7 +115,7 @@ std::vector<float> ServingEngine::ScoreOn(
       round_robin_.fetch_add(1, std::memory_order_relaxed) %
       static_cast<uint32_t>(replicas_.size());
   Replica& replica = *replicas_[idx];
-  std::lock_guard<std::mutex> lock(replica.mu);
+  common::MutexLock lock(replica.mu);
   // Score serially on this thread: parallelism lives across queries (many
   // callers / RankBatch shards), and a caller that holds a replica lock
   // must never block on the global pool — a pool worker could be waiting
@@ -150,7 +150,7 @@ std::vector<float> ServingEngine::ScoreCoalesced(
   // this lock and none of them is a pool worker (guarded above), so no
   // pool region can be waiting on it. Bitwise identical to the serial
   // path: the GEMM kernels are thread-count stable (docs/performance.md).
-  std::lock_guard<std::mutex> lock(batch_replica_->mu);
+  common::MutexLock lock(batch_replica_->mu);
   return snap->model().ForwardInference(batch, &batch_replica_->scratch);
 }
 

@@ -20,10 +20,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/thread_annotations.h"
 #include "core/model.h"
 #include "data/candidate_generation.h"
 #include "graph/road_network.h"
@@ -145,7 +145,7 @@ class ServingEngine {
   /// The currently served snapshot (a new swap may supersede it at any
   /// time; the returned handle stays valid regardless).
   std::shared_ptr<const ModelSnapshot> shared_snapshot() const {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    common::MutexLock lock(snapshot_mu_);
     return snapshot_;
   }
   /// Number of SwapSnapshot calls since construction.
@@ -169,8 +169,8 @@ class ServingEngine {
   /// section is one refcounted copy (noise next to a forward pass), and
   /// libstdc++'s lock-bit _Sp_atomic protocol is opaque to TSan, which
   /// the CI thread-sanitizer gate runs against.
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const ModelSnapshot> snapshot_;
+  mutable common::Mutex snapshot_mu_;
+  std::shared_ptr<const ModelSnapshot> snapshot_ GUARDED_BY(snapshot_mu_);
   std::atomic<uint64_t> swap_count_{0};
   ServingOptions options_;
   std::vector<std::unique_ptr<Replica>> replicas_;
