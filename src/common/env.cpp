@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/parse.h"
+
 namespace pathrank {
 namespace {
 
@@ -19,21 +21,19 @@ std::string EnvString(const char* name, const std::string& fallback) {
 }
 
 int64_t EnvInt(const char* name, int64_t fallback) {
+  // Whole-token or fallback: "12abc" and an overflowing value fall back
+  // rather than half-parse (strtoll would yield 12 / a clamped extreme).
   const char* v = RawEnv(name);
   if (v == nullptr) return fallback;
-  char* end = nullptr;
-  const long long parsed = std::strtoll(v, &end, 10);
-  if (end == v) return fallback;
-  return static_cast<int64_t>(parsed);
+  int64_t parsed = 0;
+  return ParseInt64(v, &parsed) ? parsed : fallback;
 }
 
 double EnvDouble(const char* name, double fallback) {
   const char* v = RawEnv(name);
   if (v == nullptr) return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(v, &end);
-  if (end == v) return fallback;
-  return parsed;
+  double parsed = 0.0;
+  return ParseDouble(v, &parsed) ? parsed : fallback;
 }
 
 bool EnvBool(const char* name, bool fallback) {

@@ -44,6 +44,14 @@ bool ParseUInt32(const std::string& s, uint32_t* out) {
   return ParseIntegral(s, out);
 }
 
+bool ParseInt64(const std::string& s, int64_t* out) {
+  return ParseIntegral(s, out);
+}
+
+bool ParseUInt64(const std::string& s, uint64_t* out) {
+  return ParseIntegral(s, out);
+}
+
 bool ParseDouble(const std::string& s, double* out) {
   // strtod rather than from_chars<double>: the FP overload is still
   // missing from some libstdc++/libc++ versions this repo builds on.

@@ -20,6 +20,8 @@ namespace pathrank {
 /// parse; "12,3", "nan" and "inf" do not.)
 bool ParseInt32(const std::string& s, int32_t* out);
 bool ParseUInt32(const std::string& s, uint32_t* out);
+bool ParseInt64(const std::string& s, int64_t* out);
+bool ParseUInt64(const std::string& s, uint64_t* out);
 bool ParseDouble(const std::string& s, double* out);
 
 /// Loader-facing wrappers: parse one field of `file` or throw

@@ -21,6 +21,7 @@
 #include <stdexcept>
 
 #include "common/deadline.h"
+#include "common/parse.h"
 #include "common/percentile.h"
 #include "common/stopwatch.h"
 #include "serving/json.h"
@@ -237,15 +238,14 @@ ReadResult ReadRequest(int fd, std::string* buffer, Request* request,
   size_t content_length = 0;
   const auto length_it = request->headers.find("content-length");
   if (length_it != request->headers.end()) {
-    // 1*DIGIT per RFC 9110 — strtoull alone would accept "-1" (wrapping
-    // to ULLONG_MAX) or "+5".
-    const std::string& length_header = length_it->second;
-    if (length_header.empty() ||
-        length_header.find_first_not_of("0123456789") != std::string::npos) {
+    // 1*DIGIT per RFC 9110: the whole-token unsigned parse rejects "-1",
+    // "+5", trailing junk, and a value past uint64 (no strtoull-style
+    // saturation to ULLONG_MAX).
+    uint64_t parsed = 0;
+    if (!ParseUInt64(length_it->second, &parsed)) {
       return ReadResult::kBadRequest;
     }
-    content_length =
-        static_cast<size_t>(std::strtoull(length_header.c_str(), nullptr, 10));
+    content_length = static_cast<size_t>(parsed);
   }
   if (content_length > max_body_bytes) {
     *error_status = 413;

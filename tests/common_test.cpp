@@ -8,6 +8,7 @@
 #include "common/csv.h"
 #include "common/env.h"
 #include "common/logging.h"
+#include "common/parse.h"
 #include "common/percentile.h"
 #include "common/rng.h"
 #include "common/string_util.h"
@@ -204,6 +205,39 @@ TEST(Env, ParsesSetValues) {
   setenv("PATHRANK_TEST_VAR", "off", 1);
   EXPECT_FALSE(EnvBool("PATHRANK_TEST_VAR", true));
   unsetenv("PATHRANK_TEST_VAR");
+}
+
+TEST(Parse, WholeTokenIntegers) {
+  int64_t i64 = 0;
+  EXPECT_TRUE(ParseInt64("-9223372036854775808", &i64));
+  EXPECT_EQ(i64, INT64_MIN);
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &i64));
+  EXPECT_EQ(i64, INT64_MAX);
+  // Half-parses under std::stoll; must fail whole-token.
+  EXPECT_FALSE(ParseInt64("12abc", &i64));
+  EXPECT_FALSE(ParseInt64(" 12", &i64));
+  EXPECT_FALSE(ParseInt64("", &i64));
+  // One past INT64_MAX: overflow is a failure, not a saturate.
+  EXPECT_FALSE(ParseInt64("9223372036854775808", &i64));
+
+  uint64_t u64 = 0;
+  EXPECT_TRUE(ParseUInt64("18446744073709551615", &u64));
+  EXPECT_EQ(u64, UINT64_MAX);
+  EXPECT_FALSE(ParseUInt64("18446744073709551616", &u64));
+  EXPECT_FALSE(ParseUInt64("-1", &u64));
+  EXPECT_FALSE(ParseUInt64("0x10", &u64));
+}
+
+TEST(Parse, DoubleRejectsNonFiniteAndJunk) {
+  double d = 0.0;
+  EXPECT_TRUE(ParseDouble("-0.5", &d));
+  EXPECT_DOUBLE_EQ(d, -0.5);
+  EXPECT_TRUE(ParseDouble("1e3", &d));
+  EXPECT_DOUBLE_EQ(d, 1000.0);
+  EXPECT_FALSE(ParseDouble("nan", &d));
+  EXPECT_FALSE(ParseDouble("inf", &d));
+  EXPECT_FALSE(ParseDouble("12,3", &d));
+  EXPECT_FALSE(ParseDouble("1.5x", &d));
 }
 
 TEST(Logging, ParseLevels) {

@@ -53,6 +53,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/parse.h"
 #include "common/percentile.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -111,17 +112,11 @@ class Args {
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
   int GetInt(const std::string& key, int fallback) const {
-    return GetParsed<int>(key, fallback, "an integer",
-                          [](const std::string& s, size_t* consumed) {
-                            return std::stoi(s, consumed);
-                          });
+    return GetParsed<int32_t>(key, fallback, "an integer", ParseInt32);
   }
 
   double GetDouble(const std::string& key, double fallback) const {
-    return GetParsed<double>(key, fallback, "a number",
-                             [](const std::string& s, size_t* consumed) {
-                               return std::stod(s, consumed);
-                             });
+    return GetParsed<double>(key, fallback, "a number", ParseDouble);
   }
 
   std::string Require(const std::string& key) const {
@@ -134,24 +129,22 @@ class Args {
   }
 
  private:
-  /// Shared lookup/parse/diagnostic for the numeric getters: the whole
-  /// value must convert, anything else is a clean usage error (exit 2),
-  /// never an uncaught std::stoi/stod exception.
-  template <typename T, typename Convert>
+  /// Shared lookup/parse/diagnostic for the numeric getters, built on the
+  /// common/parse whole-token parsers: the entire value must convert
+  /// (trailing junk, overflow and non-finite values are all clean usage
+  /// errors, exit 2 — never a half-parsed flag).
+  template <typename T, typename Parse>
   T GetParsed(const std::string& key, T fallback, const char* expected,
-              Convert convert) const {
+              Parse parse) const {
     auto it = values_.find(key);
     if (it == values_.end()) return fallback;
-    try {
-      size_t consumed = 0;
-      const T value = convert(it->second, &consumed);
-      if (consumed != it->second.size()) throw std::invalid_argument(key);
-      return value;
-    } catch (const std::exception&) {
+    T value{};
+    if (!parse(it->second, &value)) {
       std::fprintf(stderr, "flag --%s expects %s, got '%s'\n", key.c_str(),
                    expected, it->second.c_str());
       std::exit(2);
     }
+    return value;
   }
 
   std::map<std::string, std::string> values_;
