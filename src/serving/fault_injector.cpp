@@ -4,6 +4,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/parse.h"
+
 namespace pathrank::serving {
 
 namespace {
@@ -33,9 +35,12 @@ double UniformDraw(uint64_t seed, uint64_t site_hash, uint64_t ordinal) {
   return static_cast<double>(bits >> 11) * 0x1.0p-53;
 }
 
-std::nullptr_t Fail(std::string* error, const std::string& message) {
-  if (error != nullptr) *error = message;
-  return nullptr;
+/// Rule-indexed spec diagnostic, in the common/parse field convention
+/// ("<where>: <what>, got '<token>'"). Rules are 1-based, like lines.
+[[noreturn]] void ThrowSpecError(size_t rule_index,
+                                 const std::string& what) {
+  throw FaultSpecError("fault spec rule " + std::to_string(rule_index) +
+                       ": " + what);
 }
 
 std::vector<std::string> Split(const std::string& s, char sep) {
@@ -53,63 +58,28 @@ std::vector<std::string> Split(const std::string& s, char sep) {
   return out;
 }
 
-bool ParseInt(const std::string& s, int64_t* out) {
-  if (s.empty()) return false;
-  int64_t value = 0;
-  for (char c : s) {
-    if (c < '0' || c > '9') return false;
-    if (value > (INT64_MAX - (c - '0')) / 10) return false;
-    value = value * 10 + (c - '0');
-  }
-  *out = value;
-  return true;
-}
-
-bool ParseProbability(const std::string& s, double* out) {
-  // Accepts "0", "1", "0.25" — digits with at most one dot; strtod-free
-  // to keep behaviour locale-independent.
-  if (s.empty()) return false;
-  int64_t whole = 0;
-  double frac = 0.0;
-  const size_t dot = s.find('.');
-  if (!ParseInt(s.substr(0, dot == std::string::npos ? s.size() : dot),
-                &whole)) {
-    return false;
-  }
-  if (dot != std::string::npos) {
-    const std::string tail = s.substr(dot + 1);
-    int64_t digits = 0;
-    if (!ParseInt(tail, &digits)) return false;
-    double scale = 1.0;
-    for (size_t i = 0; i < tail.size(); ++i) scale *= 10.0;
-    frac = static_cast<double>(digits) / scale;
-  }
-  const double value = static_cast<double>(whole) + frac;
-  if (value < 0.0 || value > 1.0) return false;
-  *out = value;
-  return true;
-}
-
 }  // namespace
 
 std::shared_ptr<FaultInjector> FaultInjector::Parse(const std::string& spec,
-                                                    uint64_t seed,
-                                                    std::string* error) {
+                                                    uint64_t seed) {
   auto injector = std::shared_ptr<FaultInjector>(new FaultInjector());
   injector->seed_ = seed;
   if (spec.empty()) return injector;
+  size_t rule_index = 0;
   for (const std::string& rule_text : Split(spec, ';')) {
+    ++rule_index;
     if (rule_text.empty()) {
-      return Fail(error, "empty rule in fault spec");
+      ThrowSpecError(rule_index, "empty rule (stray ';'?)");
     }
     const std::vector<std::string> fields = Split(rule_text, ':');
     const std::string& site = fields[0];
     if (site.empty() || site.find('=') != std::string::npos) {
-      return Fail(error, "bad site name in rule '" + rule_text + "'");
+      ThrowSpecError(rule_index,
+                     "site expects a name, got '" + site + "'");
     }
     auto [it, inserted] = injector->rules_.try_emplace(site);
     if (!inserted) {
-      return Fail(error, "duplicate site '" + site + "' in fault spec");
+      ThrowSpecError(rule_index, "duplicate site '" + site + "'");
     }
     Rule& rule = it->second;
     bool has_effect = false;
@@ -119,23 +89,31 @@ std::shared_ptr<FaultInjector> FaultInjector::Parse(const std::string& spec,
         rule.error = true;
         has_effect = true;
       } else if (field.rfind("delay_ms=", 0) == 0) {
-        if (!ParseInt(field.substr(9), &rule.delay_ms)) {
-          return Fail(error, "bad delay in '" + field + "'");
+        const std::string token = field.substr(9);
+        // Whole-token, overflow-checked: "delay_ms=12x" and a value past
+        // INT64_MAX both throw instead of installing a truncated delay.
+        if (!ParseInt64(token, &rule.delay_ms) || rule.delay_ms < 0) {
+          ThrowSpecError(rule_index,
+                         "delay_ms expects a non-negative integer, got '" +
+                             token + "'");
         }
         has_effect = true;
       } else if (field.rfind("p=", 0) == 0) {
-        if (!ParseProbability(field.substr(2), &rule.probability)) {
-          return Fail(error,
-                      "bad probability in '" + field + "' (want [0,1])");
+        const std::string token = field.substr(2);
+        if (!ParseDouble(token, &rule.probability) ||
+            rule.probability < 0.0 || rule.probability > 1.0) {
+          ThrowSpecError(rule_index,
+                         "p expects a number in [0,1], got '" + token +
+                             "'");
         }
       } else {
-        return Fail(error, "unknown field '" + field + "' in rule '" +
-                               rule_text + "'");
+        ThrowSpecError(rule_index, "unknown field '" + field + "'");
       }
     }
     if (!has_effect) {
-      return Fail(error, "rule '" + rule_text +
-                             "' has no effect (need delay_ms= or error)");
+      ThrowSpecError(rule_index, "rule '" + rule_text +
+                                     "' has no effect (need delay_ms= "
+                                     "or error)");
     }
   }
   return injector;

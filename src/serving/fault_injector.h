@@ -49,6 +49,17 @@ class FaultInjectedError : public std::runtime_error {
       : std::runtime_error("injected fault at site '" + site + "'") {}
 };
 
+/// Thrown by Parse on a malformed spec. Messages follow the
+/// common/parse field-diagnostic convention — "fault spec rule <n>:
+/// <field> expects ..., got '<token>'" — so a typo in a
+/// PATHRANK_FAULTS-style flag is a one-glance fix instead of a
+/// silently fault-free chaos run.
+class FaultSpecError : public std::invalid_argument {
+ public:
+  explicit FaultSpecError(const std::string& message)
+      : std::invalid_argument(message) {}
+};
+
 /// Parsed, immutable fault plan. Default-constructed = no faults (every
 /// Inject is a no-op), so seams can call unconditionally.
 class FaultInjector {
@@ -57,14 +68,14 @@ class FaultInjector {
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
-  /// Parses `spec` (grammar above). Returns nullptr and fills `error`
-  /// (when given) on a malformed spec — unknown field, bad number, p
-  /// outside [0,1], empty site. An empty spec parses to a no-fault
-  /// injector. Shared-ptr because the backend lambdas that capture the
-  /// injector must copy, and the per-site ordinals must stay shared.
+  /// Parses `spec` (grammar above). Throws FaultSpecError on a malformed
+  /// spec — unknown field, bad or overflowing number, p outside [0,1],
+  /// empty site, duplicate site, rule with no effect. Never returns
+  /// nullptr: an empty spec parses to a no-fault injector. Shared-ptr
+  /// because the backend lambdas that capture the injector must copy,
+  /// and the per-site ordinals must stay shared.
   static std::shared_ptr<FaultInjector> Parse(const std::string& spec,
-                                              uint64_t seed,
-                                              std::string* error = nullptr);
+                                              uint64_t seed);
 
   /// Applies the rule for `site`, if any: maybe-sleep then maybe-throw
   /// FaultInjectedError. Unknown sites are free (one hash lookup).

@@ -246,20 +246,57 @@ TEST(PlannerDeadline, AlreadyExpiredBudgetIs504NotUnreachable) {
 // ---- FaultInjector -----------------------------------------------------
 
 TEST(FaultInjector, ParsesTheGrammarAndRejectsJunk) {
-  std::string error;
-  EXPECT_NE(FaultInjector::Parse("", 1, &error), nullptr);
+  EXPECT_NE(FaultInjector::Parse("", 1), nullptr);
   const auto plan =
-      FaultInjector::Parse("route:delay_ms=5;score:error:p=0.5", 1, &error);
-  ASSERT_NE(plan, nullptr) << error;
+      FaultInjector::Parse("route:delay_ms=5;score:error:p=0.5", 1);
+  ASSERT_NE(plan, nullptr);
   EXPECT_TRUE(plan->enabled());
 
-  EXPECT_EQ(FaultInjector::Parse("route", 1, &error), nullptr);
-  EXPECT_NE(error.find("no effect"), std::string::npos) << error;
-  EXPECT_EQ(FaultInjector::Parse("route:delay_ms=x", 1, &error), nullptr);
-  EXPECT_EQ(FaultInjector::Parse("route:p=1.5:error", 1, &error), nullptr);
-  EXPECT_EQ(FaultInjector::Parse("route:frobnicate", 1, &error), nullptr);
-  EXPECT_EQ(FaultInjector::Parse(";route:error", 1, &error), nullptr);
-  EXPECT_EQ(FaultInjector::Parse("a:error;a:error", 1, &error), nullptr);
+  EXPECT_THROW(FaultInjector::Parse("route", 1), FaultSpecError);
+  EXPECT_THROW(FaultInjector::Parse("route:delay_ms=x", 1), FaultSpecError);
+  EXPECT_THROW(FaultInjector::Parse("route:p=1.5:error", 1), FaultSpecError);
+  EXPECT_THROW(FaultInjector::Parse("route:frobnicate", 1), FaultSpecError);
+  EXPECT_THROW(FaultInjector::Parse(";route:error", 1), FaultSpecError);
+  EXPECT_THROW(FaultInjector::Parse("a:error;a:error", 1), FaultSpecError);
+}
+
+TEST(FaultInjector, MalformedSpecsThrowWithFieldDiagnostics) {
+  // Each malformed grammar must throw — never parse to a silently
+  // fault-free plan — and the message must name the rule and the
+  // offending token in the common/parse "<field> expects ..., got
+  // '<token>'" convention.
+  const auto message_of = [](const std::string& spec) -> std::string {
+    try {
+      FaultInjector::Parse(spec, 1);
+    } catch (const FaultSpecError& e) {
+      return e.what();
+    }
+    return "";  // no throw: every EXPECT below fails loudly
+  };
+
+  // Missing fields: "site:" splits into an empty (unknown) field.
+  EXPECT_NE(message_of("route:").find("unknown field ''"),
+            std::string::npos);
+  // Missing value after the key.
+  EXPECT_NE(message_of("route:delay_ms=")
+                .find("delay_ms expects a non-negative integer, got ''"),
+            std::string::npos);
+  // Junk probability.
+  EXPECT_NE(message_of("route:error:p=fast")
+                .find("p expects a number in [0,1], got 'fast'"),
+            std::string::npos);
+  EXPECT_NE(message_of("route:error:p=0..5").find("p expects"),
+            std::string::npos);
+  // Overflow: past INT64_MAX must throw, not truncate or wrap.
+  EXPECT_NE(message_of("route:delay_ms=99999999999999999999")
+                .find("delay_ms expects a non-negative integer"),
+            std::string::npos);
+  // Negative delay (whole-token parse accepts the sign; range does not).
+  EXPECT_NE(message_of("route:delay_ms=-5").find("delay_ms expects"),
+            std::string::npos);
+  // The rule index is 1-based and names the offending rule, not rule 1.
+  EXPECT_NE(message_of("a:error;b:delay_ms=x").find("fault spec rule 2:"),
+            std::string::npos);
 }
 
 TEST(FaultInjector, FiresDeterministicallyPerSeedAndOrdinal) {

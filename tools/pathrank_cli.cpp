@@ -534,12 +534,12 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
   // /v1/route too.
   std::shared_ptr<serving::FaultInjector> faults;
   if (args.Has("fault-spec")) {
-    std::string fault_error;
-    faults = serving::FaultInjector::Parse(
-        args.Get("fault-spec", ""),
-        static_cast<uint64_t>(args.GetInt("fault-seed", 1)), &fault_error);
-    if (faults == nullptr) {
-      std::fprintf(stderr, "--fault-spec: %s\n", fault_error.c_str());
+    try {
+      faults = serving::FaultInjector::Parse(
+          args.Get("fault-spec", ""),
+          static_cast<uint64_t>(args.GetInt("fault-seed", 1)));
+    } catch (const serving::FaultSpecError& e) {
+      std::fprintf(stderr, "--fault-spec: %s\n", e.what());
       return 2;
     }
   }
