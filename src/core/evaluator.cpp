@@ -94,13 +94,4 @@ EvalResult Evaluate(const PathRankModel& model,
   return result;
 }
 
-EvalResult EvaluateWithReplicas(const std::vector<PathRankModel*>& models,
-                                const data::RankingDataset& dataset) {
-  PR_CHECK(!models.empty());
-  // The contract required all entries to hold bitwise-identical
-  // parameters, so scoring everything through models[0]'s const inference
-  // path produces the same result the sharded-replica version did.
-  return Evaluate(*models[0], dataset);
-}
-
 }  // namespace pathrank::core

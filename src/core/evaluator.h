@@ -31,15 +31,4 @@ struct EvalResult {
 EvalResult Evaluate(const PathRankModel& model,
                     const data::RankingDataset& dataset);
 
-/// DEPRECATED shim: the const inference path made caller-owned replicas
-/// unnecessary — only models[0] is read (entries were required to be
-/// bitwise identical, so results are unchanged). Kept for source
-/// compatibility; call Evaluate directly. For deployment-style scoring of
-/// live queries (as opposed to offline metric runs), use the serving
-/// stack's batched entry points instead: serving::ServingEngine with a
-/// serving::BatchingQueue / serving::ShardedEngine in front
-/// (docs/serving.md).
-EvalResult EvaluateWithReplicas(const std::vector<PathRankModel*>& models,
-                                const data::RankingDataset& dataset);
-
 }  // namespace pathrank::core

@@ -22,16 +22,13 @@
 //   auto batches = engine.RankBatch(queries);                // many queries
 //   auto scored  = engine.ScoreBatch(candidatePaths);        // own candidates
 //
-// (core::Ranker still compiles as a deprecated single-replica shim over
-// the engine.) See docs/serving.md for the threading and determinism
-// contract.
+// See docs/serving.md for the threading and determinism contract.
 #pragma once
 
 #include "core/config.h"       // IWYU pragma: export
 #include "core/evaluator.h"    // IWYU pragma: export
 #include "core/model.h"        // IWYU pragma: export
 #include "core/model_io.h"     // IWYU pragma: export
-#include "core/ranker.h"       // IWYU pragma: export
 #include "core/trainer.h"      // IWYU pragma: export
 #include "data/batcher.h"      // IWYU pragma: export
 #include "data/candidate_generation.h"  // IWYU pragma: export

@@ -1,15 +1,15 @@
 // PathRank model behaviour: output range, variants (PR-A1 freeze vs PR-A2
-// fine-tune), cell/bidirectional configurations, gradient flow, and the
-// ranker facade.
+// fine-tune), cell/bidirectional configurations, gradient flow, and
+// end-to-end ranking through the serving engine.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "core/model.h"
-#include "core/ranker.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "graph/network_builder.h"
+#include "serving/serving_engine.h"
 
 namespace pathrank::core {
 namespace {
@@ -224,14 +224,14 @@ TEST(PathRankModel, InitializeEmbeddingIsUsed) {
   EXPECT_TRUE(any_diff);
 }
 
-TEST(Ranker, SortsByScoreDescending) {
+TEST(ModelServing, RanksSortedByScoreDescending) {
   const auto net = graph::BuildTestNetwork();
   PathRankConfig cfg = SmallConfig();
   PathRankModel model(net.num_vertices(), cfg);
-  Ranker ranker(net, model);
+  const serving::ServingEngine engine(net, model);
   data::CandidateGenConfig gen;
   gen.k = 5;
-  const auto ranked = ranker.Rank(0, 63, gen);
+  const auto ranked = engine.Rank(0, 63, gen);
   ASSERT_GE(ranked.size(), 2u);
   for (size_t i = 1; i < ranked.size(); ++i) {
     EXPECT_GE(ranked[i - 1].score, ranked[i].score);
@@ -242,12 +242,12 @@ TEST(Ranker, SortsByScoreDescending) {
   }
 }
 
-TEST(Ranker, ScoreEmptyInputYieldsEmpty) {
+TEST(ModelServing, ScoreEmptyInputYieldsEmpty) {
   const auto net = graph::BuildTestNetwork();
   PathRankConfig cfg = SmallConfig();
   PathRankModel model(net.num_vertices(), cfg);
-  Ranker ranker(net, model);
-  EXPECT_TRUE(ranker.Score({}).empty());
+  const serving::ServingEngine engine(net, model);
+  EXPECT_TRUE(engine.ScoreBatch({}).empty());
 }
 
 }  // namespace

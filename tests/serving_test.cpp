@@ -1,8 +1,7 @@
 // Serving stack: const inference path equivalence (every cell / pooling /
 // multi-task / direction configuration), skip-init construction, immutable
-// snapshots, the replica-pool ServingEngine (batch-vs-single and
-// concurrent-vs-serial bitwise equivalence), and the deprecated Ranker
-// shim.
+// snapshots, and the replica-pool ServingEngine (batch-vs-single and
+// concurrent-vs-serial bitwise equivalence).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -14,7 +13,6 @@
 
 #include "common/thread_pool.h"
 #include "core/model.h"
-#include "core/ranker.h"
 #include "graph/network_builder.h"
 #include "serving/model_snapshot.h"
 #include "serving/serving_engine.h"
@@ -333,18 +331,18 @@ TEST(ServingEngine, EmptyBatchAndEmptyPathsAreFine) {
   EXPECT_TRUE(engine.ScoreBatch({}).empty());
 }
 
-// ---- deprecated Ranker shim ------------------------------------------
-
-TEST(RankerShim, MatchesServingEngine) {
+TEST(ServingEngine, TwoEnginesOverOneModelAgreeBitwise) {
+  // Two independently constructed engines capture independent snapshots
+  // of the same model; determinism demands bitwise-equal rankings.
   EngineFixture fx;
-  const core::Ranker ranker(fx.network, fx.model);
-  const ServingEngine engine(fx.network, fx.model);
-  const auto via_shim = ranker.Rank(0, 63, fx.gen);
-  const auto via_engine = engine.Rank(0, 63, fx.gen);
-  ASSERT_EQ(via_shim.size(), via_engine.size());
-  for (size_t i = 0; i < via_shim.size(); ++i) {
-    EXPECT_EQ(via_shim[i].score, via_engine[i].score);
-    EXPECT_EQ(via_shim[i].path.vertices, via_engine[i].path.vertices);
+  const ServingEngine first(fx.network, fx.model);
+  const ServingEngine second(fx.network, fx.model);
+  const auto via_first = first.Rank(0, 63, fx.gen);
+  const auto via_second = second.Rank(0, 63, fx.gen);
+  ASSERT_EQ(via_first.size(), via_second.size());
+  for (size_t i = 0; i < via_first.size(); ++i) {
+    EXPECT_EQ(via_first[i].score, via_second[i].score);
+    EXPECT_EQ(via_first[i].path.vertices, via_second[i].path.vertices);
   }
 }
 
