@@ -35,6 +35,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "experiment_common.h"
+#include "serving/graph_store.h"
 #include "serving/http_server.h"
 #include "serving/route_planner.h"
 
@@ -583,6 +584,130 @@ void BenchServingRoute(const bench::ExperimentScale& scale,
       static_cast<double>(served) / wall);
 }
 
+// Live-graph ingestion (/v1/traffic) and what it costs the route path:
+// ingest = copy-on-write CSR rebuild + one atomic snapshot publish per
+// batch; after-swap = the first route-query wave at the new epoch, when
+// every cached candidate set is stale by definition and each query pays
+// a full re-enumeration. The gap between serve_route_warm_* and
+// serve_route_after_swap_* is the correctness price of epoch-keyed
+// invalidation.
+void BenchServingGraphSwap(const bench::ExperimentScale& scale,
+                           const bench::Workload& workload,
+                           Metrics* metrics) {
+  core::PathRankConfig model_cfg;
+  model_cfg.embedding_dim = 64;
+  model_cfg.hidden_size = scale.hidden_size;
+  model_cfg.seed = 7;
+  const core::PathRankModel model(workload.network.num_vertices(), model_cfg,
+                                  core::InitMode::kRandomInit);
+  const auto snapshot = serving::ModelSnapshot::Capture(model);
+
+  serving::ServingOptions options;
+  options.candidates.k = scale.candidates_k;
+  options.candidates.similarity_threshold = 0.6;
+  options.candidates.max_enumerated = 300;
+  const serving::ServingEngine engine(workload.network, snapshot, options);
+
+  serving::GraphStore store{graph::RoadNetwork(workload.network)};
+  serving::RoutePlannerOptions route_options;
+  route_options.candidates = options.candidates;
+  route_options.cache_capacity = 4096;
+  const serving::RoutePlanner planner(
+      store,
+      [&engine](std::vector<routing::Path> paths) {
+        return engine.ScoreBatch(paths);
+      },
+      route_options);
+
+  std::vector<serving::RouteRequest> queries;
+  std::set<std::pair<graph::VertexId, graph::VertexId>> seen;
+  for (const auto& trip : workload.trips) {
+    if (queries.size() >= 24) break;
+    if (seen.emplace(trip.source(), trip.destination()).second) {
+      queries.push_back({trip.source(), trip.destination()});
+    }
+  }
+  // Prime so the FIRST post-swap wave measures invalidation, not a cold
+  // cache.
+  for (const auto& query : queries) planner.Plan(query);
+
+  const size_t num_edges = workload.network.num_edges();
+  const size_t batch_size = std::min<size_t>(64, num_edges);
+  std::vector<double> ingest;
+  std::vector<double> after_swap;
+  int round = 0;
+  Stopwatch watch;
+  do {
+    // A rotating window of cost perturbations; alternating 1.25 / 0.8
+    // keeps travel times bounded over arbitrarily many rounds.
+    const double factor = (round % 2 == 0) ? 1.25 : 0.8;
+    const auto current = store.Current();
+    std::vector<graph::TrafficUpdate> batch;
+    batch.reserve(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) {
+      graph::TrafficUpdate update;
+      update.edge = static_cast<graph::EdgeId>(
+          (static_cast<size_t>(round) * batch_size + i) % num_edges);
+      update.travel_time_s =
+          current->network().edge(update.edge).travel_time_s * factor;
+      update.has_travel_time = true;
+      batch.push_back(update);
+    }
+    Stopwatch per_batch;
+    const serving::TrafficResult applied = store.ApplyTraffic(batch);
+    ingest.push_back(per_batch.ElapsedSeconds());
+    if (applied.status != serving::TrafficStatus::kOk) {
+      std::fprintf(stderr, "graph swap bench: traffic rejected: %s\n",
+                   applied.message.c_str());
+      std::exit(1);
+    }
+
+    // The first wave after the swap: every query must be a miss (its
+    // cached set belongs to the superseded epoch) and must resolve
+    // against the new snapshot.
+    for (const auto& query : queries) {
+      Stopwatch per_query;
+      const auto result = planner.Plan(query);
+      after_swap.push_back(per_query.ElapsedSeconds());
+      if (result.status != serving::RouteStatus::kOk) {
+        std::fprintf(stderr, "graph swap bench: unexpected status %s\n",
+                     serving::RouteStatusSlug(result.status));
+        std::exit(1);
+      }
+      if (result.cache_hit || result.graph_epoch != applied.epoch) {
+        // A hit here means a stale set crossed the epoch boundary — the
+        // bench would silently measure the wrong thing (and the serving
+        // stack would be broken).
+        std::fprintf(stderr,
+                     "graph swap bench: stale cache entry served after "
+                     "swap (hit=%d epoch=%llu expected %llu)\n",
+                     result.cache_hit ? 1 : 0,
+                     static_cast<unsigned long long>(result.graph_epoch),
+                     static_cast<unsigned long long>(applied.epoch));
+        std::exit(1);
+      }
+    }
+    ++round;
+  } while (round < 4 ||
+           (after_swap.size() < 96 && watch.ElapsedSeconds() < 2.0));
+
+  std::sort(ingest.begin(), ingest.end());
+  std::sort(after_swap.begin(), after_swap.end());
+  (*metrics)["serve_traffic_ingest_p50_s"] = PercentileSorted(ingest, 0.50);
+  (*metrics)["serve_traffic_ingest_p99_s"] = PercentileSorted(ingest, 0.99);
+  (*metrics)["serve_route_after_swap_p50_s"] =
+      PercentileSorted(after_swap, 0.50);
+  (*metrics)["serve_route_after_swap_p99_s"] =
+      PercentileSorted(after_swap, 0.99);
+  std::printf(
+      "serve traffic ingest p50 %.2f ms  p99 %.2f ms | route after swap "
+      "p50 %.2f ms  p99 %.2f ms (%d swaps)\n",
+      PercentileSorted(ingest, 0.50) * 1e3,
+      PercentileSorted(ingest, 0.99) * 1e3,
+      PercentileSorted(after_swap, 0.50) * 1e3,
+      PercentileSorted(after_swap, 0.99) * 1e3, round);
+}
+
 void BenchSnapshotSwap(const bench::ExperimentScale& scale,
                        const bench::Workload& workload, Metrics* metrics) {
   core::PathRankConfig model_cfg;
@@ -747,6 +872,7 @@ int main(int argc, char** argv) {
   BenchServingBatched(scale, workload, thread_counts, &metrics);
   BenchServingHttp(scale, workload, &metrics);
   BenchServingRoute(scale, workload, &metrics);
+  BenchServingGraphSwap(scale, workload, &metrics);
   BenchSnapshotSwap(scale, workload, &metrics);
   BenchTraining(scale, workload, thread_counts, &metrics);
 

@@ -1,0 +1,72 @@
+#include "graph/graph_snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pathrank::graph {
+
+GraphSnapshot::GraphSnapshot(RoadNetwork network, uint64_t epoch,
+                             std::vector<uint8_t> closed)
+    : network_(std::move(network)),
+      epoch_(epoch),
+      closed_(std::move(closed)) {
+  PR_CHECK(closed_.size() == network_.num_edges())
+      << "closed mask must cover every edge";
+}
+
+std::shared_ptr<const GraphSnapshot> GraphSnapshot::Wrap(
+    RoadNetwork network) {
+  std::vector<uint8_t> closed(network.num_edges(), 0);
+  return std::make_shared<const GraphSnapshot>(std::move(network), 0,
+                                               std::move(closed));
+}
+
+size_t GraphSnapshot::num_closed() const {
+  return static_cast<size_t>(
+      std::count_if(closed_.begin(), closed_.end(),
+                    [](uint8_t c) { return c != 0; }));
+}
+
+std::shared_ptr<const GraphSnapshot> GraphSnapshot::WithTraffic(
+    std::span<const TrafficUpdate> updates) const {
+  // Copy the current state, patch it, rebuild the CSR. Edge ids are
+  // positional in `records`, so ids (and every in-flight response that
+  // names them) stay valid across the rebuild.
+  std::vector<Coordinate> coordinates(network_.num_vertices());
+  for (VertexId v = 0; v < network_.num_vertices(); ++v) {
+    coordinates[v] = network_.coordinate(v);
+  }
+  std::vector<EdgeRecord> records;
+  records.reserve(network_.num_edges());
+  for (EdgeId e = 0; e < network_.num_edges(); ++e) {
+    records.push_back(network_.edge(e));
+  }
+  std::vector<uint8_t> closed = closed_;
+  for (const TrafficUpdate& update : updates) {
+    PR_CHECK(update.edge < records.size())
+        << "traffic update for unknown edge " << update.edge;
+    if (update.has_travel_time) {
+      PR_CHECK(update.travel_time_s > 0.0 &&
+               std::isfinite(update.travel_time_s))
+          << "traffic update travel time must be positive and finite";
+      records[update.edge].travel_time_s = update.travel_time_s;
+    }
+    if (update.has_closed) closed[update.edge] = update.closed ? 1 : 0;
+  }
+  RoadNetwork next = RoadNetworkBuilder::BuildFrom(std::move(coordinates),
+                                                   std::move(records), closed);
+  return std::make_shared<const GraphSnapshot>(std::move(next), epoch_ + 1,
+                                               std::move(closed));
+}
+
+std::shared_ptr<const GraphSnapshot> GraphSnapshot::WithNetwork(
+    RoadNetwork network) const {
+  std::vector<uint8_t> closed(network.num_edges(), 0);
+  return std::make_shared<const GraphSnapshot>(std::move(network), epoch_ + 1,
+                                               std::move(closed));
+}
+
+}  // namespace pathrank::graph

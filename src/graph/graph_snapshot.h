@@ -1,0 +1,78 @@
+// Epoch-versioned immutable view of the road network — the graph-side
+// analogue of serving::ModelSnapshot. A GraphSnapshot pins one
+// RoadNetwork plus a monotonically increasing epoch; live-traffic
+// ingestion never mutates a snapshot, it derives a NEW one (copy-on-write
+// rebuild via WithTraffic) at epoch + 1 and the serving layer swaps the
+// shared pointer. Every query that captured the old snapshot keeps a
+// reference, so the old graph is freed only after the last in-flight
+// query releases it.
+//
+// Closures keep their EdgeRecord (edge ids are stable across traffic
+// epochs — a client can keep referring to edge 17 after any number of
+// batches) but the closed edge appears in no adjacency row, so routing
+// never traverses it and FindEdge cannot return it. Reopening an edge
+// (closed: false) restores it to the adjacency at the next rebuild.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "graph/types.h"
+
+namespace pathrank::graph {
+
+/// One edge-level change inside a traffic batch. A single update may
+/// carry a new free-flow travel time, a closure/reopening, or both; the
+/// `has_*` flags distinguish "absent" from sentinel values so the HTTP
+/// layer never smuggles a 0 through as "no change".
+struct TrafficUpdate {
+  EdgeId edge = kInvalidEdge;
+  double travel_time_s = 0.0;  ///< meaningful only when has_travel_time
+  bool has_travel_time = false;
+  bool has_closed = false;
+  bool closed = false;  ///< meaningful only when has_closed
+};
+
+/// Immutable (network, epoch, closed-set) triple. Construction goes
+/// through Wrap (epoch 0, everything open) or WithTraffic / WithNetwork
+/// (epoch + 1); the class itself never changes after construction, so a
+/// shared_ptr<const GraphSnapshot> is safe to read from any thread.
+class GraphSnapshot {
+ public:
+  GraphSnapshot(RoadNetwork network, uint64_t epoch,
+                std::vector<uint8_t> closed);
+
+  /// Epoch-0 snapshot over `network` with every edge open.
+  static std::shared_ptr<const GraphSnapshot> Wrap(RoadNetwork network);
+
+  const RoadNetwork& network() const { return network_; }
+  uint64_t epoch() const { return epoch_; }
+
+  /// Whether edge `e` is currently closed (excluded from adjacency).
+  bool IsClosed(EdgeId e) const { return closed_[e] != 0; }
+  size_t num_closed() const;
+
+  /// Copy-on-write rebuild: returns a NEW snapshot at epoch() + 1 with
+  /// `updates` applied on top of this one. Updates must be pre-validated
+  /// (edge ids in range, travel times positive and finite — the serving
+  /// layer's GraphStore does this); violations are programming errors
+  /// and PR_CHECK-fail. The receiver is left untouched.
+  std::shared_ptr<const GraphSnapshot> WithTraffic(
+      std::span<const TrafficUpdate> updates) const;
+
+  /// Full replacement (the --watch-graph reload path): a new snapshot at
+  /// epoch() + 1 over `network`, closed set reset to all-open.
+  std::shared_ptr<const GraphSnapshot> WithNetwork(RoadNetwork network) const;
+
+ private:
+  RoadNetwork network_;
+  uint64_t epoch_ = 0;
+  /// One byte per edge id; nonzero = closed. vector<uint8_t> rather than
+  /// vector<bool> so concurrent readers touch whole bytes.
+  std::vector<uint8_t> closed_;
+};
+
+}  // namespace pathrank::graph

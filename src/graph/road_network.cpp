@@ -41,34 +41,54 @@ EdgeId RoadNetworkBuilder::AddBidirectionalEdge(VertexId a, VertexId b,
 }
 
 RoadNetwork RoadNetworkBuilder::Build() {
-  RoadNetwork net;
-  net.coordinates_ = std::move(coordinates_);
-  net.edge_records_ = std::move(edges_);
+  RoadNetwork net =
+      BuildFrom(std::move(coordinates_), std::move(edges_));
   coordinates_.clear();
   edges_.clear();
+  return net;
+}
+
+RoadNetwork RoadNetworkBuilder::BuildFrom(
+    std::vector<Coordinate> coordinates, std::vector<EdgeRecord> edges,
+    const std::vector<uint8_t>& closed) {
+  PR_CHECK(closed.empty() || closed.size() == edges.size())
+      << "closed mask must be empty or cover every edge";
+  RoadNetwork net;
+  net.coordinates_ = std::move(coordinates);
+  net.edge_records_ = std::move(edges);
 
   const size_t n = net.coordinates_.size();
   const size_t m = net.edge_records_.size();
+  const auto is_open = [&closed](EdgeId e) {
+    return closed.empty() || closed[e] == 0;
+  };
 
   // Counting sort of edge ids into CSR rows, out- and in-adjacency.
+  // Closed edges keep their record (stable ids) but enter no row, so the
+  // adjacency arrays hold only the open edges.
   net.out_offsets_.assign(n + 1, 0);
   net.in_offsets_.assign(n + 1, 0);
-  for (const EdgeRecord& e : net.edge_records_) {
-    ++net.out_offsets_[e.from + 1];
-    ++net.in_offsets_[e.to + 1];
+  size_t open = 0;
+  for (EdgeId e = 0; e < m; ++e) {
+    if (!is_open(e)) continue;
+    const EdgeRecord& rec = net.edge_records_[e];
+    ++net.out_offsets_[rec.from + 1];
+    ++net.in_offsets_[rec.to + 1];
+    ++open;
   }
   std::partial_sum(net.out_offsets_.begin(), net.out_offsets_.end(),
                    net.out_offsets_.begin());
   std::partial_sum(net.in_offsets_.begin(), net.in_offsets_.end(),
                    net.in_offsets_.begin());
 
-  net.out_edge_ids_.resize(m);
-  net.in_edge_ids_.resize(m);
+  net.out_edge_ids_.resize(open);
+  net.in_edge_ids_.resize(open);
   std::vector<uint32_t> out_cursor(net.out_offsets_.begin(),
                                    net.out_offsets_.end() - 1);
   std::vector<uint32_t> in_cursor(net.in_offsets_.begin(),
                                   net.in_offsets_.end() - 1);
   for (EdgeId e = 0; e < m; ++e) {
+    if (!is_open(e)) continue;
     const EdgeRecord& rec = net.edge_records_[e];
     net.out_edge_ids_[out_cursor[rec.from]++] = e;
     net.in_edge_ids_[in_cursor[rec.to]++] = e;
@@ -87,10 +107,14 @@ RoadNetwork RoadNetworkBuilder::Build() {
   }
 
   for (const Coordinate& c : net.coordinates_) net.bounds_.Extend(c);
-  for (const EdgeRecord& e : net.edge_records_) {
-    if (e.travel_time_s > 0.0) {
+  // max_speed_mps_ feeds the admissible A* heuristic; closed edges are
+  // untraversable, so only open edges bound the speed.
+  for (EdgeId e = 0; e < m; ++e) {
+    if (!is_open(e)) continue;
+    const EdgeRecord& rec = net.edge_records_[e];
+    if (rec.travel_time_s > 0.0) {
       net.max_speed_mps_ =
-          std::max(net.max_speed_mps_, e.length_m / e.travel_time_s);
+          std::max(net.max_speed_mps_, rec.length_m / rec.travel_time_s);
     }
   }
   return net;

@@ -48,6 +48,18 @@ class RoadNetworkBuilder {
   /// Finalises and returns the network. The builder is left empty.
   class RoadNetwork Build();
 
+  /// Builds a network directly from explicit per-edge records: edge ids
+  /// are positional in `edges`, so a caller rebuilding an existing
+  /// network (the live-traffic copy-on-write path, graph_snapshot.h)
+  /// keeps every id stable. Edges flagged nonzero in `closed` keep their
+  /// record — edge(e), PathLengthMeters etc. still work — but appear in
+  /// no adjacency row: OutEdges/InEdges never yield them and FindEdge
+  /// cannot return them, which is exactly "closed road" to the routing
+  /// layer. `closed` may be empty (nothing closed) or one entry per edge.
+  static class RoadNetwork BuildFrom(std::vector<Coordinate> coordinates,
+                                     std::vector<EdgeRecord> edges,
+                                     const std::vector<uint8_t>& closed = {});
+
  private:
   std::vector<Coordinate> coordinates_;
   std::vector<EdgeRecord> edges_;

@@ -1,0 +1,124 @@
+#include "serving/graph_store.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace pathrank::serving {
+
+const char* TrafficStatusSlug(TrafficStatus status) {
+  switch (status) {
+    case TrafficStatus::kOk:
+      return "ok";
+    case TrafficStatus::kEmptyBatch:
+      return "empty_batch";
+    case TrafficStatus::kUnknownEdge:
+      return "unknown_edge";
+    case TrafficStatus::kDuplicateEdge:
+      return "duplicate_edge";
+    case TrafficStatus::kBadUpdate:
+      return "bad_request";
+  }
+  return "unknown";
+}
+
+GraphStore::GraphStore(graph::RoadNetwork network)
+    : current_(graph::GraphSnapshot::Wrap(std::move(network))) {}
+
+std::shared_ptr<const graph::GraphSnapshot> GraphStore::Current() const {
+  common::MutexLock lock(mu_);
+  return current_;
+}
+
+std::shared_ptr<const graph::GraphSnapshot> GraphStore::Publish(
+    std::shared_ptr<const graph::GraphSnapshot> next) {
+  std::shared_ptr<const graph::GraphSnapshot> old;
+  {
+    common::MutexLock lock(mu_);
+    old = std::move(current_);
+    current_ = std::move(next);
+  }
+  swap_count_.fetch_add(1, std::memory_order_relaxed);
+  return old;
+}
+
+TrafficResult GraphStore::ApplyTraffic(
+    const std::vector<graph::TrafficUpdate>& updates) {
+  // One writer at a time: validation must run against the snapshot the
+  // rebuild will stack on, so read-current + validate + rebuild + publish
+  // form one critical section. Readers are untouched — they contend only
+  // on mu_ inside Current()/Publish.
+  common::MutexLock rebuild_lock(rebuild_mu_);
+  const std::shared_ptr<const graph::GraphSnapshot> base = Current();
+
+  TrafficResult result;
+  result.epoch = base->epoch();
+  if (updates.empty()) {
+    result.status = TrafficStatus::kEmptyBatch;
+    result.message = "traffic batch carries no updates";
+    return result;
+  }
+
+  const size_t num_edges = base->network().num_edges();
+  std::unordered_set<graph::EdgeId> seen;
+  seen.reserve(updates.size());
+  for (const graph::TrafficUpdate& update : updates) {
+    if (update.edge >= num_edges) {
+      result.status = TrafficStatus::kUnknownEdge;
+      result.message =
+          StrFormat("unknown edge %u (network has %zu edges)", update.edge,
+                    num_edges);
+      return result;
+    }
+    if (!seen.insert(update.edge).second) {
+      result.status = TrafficStatus::kDuplicateEdge;
+      result.message =
+          StrFormat("edge %u appears more than once in the batch",
+                    update.edge);
+      return result;
+    }
+    if (!update.has_travel_time && !update.has_closed) {
+      result.status = TrafficStatus::kBadUpdate;
+      result.message = StrFormat(
+          "update for edge %u changes nothing (needs travel_time_s and/or "
+          "closed)",
+          update.edge);
+      return result;
+    }
+    if (update.has_travel_time &&
+        (!std::isfinite(update.travel_time_s) ||
+         update.travel_time_s <= 0.0)) {
+      result.status = TrafficStatus::kBadUpdate;
+      result.message = StrFormat(
+          "travel_time_s for edge %u must be positive and finite",
+          update.edge);
+      return result;
+    }
+    if (update.has_travel_time) ++result.cost_updates;
+    if (update.has_closed) {
+      if (update.closed) {
+        ++result.closures;
+      } else {
+        ++result.reopenings;
+      }
+    }
+  }
+
+  // Copy-on-write rebuild off the reader lock, then one pointer swap.
+  Publish(base->WithTraffic(updates));
+  result.epoch = base->epoch() + 1;
+  traffic_batches_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+std::shared_ptr<const graph::GraphSnapshot> GraphStore::SwapNetwork(
+    graph::RoadNetwork network) {
+  common::MutexLock rebuild_lock(rebuild_mu_);
+  const std::shared_ptr<const graph::GraphSnapshot> base = Current();
+  return Publish(base->WithNetwork(std::move(network)));
+}
+
+}  // namespace pathrank::serving

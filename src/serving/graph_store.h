@@ -1,0 +1,120 @@
+// Hot-swappable holder of the served road network — the graph-side
+// analogue of ServingEngine's snapshot slot, generalising the model
+// hot-swap pattern to the graph itself. The store owns a
+// shared_ptr<const graph::GraphSnapshot>; readers (RoutePlanner::Plan,
+// the /v1/traffic handler's validation) capture the pointer once per
+// operation, so every response is attributable to exactly one epoch and
+// the old graph is freed only after the last in-flight query releases
+// its reference.
+//
+// Writers — ApplyTraffic (copy-on-write rebuild of the CSR off the
+// query path) and SwapNetwork (the --watch-graph full reload) — are
+// serialised by rebuild_mu_, so each batch rebuilds on top of the batch
+// before it and epochs advance by exactly one per publish. Queries never
+// wait on a rebuild: they only ever contend on mu_ for the duration of
+// one refcounted pointer copy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "graph/graph_snapshot.h"
+
+namespace pathrank::serving {
+
+/// Outcome taxonomy for one traffic batch. Everything except kOk is a
+/// client-input condition and maps to 400 over HTTP with the stable slug
+/// below — the same error-body convention as the /v1/route taxonomy
+/// (RouteStatusSlug).
+enum class TrafficStatus {
+  kOk,
+  kEmptyBatch,      ///< the batch carries no updates
+  kUnknownEdge,     ///< an update names an edge the network does not have
+  kDuplicateEdge,   ///< two updates in one batch name the same edge
+  kBadUpdate,       ///< non-positive/non-finite cost, or a no-effect update
+};
+
+/// Stable lower_snake_case slug ("unknown_edge", ...) used in HTTP error
+/// bodies and logs. kBadUpdate reuses "bad_request" so clients branch on
+/// one malformed-input slug across /v1/route and /v1/traffic.
+const char* TrafficStatusSlug(TrafficStatus status);
+
+/// One answered traffic batch.
+struct TrafficResult {
+  TrafficStatus status = TrafficStatus::kOk;
+  /// Human-readable detail when status != kOk.
+  std::string message;
+  /// The epoch serving AFTER this call: the new epoch on kOk, the
+  /// unchanged current epoch on a rejected batch (rejections never
+  /// publish).
+  uint64_t epoch = 0;
+  size_t cost_updates = 0;  ///< updates that changed an edge travel time
+  size_t closures = 0;      ///< updates that set closed = true
+  size_t reopenings = 0;    ///< updates that set closed = false
+};
+
+/// Thread-safe epoch-versioned graph slot. Construct with the boot-time
+/// network (epoch 0); swap via ApplyTraffic or SwapNetwork.
+class GraphStore {
+ public:
+  explicit GraphStore(graph::RoadNetwork network);
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  /// The currently served snapshot (a swap may supersede it at any time;
+  /// the returned handle stays valid regardless). Thread-safe.
+  std::shared_ptr<const graph::GraphSnapshot> Current() const;
+
+  /// Epoch of the currently served snapshot. Thread-safe.
+  uint64_t epoch() const { return Current()->epoch(); }
+
+  /// Validates and applies one batch of edge cost/closure updates:
+  /// rebuilds a fresh snapshot at epoch + 1 (copy-on-write, outside the
+  /// swap lock) and publishes it with one pointer swap. A rejected batch
+  /// (status != kOk) publishes nothing — traffic ingestion is
+  /// all-or-nothing per batch. Thread-safe; concurrent batches are
+  /// serialised. Never throws on bad input (that is what
+  /// TrafficResult::status is for).
+  TrafficResult ApplyTraffic(
+      const std::vector<graph::TrafficUpdate>& updates);
+
+  /// Replaces the whole network (the --watch-graph reload path): a new
+  /// snapshot at epoch + 1 with the closed set reset. Returns the
+  /// superseded snapshot so the caller can observe its lifetime.
+  /// Thread-safe; callable under full query load.
+  std::shared_ptr<const graph::GraphSnapshot> SwapNetwork(
+      graph::RoadNetwork network);
+
+  /// Traffic batches applied (kOk only) since construction.
+  uint64_t traffic_batches() const {
+    return traffic_batches_.load(std::memory_order_relaxed);
+  }
+  /// Snapshot publishes (ApplyTraffic + SwapNetwork) since construction.
+  uint64_t swap_count() const {
+    return swap_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Publishes `next` as the served snapshot and returns the old one.
+  std::shared_ptr<const graph::GraphSnapshot> Publish(
+      std::shared_ptr<const graph::GraphSnapshot> next);
+
+  /// Serialises writers: held across read-current + validate + rebuild +
+  /// publish so concurrent batches stack instead of clobbering each
+  /// other. Always acquired BEFORE mu_ (Publish); readers take mu_ only.
+  common::Mutex rebuild_mu_;
+  /// Guarded by a mutex rather than std::atomic<shared_ptr> for the same
+  /// reason as ServingEngine::snapshot_: the critical section is one
+  /// refcounted copy, and libstdc++'s lock-bit _Sp_atomic protocol is
+  /// opaque to TSan, which the CI thread-sanitizer gate runs against.
+  mutable common::Mutex mu_;
+  std::shared_ptr<const graph::GraphSnapshot> current_ GUARDED_BY(mu_);
+  std::atomic<uint64_t> traffic_batches_{0};
+  std::atomic<uint64_t> swap_count_{0};
+};
+
+}  // namespace pathrank::serving

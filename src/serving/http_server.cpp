@@ -345,6 +345,7 @@ struct RouteOutcome {
 };
 Response HandleRoute(const HttpBackend& backend, const Request& request,
                      const HttpServerOptions& options, RouteOutcome* outcome);
+Response HandleTraffic(const HttpBackend& backend, const std::string& body);
 json::Value StatszJson(const HttpServerStats& stats,
                        const HttpServerOptions& options);
 
@@ -405,7 +406,8 @@ HttpServer::HttpServer(HttpBackend backend, const HttpServerOptions& options)
       options_(options),
       rank_stats_(std::make_unique<Endpoint>()),
       score_stats_(std::make_unique<Endpoint>()),
-      route_stats_(std::make_unique<Endpoint>()) {
+      route_stats_(std::make_unique<Endpoint>()),
+      traffic_stats_(std::make_unique<Endpoint>()) {
   if (!backend_.rank || !backend_.score) {
     throw std::invalid_argument("HttpBackend needs rank and score handlers");
   }
@@ -667,6 +669,12 @@ void HttpServer::ServeConnection(int fd) {
         object["status"] = json::Value("ok");
         object["swap_count"] = json::Value(
             backend_.swap_count ? backend_.swap_count() : uint64_t{0});
+        // Only servers with a live-graph backend report an epoch — the
+        // body of a graph-less server stays byte-identical to before the
+        // endpoint existed.
+        if (backend_.graph_epoch) {
+          object["graph_epoch"] = json::Value(backend_.graph_epoch());
+        }
         {
           common::MutexLock lock(admit_mu_);
           object["inflight"] = json::Value(static_cast<uint64_t>(inflight_));
@@ -683,15 +691,20 @@ void HttpServer::ServeConnection(int fd) {
       }
     } else if (request.target == "/v1/rank" ||
                request.target == "/v1/score" ||
-               request.target == "/v1/route") {
+               request.target == "/v1/route" ||
+               request.target == "/v1/traffic") {
       const bool is_rank = request.target == "/v1/rank";
       const bool is_route = request.target == "/v1/route";
+      const bool is_traffic = request.target == "/v1/traffic";
       if (request.method != "POST") {
         response = ErrorResponse(405, "use POST");
       } else if (is_route && !backend_.route) {
         // Cheap rejection before admission: no backend work happens.
         response = ErrorResponse(
             404, "route planning is not enabled on this server");
+      } else if (is_traffic && !backend_.traffic) {
+        response = ErrorResponse(
+            404, "live traffic ingestion is not enabled on this server");
       } else if (!Admit()) {
         shed_total_.fetch_add(1, std::memory_order_relaxed);
         response = ErrorResponse(429, "overloaded: max_inflight reached");
@@ -702,8 +715,9 @@ void HttpServer::ServeConnection(int fd) {
         try {
           response = is_route
                          ? HandleRoute(backend_, request, options_, &outcome)
-                     : is_rank ? HandleRank(backend_, request.body)
-                               : HandleScore(backend_, request.body);
+                     : is_traffic ? HandleTraffic(backend_, request.body)
+                     : is_rank    ? HandleRank(backend_, request.body)
+                                  : HandleScore(backend_, request.body);
         } catch (...) {
           // Non-std exceptions from the backend seam (and bad_alloc in
           // the response path) must not escape this std::thread —
@@ -718,7 +732,10 @@ void HttpServer::ServeConnection(int fd) {
         if (outcome.degraded) {
           degraded_total_.fetch_add(1, std::memory_order_relaxed);
         }
-        (is_route ? route_stats_ : is_rank ? rank_stats_ : score_stats_)
+        (is_route     ? route_stats_
+         : is_traffic ? traffic_stats_
+         : is_rank    ? rank_stats_
+                      : score_stats_)
             ->Record(watch.ElapsedSeconds(), response.status >= 400,
                      response.status == 504);
       }
@@ -840,6 +857,11 @@ json::Value RouteJson(const RouteResult& result) {
   // identical to a server that predates deadlines, which the route
   // round-trip tests (and any byte-diffing client) rely on.
   if (result.degraded) object["degraded"] = json::Value(true);
+  // Unconditional (0 on a graph-less server): a hit and the miss that
+  // seeded it carry the same epoch, so the cache-hit byte-identity
+  // guarantee is unaffected — and a client can pin any answer to the
+  // graph version it was computed against.
+  object["graph_epoch"] = json::Value(result.graph_epoch);
   object["routes"] = json::Value(std::move(routes));
   return json::Value(std::move(object));
 }
@@ -859,18 +881,19 @@ Response RouteErrorResponse(int http_status, const RouteResult& result) {
 
 Response HandleRoute(const HttpBackend& backend, const Request& request,
                      const HttpServerOptions& options, RouteOutcome* outcome) {
-  std::string parse_error;
-  const auto parsed = json::Parse(request.body, &parse_error);
-  if (!parsed) return ErrorResponse(400, "invalid JSON: " + parse_error);
   // Local validation failures carry the taxonomy slug too — clients
   // branching on body["status"] per the docs must never see a bare
-  // {"error": ...} from this endpoint.
+  // {"error": ...} from this endpoint. That includes the parse failure
+  // below: unparseable JSON is as much a bad request as a bad field.
   const auto bad_request = [](std::string message) {
     RouteResult result;
     result.status = RouteStatus::kBadRequest;
     result.message = std::move(message);
     return RouteErrorResponse(400, result);
   };
+  std::string parse_error;
+  const auto parsed = json::Parse(request.body, &parse_error);
+  if (!parsed) return bad_request("invalid JSON: " + parse_error);
   graph::VertexId source = 0;
   graph::VertexId destination = 0;
   std::string message;
@@ -953,6 +976,100 @@ Response HandleRoute(const HttpBackend& backend, const Request& request,
   }
 }
 
+/// Traffic error bodies mirror the /v1/route convention: prose message
+/// plus the stable TrafficStatusSlug for clients to branch on.
+Response TrafficErrorResponse(int http_status, const TrafficResult& result) {
+  Response response;
+  response.status = http_status;
+  json::Object object;
+  object["error"] = json::Value(result.message);
+  object["status"] = json::Value(TrafficStatusSlug(result.status));
+  response.body = json::Dump(json::Value(std::move(object)));
+  return response;
+}
+
+Response HandleTraffic(const HttpBackend& backend, const std::string& body) {
+  // Shape/type errors found here and semantic errors found by the
+  // backend (GraphStore::ApplyTraffic) share one taxonomy; this layer
+  // only ever earns the generic bad_request slug.
+  const auto bad_request = [](std::string message) {
+    TrafficResult result;
+    result.status = TrafficStatus::kBadUpdate;
+    result.message = std::move(message);
+    return TrafficErrorResponse(400, result);
+  };
+  std::string parse_error;
+  const auto parsed = json::Parse(body, &parse_error);
+  if (!parsed) return bad_request("invalid JSON: " + parse_error);
+  const json::Value* updates_value = parsed->Find("updates");
+  if (updates_value == nullptr || !updates_value->is_array()) {
+    return bad_request("missing or non-array \"updates\"");
+  }
+  std::vector<graph::TrafficUpdate> updates;
+  updates.reserve(updates_value->array().size());
+  for (const auto& update_value : updates_value->array()) {
+    if (!update_value.is_object()) {
+      return bad_request("every update must be an object");
+    }
+    graph::TrafficUpdate update;
+    const json::Value* edge = update_value.Find("edge");
+    if (edge == nullptr || !edge->is_number()) {
+      return bad_request("missing or non-numeric \"edge\"");
+    }
+    const double d = edge->number_value();
+    // The EdgeId-representability bound is checked here because casting
+    // an out-of-range double is UB; the existence check against the
+    // CURRENT graph belongs to the backend (unknown_edge slug).
+    if (d < 0 || d != std::floor(d) ||
+        d > static_cast<double>(std::numeric_limits<graph::EdgeId>::max())) {
+      return bad_request("\"edge\" must be a non-negative integer edge id");
+    }
+    update.edge = static_cast<graph::EdgeId>(d);
+    if (const json::Value* tt = update_value.Find("travel_time_s");
+        tt != nullptr) {
+      // Type check only — positivity/finiteness is the backend's call so
+      // the rule lives in exactly one place. (A literal NaN never gets
+      // here: it is not valid JSON and fails the parse above.)
+      if (!tt->is_number()) {
+        return bad_request("\"travel_time_s\" must be a number");
+      }
+      update.travel_time_s = tt->number_value();
+      update.has_travel_time = true;
+    }
+    if (const json::Value* closed = update_value.Find("closed");
+        closed != nullptr) {
+      if (!closed->is_bool()) {
+        return bad_request("\"closed\" must be a boolean");
+      }
+      update.closed = closed->bool_value();
+      update.has_closed = true;
+    }
+    updates.push_back(update);
+  }
+  try {
+    const TrafficResult result = backend.traffic(updates);
+    if (result.status != TrafficStatus::kOk) {
+      return TrafficErrorResponse(400, result);
+    }
+    Response response;
+    json::Object object;
+    object["epoch"] = json::Value(result.epoch);
+    object["cost_updates"] =
+        json::Value(static_cast<uint64_t>(result.cost_updates));
+    object["closures"] = json::Value(static_cast<uint64_t>(result.closures));
+    object["reopenings"] =
+        json::Value(static_cast<uint64_t>(result.reopenings));
+    response.body = json::Dump(json::Value(std::move(object)));
+    return response;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "http: /v1/traffic backend error: %s\n", e.what());
+    return ErrorResponse(500, "internal error");
+  } catch (...) {
+    std::fprintf(stderr, "http: /v1/traffic backend error (non-std)\n");
+    return ErrorResponse(500, "internal error");
+  }
+}
+
 json::Value StatszJson(const HttpServerStats& stats,
                        const HttpServerOptions& options) {
   json::Object object;
@@ -968,6 +1085,18 @@ json::Value StatszJson(const HttpServerStats& stats,
       json::Value(static_cast<uint64_t>(options.max_inflight));
   object["max_queue_wait_us"] =
       json::Value(static_cast<int64_t>(options.max_queue_wait_us));
+  object["graph_epoch"] = json::Value(stats.graph_epoch);
+  {
+    json::Object planner;
+    planner["cache_hits"] = json::Value(stats.route_planner.cache_hits);
+    planner["cache_misses"] = json::Value(stats.route_planner.cache_misses);
+    planner["invalidations"] =
+        json::Value(stats.route_planner.invalidations);
+    planner["single_flight_waits"] =
+        json::Value(stats.route_planner.single_flight_waits);
+    planner["enumerations"] = json::Value(stats.route_planner.enumerations);
+    object["route_planner"] = json::Value(std::move(planner));
+  }
   json::Object endpoints;
   const auto endpoint_json = [](const HttpEndpointStats& endpoint_stats) {
     json::Object endpoint;
@@ -982,6 +1111,7 @@ json::Value StatszJson(const HttpServerStats& stats,
   endpoints["/v1/rank"] = endpoint_json(stats.rank);
   endpoints["/v1/score"] = endpoint_json(stats.score);
   endpoints["/v1/route"] = endpoint_json(stats.route);
+  endpoints["/v1/traffic"] = endpoint_json(stats.traffic);
   object["endpoints"] = json::Value(std::move(endpoints));
   return json::Value(std::move(object));
 }
@@ -1002,9 +1132,14 @@ HttpServerStats HttpServer::stats() const {
     stats.inflight = inflight_;
     stats.admission_waiting = admission_waiting_;
   }
+  if (backend_.graph_epoch) stats.graph_epoch = backend_.graph_epoch();
+  if (backend_.route_planner_stats) {
+    stats.route_planner = backend_.route_planner_stats();
+  }
   stats.rank = rank_stats_->Snapshot();
   stats.score = score_stats_->Snapshot();
   stats.route = route_stats_->Snapshot();
+  stats.traffic = traffic_stats_->Snapshot();
   return stats;
 }
 

@@ -22,8 +22,18 @@
 //                    when no candidate was found in time, or 200 with
 //                    "degraded": true and the partial set otherwise —
 //                    see docs/serving.md.)
+//   POST /v1/traffic {"updates": [{"edge": id, "travel_time_s": s?,
+//                      "closed": b?}, ...]}
+//                    -> {"epoch": n, "cost_updates": n, "closures": n,
+//                        "reopenings": n}
+//                    (live-graph ingestion: validates the batch, rebuilds
+//                    a new GraphSnapshot at epoch + 1 and swaps it in
+//                    atomically. All-or-nothing per batch; rejections are
+//                    400 with a TrafficStatusSlug. 404 when no traffic
+//                    backend is set — see docs/serving.md.)
 //   GET  /healthz    -> {"status": "ok", "swap_count": n, ...}
-//   GET  /statsz     -> queue depth, shed count, per-endpoint latency
+//   GET  /statsz     -> queue depth, shed count, per-endpoint latency,
+//                       graph_epoch + route-planner cache counters
 //
 // Admission control: the /v1/* endpoints share a bounded in-flight
 // budget (`max_inflight`). A request that cannot take a slot within
@@ -126,9 +136,16 @@ struct HttpServerStats {
   uint64_t degraded_total = 0;  ///< /v1/route answered with a partial set
   uint64_t inflight = 0;        ///< currently past admission
   uint64_t admission_waiting = 0;  ///< currently queued for a slot
+  /// Epoch of the graph snapshot currently served (0 when the server has
+  /// no live-graph backend — the boot graph is epoch 0 by definition).
+  uint64_t graph_epoch = 0;
+  /// Route-planner cache/coalescing counters (all zero when no
+  /// route_planner_stats seam is set).
+  RoutePlannerStats route_planner;
   HttpEndpointStats rank;
   HttpEndpointStats score;
   HttpEndpointStats route;
+  HttpEndpointStats traffic;
 };
 
 /// What the server serves. Thin std::function seams rather than a fixed
@@ -149,6 +166,18 @@ struct HttpBackend {
   /// HTTP code (kUnreachable -> 404, other non-kOk -> 400); only a thrown
   /// exception becomes a 500.
   std::function<RouteResult(const RouteRequest& request)> route;
+  /// Optional: POST /v1/traffic — live edge cost/closure ingestion,
+  /// normally GraphStore::ApplyTraffic. When absent the endpoint answers
+  /// 404. TrafficResult::status != kOk maps to 400 with the
+  /// TrafficStatusSlug; only a thrown exception becomes a 500.
+  std::function<TrafficResult(const std::vector<graph::TrafficUpdate>&)>
+      traffic;
+  /// Optional: the served graph epoch (GraphStore::epoch), surfaced in
+  /// /healthz and /statsz as "graph_epoch".
+  std::function<uint64_t()> graph_epoch;
+  /// Optional: the planner's cache/coalescing counters
+  /// (RoutePlanner::stats), surfaced in /statsz as "route_planner".
+  std::function<RoutePlannerStats()> route_planner_stats;
   /// Optional: surfaced in /healthz as "swap_count" so a watcher can see
   /// a model hot-swap land (the value flips when SwapSnapshot runs).
   std::function<uint64_t()> swap_count;
@@ -224,6 +253,7 @@ class HttpServer {
   std::unique_ptr<Endpoint> rank_stats_;
   std::unique_ptr<Endpoint> score_stats_;
   std::unique_ptr<Endpoint> route_stats_;
+  std::unique_ptr<Endpoint> traffic_stats_;
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;

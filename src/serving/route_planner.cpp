@@ -37,28 +37,45 @@ RoutePlanner::RoutePlanner(const graph::RoadNetwork& network, ScoreFn score,
   PR_CHECK(score_ != nullptr) << "RoutePlanner needs a scoring backend";
 }
 
-RoutePlanner::CacheValue RoutePlanner::CacheLookup(
-    const CacheKey& key) const {
+RoutePlanner::RoutePlanner(const GraphStore& store, ScoreFn score,
+                           const RoutePlannerOptions& options)
+    : store_(&store), score_(std::move(score)), options_(options) {
+  PR_CHECK(score_ != nullptr) << "RoutePlanner needs a scoring backend";
+}
+
+RoutePlanner::CacheValue RoutePlanner::CacheLookup(const CacheKey& key,
+                                                   uint64_t epoch) const {
   common::MutexLock lock(cache_mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) return nullptr;
+  if (it->second->second.epoch != epoch) {
+    // Enumerated against a superseded graph: lazy invalidation. Erasing
+    // here (rather than at swap time) keeps /v1/traffic O(1) in the
+    // cache size and means stale entries cost at most one miss each.
+    lru_.erase(it->second);
+    index_.erase(it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   // Touch: move the node to the front without invalidating iterators.
   lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->second;
+  return it->second->second.paths;
 }
 
-void RoutePlanner::CacheInsert(const CacheKey& key, CacheValue value) const {
+void RoutePlanner::CacheInsert(const CacheKey& key, uint64_t epoch,
+                               CacheValue value) const {
   if (options_.cache_capacity == 0) return;
   common::MutexLock lock(cache_mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     // A concurrent miss for the same key beat us here; both computed the
-    // same deterministic set, so keeping either is correct.
+    // same deterministic set (or ours is from a newer epoch, in which
+    // case overwriting is the invalidation), so last insert wins.
     lru_.splice(lru_.begin(), lru_, it->second);
-    it->second->second = std::move(value);
+    it->second->second = CacheEntry{epoch, std::move(value)};
     return;
   }
-  lru_.emplace_front(key, std::move(value));
+  lru_.emplace_front(key, CacheEntry{epoch, std::move(value)});
   index_[key] = lru_.begin();
   while (lru_.size() > options_.cache_capacity) {
     index_.erase(lru_.back().first);
@@ -71,9 +88,101 @@ size_t RoutePlanner::cache_size() const {
   return lru_.size();
 }
 
+RoutePlannerStats RoutePlanner::stats() const {
+  RoutePlannerStats s;
+  s.cache_hits = cache_hits();
+  s.cache_misses = cache_misses();
+  s.invalidations = invalidations();
+  s.single_flight_waits = single_flight_waits();
+  s.enumerations = enumerations();
+  return s;
+}
+
+RoutePlanner::CacheValue RoutePlanner::Enumerate(
+    const graph::RoadNetwork& network, const RouteRequest& request,
+    const data::CandidateGenConfig& gen, const CancelToken* cancel) const {
+  enumerations_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.enumeration_hook) options_.enumeration_hook();
+  return std::make_shared<const std::vector<routing::Path>>(
+      GenerateCandidates(network, request.source, request.destination, gen,
+                         cancel));
+}
+
+RoutePlanner::CacheValue RoutePlanner::EnumerateSingleFlight(
+    const CacheKey& key, uint64_t epoch, const graph::RoadNetwork& network,
+    const RouteRequest& request, const data::CandidateGenConfig& gen) const {
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    common::MutexLock lock(flight_mu_);
+    const auto it = flights_.find(key);
+    if (it != flights_.end() && it->second->epoch == epoch) {
+      flight = it->second;
+    } else {
+      // No joinable flight (none, or one pinned to a superseded epoch —
+      // its leader still finishes and wakes its own followers; replacing
+      // the table entry only stops NEW arrivals from joining it).
+      flight = std::make_shared<Flight>(epoch);
+      flights_[key] = flight;
+      leader = true;
+    }
+  }
+
+  if (!leader) {
+    // Count BEFORE blocking so a test (or operator) watching the counter
+    // can tell when every follower has committed to waiting.
+    single_flight_waits_.fetch_add(1, std::memory_order_relaxed);
+    common::MutexLock lock(flight->mu);
+    while (!flight->done) flight->cv.Wait(flight->mu);
+    if (flight->error) std::rethrow_exception(flight->error);
+    return flight->result;
+  }
+
+  CacheValue value;
+  std::exception_ptr error;
+  try {
+    value = Enumerate(network, request, gen, nullptr);
+    // Insert before publishing: by the time any follower wakes, the set
+    // is already served from cache for everyone after them.
+    CacheInsert(key, epoch, value);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    common::MutexLock lock(flight->mu);
+    flight->result = value;
+    flight->error = error;
+    flight->done = true;
+    flight->cv.NotifyAll();
+  }
+  {
+    // Pointer-compare so a failed (or slow) leader never erases the
+    // replacement flight a newer-epoch arrival installed.
+    common::MutexLock lock(flight_mu_);
+    const auto it = flights_.find(key);
+    if (it != flights_.end() && it->second == flight) flights_.erase(it);
+  }
+  if (error) std::rethrow_exception(error);
+  return value;
+}
+
 RouteResult RoutePlanner::Plan(const RouteRequest& request) const {
+  // Capture the graph exactly once: everything below — validation,
+  // enumeration, attribution — sees this one snapshot even if a swap
+  // lands mid-query. The shared_ptr keeps the old graph alive until the
+  // last in-flight query returns.
+  std::shared_ptr<const graph::GraphSnapshot> snapshot;
+  const graph::RoadNetwork* network = network_;
+  uint64_t epoch = 0;
+  if (store_ != nullptr) {
+    snapshot = store_->Current();
+    network = &snapshot->network();
+    epoch = snapshot->epoch();
+  }
+
   RouteResult result;
-  const size_t num_vertices = network_->num_vertices();
+  result.graph_epoch = epoch;
+  const size_t num_vertices = network->num_vertices();
   if (request.source >= num_vertices ||
       request.destination >= num_vertices) {
     const graph::VertexId offender =
@@ -112,49 +221,52 @@ RouteResult RoutePlanner::Plan(const RouteRequest& request) const {
   gen.k = k;
   const CacheKey key{request.source, request.destination,
                      static_cast<int>(gen.strategy), k};
-  CacheValue candidates = CacheLookup(key);
+  CacheValue candidates = CacheLookup(key, epoch);
   if (candidates != nullptr) {
     result.cache_hit = true;
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
   } else {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
-    // One token per query, chaining the request deadline to any external
-    // cancel source. Expiry is sticky (the token latches), so checking it
-    // after enumeration reliably distinguishes "ran out of budget" from
-    // "ran out of paths". Pass it down only when it can actually fire —
-    // the nullptr fast path keeps deadline-free queries bitwise identical
-    // to the pre-deadline pipeline.
-    const CancelToken token(request.deadline, request.cancel);
     const bool cancellable =
         request.deadline.bounded() || request.cancel != nullptr;
-    candidates =
-        std::make_shared<const std::vector<routing::Path>>(
-            GenerateCandidates(*network_, request.source,
-                               request.destination, gen,
-                               cancellable ? &token : nullptr));
-    if (cancellable && token.Expired()) {
-      if (candidates->empty()) {
-        // Out of budget before the first candidate: nothing useful to
-        // return. NOT cached — a verdict cut short by a deadline says
-        // nothing about the graph, and caching it would poison later
-        // unhurried queries with a false "unreachable".
-        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-        result.status = RouteStatus::kDeadlineExceeded;
-        result.message =
-            "deadline expired before any candidate was found (route " +
-            std::to_string(request.source) + " -> " +
-            std::to_string(request.destination) + ")";
+    if (!cancellable) {
+      // Deadline-free queries coalesce: after an invalidation, N
+      // identical concurrent queries cost ONE Yen run, and every caller
+      // gets the same (complete) set.
+      candidates = EnumerateSingleFlight(key, epoch, *network, request, gen);
+    } else {
+      // One token per query, chaining the request deadline to any
+      // external cancel source. Expiry is sticky (the token latches), so
+      // checking it after enumeration reliably distinguishes "ran out of
+      // budget" from "ran out of paths". Cancellable queries never join
+      // a flight and never lead one: each has its own budget, and a
+      // partial set must never be shared or cached.
+      const CancelToken token(request.deadline, request.cancel);
+      candidates = Enumerate(*network, request, gen, &token);
+      if (token.Expired()) {
+        if (candidates->empty()) {
+          // Out of budget before the first candidate: nothing useful to
+          // return. NOT cached — a verdict cut short by a deadline says
+          // nothing about the graph, and caching it would poison later
+          // unhurried queries with a false "unreachable".
+          deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+          result.status = RouteStatus::kDeadlineExceeded;
+          result.message =
+              "deadline expired before any candidate was found (route " +
+              std::to_string(request.source) + " -> " +
+              std::to_string(request.destination) + ")";
+          return result;
+        }
+        // Graceful degradation: score and return what enumeration
+        // managed. Same cache-poisoning rule — a partial set must never
+        // be served to a later query as if it were the full top-k.
+        degraded_.fetch_add(1, std::memory_order_relaxed);
+        result.degraded = true;
+        result.ranked = score_(*candidates);
         return result;
       }
-      // Graceful degradation: score and return what enumeration managed.
-      // Same cache-poisoning rule — a partial set must never be served to
-      // a later query as if it were the full top-k.
-      degraded_.fetch_add(1, std::memory_order_relaxed);
-      result.degraded = true;
-      result.ranked = score_(*candidates);
-      return result;
+      CacheInsert(key, epoch, candidates);
     }
-    CacheInsert(key, candidates);
   }
 
   if (candidates->empty()) {

@@ -22,15 +22,30 @@
 // deterministic, a cache hit is bitwise identical to the miss that seeded
 // it (route_planner_test asserts the HTTP bodies are byte-identical).
 //
+// Live graph: a planner constructed over a GraphStore captures the
+// current GraphSnapshot ONCE per query, so every response is computed
+// against — and attributed to, via RouteResult::graph_epoch — exactly one
+// graph version. Cache entries remember the epoch they were enumerated
+// at; a lookup from a newer epoch treats the entry as a miss and erases
+// it (lazy invalidation — /v1/traffic never walks the cache). Identical
+// deadline-free queries that miss concurrently are collapsed by a
+// per-key single-flight gate: one leader runs Yen, the followers wait on
+// its condition variable and share the leader's (bitwise identical)
+// candidate set, so an invalidation storm costs one enumeration per
+// distinct key, not one per request.
+//
 // Thread-safety: Plan may be called concurrently from any number of
 // threads (the HTTP worker pool does). The cache is guarded by one
-// mutex; enumeration and scoring run outside it, so concurrent misses
-// for the SAME key may both enumerate — last insert wins, both compute
-// identical sets, and the only cost is the duplicated work.
+// mutex; enumeration and scoring run outside it. Deadline-bounded or
+// cancellable queries bypass the single-flight gate (each has its own
+// budget, and a partial set must never be shared), so for those the old
+// rule stands: concurrent misses for the same key may both enumerate,
+// last insert wins.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <list>
 #include <memory>
@@ -43,6 +58,7 @@
 #include "data/candidate_generation.h"
 #include "graph/road_network.h"
 #include "routing/path.h"
+#include "serving/graph_store.h"
 #include "serving/serving_engine.h"
 
 namespace pathrank::serving {
@@ -108,6 +124,12 @@ struct RouteResult {
   /// candidate was already found: status is kOk and `ranked` holds the
   /// scored PARTIAL set (never cached — the next query re-enumerates).
   bool degraded = false;
+  /// Epoch of the graph snapshot this query was answered against. Always
+  /// 0 for a planner pinned to a bare RoadNetwork; for a planner over a
+  /// GraphStore it names the one snapshot captured at query entry, so
+  /// every response — including errors — is attributable to exactly one
+  /// graph version.
+  uint64_t graph_epoch = 0;
   /// Candidates sorted by descending predicted score; empty unless kOk.
   std::vector<ScoredPath> ranked;
 };
@@ -127,11 +149,35 @@ struct RoutePlannerOptions {
   /// `--k` above this cap must not turn every default-k query into a
   /// 400. <= 0 disables the cap.
   int max_k = 64;
+  /// Test seam: runs on the enumeration path, after the planner has
+  /// committed to enumerating (and, for single-flight leaders, before
+  /// followers are released). graph_swap_test uses it to hold a leader
+  /// mid-flight until every follower is provably waiting. Leave unset in
+  /// production.
+  std::function<void()> enumeration_hook;
+};
+
+/// Point-in-time snapshot of the planner's counters, as one coherent
+/// struct so /statsz renders them together. Individual fields may be a
+/// tick apart under concurrent load (each is an independent relaxed
+/// atomic); each is individually exact.
+struct RoutePlannerStats {
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// Cache entries discarded because a lookup arrived from a newer graph
+  /// epoch than the entry was enumerated at.
+  uint64_t invalidations = 0;
+  /// Queries that joined an in-progress identical enumeration instead of
+  /// running their own (single-flight followers).
+  uint64_t single_flight_waits = 0;
+  /// Candidate enumerations actually executed (cache misses minus
+  /// single-flight coalescing).
+  uint64_t enumerations = 0;
 };
 
 /// The query -> candidates -> ranked-paths pipeline behind POST
-/// /v1/route. Borrows the network (caller keeps it alive) and owns a
-/// copy of the scoring seam.
+/// /v1/route. Borrows the network or graph store (caller keeps it alive)
+/// and owns a copy of the scoring seam.
 class RoutePlanner {
  public:
   /// Scores candidate paths, returning them sorted by descending score —
@@ -141,7 +187,15 @@ class RoutePlanner {
   using ScoreFn =
       std::function<std::vector<ScoredPath>(std::vector<routing::Path>)>;
 
+  /// Pinned-network planner: every query runs against `network`, epoch 0
+  /// forever. The offline pipeline and single-graph tests use this form.
   RoutePlanner(const graph::RoadNetwork& network, ScoreFn score,
+               const RoutePlannerOptions& options = {});
+
+  /// Live-graph planner: every query captures store.Current() once at
+  /// entry, so /v1/traffic swaps take effect between queries, never
+  /// within one.
+  RoutePlanner(const GraphStore& store, ScoreFn score,
                const RoutePlannerOptions& options = {});
 
   /// Answers one query. Thread-safe; never throws on bad input (that is
@@ -156,6 +210,18 @@ class RoutePlanner {
   uint64_t cache_misses() const {
     return cache_misses_.load(std::memory_order_relaxed);
   }
+  /// Cache entries lazily evicted because the graph epoch moved on.
+  uint64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
+  /// Queries that waited on another thread's identical enumeration.
+  uint64_t single_flight_waits() const {
+    return single_flight_waits_.load(std::memory_order_relaxed);
+  }
+  /// Candidate enumerations actually executed.
+  uint64_t enumerations() const {
+    return enumerations_.load(std::memory_order_relaxed);
+  }
   /// Queries that ran out of budget with zero candidates (-> 504).
   uint64_t deadline_exceeded_count() const {
     return deadline_exceeded_.load(std::memory_order_relaxed);
@@ -167,7 +233,9 @@ class RoutePlanner {
   /// Candidate sets currently cached (<= options().cache_capacity).
   size_t cache_size() const;
 
-  const graph::RoadNetwork& network() const { return *network_; }
+  /// All counters in one struct (see RoutePlannerStats).
+  RoutePlannerStats stats() const;
+
   const RoutePlannerOptions& options() const { return options_; }
 
  private:
@@ -184,26 +252,74 @@ class RoutePlanner {
   /// Cached candidate sets are shared_ptr so a hit can score a set that a
   /// concurrent insert is about to evict.
   using CacheValue = std::shared_ptr<const std::vector<routing::Path>>;
+  /// Each cached set remembers the epoch it was enumerated at; the key
+  /// stays (source, destination, strategy, k) so a swap costs nothing up
+  /// front and stale entries never crowd out live ones — they are erased
+  /// the first time a newer-epoch lookup touches them.
+  struct CacheEntry {
+    uint64_t epoch;
+    CacheValue paths;
+  };
+  using LruNode = std::pair<CacheKey, CacheEntry>;
 
-  CacheValue CacheLookup(const CacheKey& key) const;
-  void CacheInsert(const CacheKey& key, CacheValue value) const;
+  /// One in-progress enumeration that identical queries can join. The
+  /// leader publishes result-or-error under `mu` and notifies; followers
+  /// wait in a predicate loop. `epoch` is immutable so a follower can
+  /// tell a joinable flight from a stale one without taking `mu`.
+  struct Flight {
+    explicit Flight(uint64_t epoch_in) : epoch(epoch_in) {}
+    const uint64_t epoch;
+    common::Mutex mu;
+    common::CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+    CacheValue result GUARDED_BY(mu);
+    std::exception_ptr error GUARDED_BY(mu);
+  };
 
-  const graph::RoadNetwork* network_;
+  CacheValue CacheLookup(const CacheKey& key, uint64_t epoch) const;
+  void CacheInsert(const CacheKey& key, uint64_t epoch,
+                   CacheValue value) const;
+  /// Runs one candidate enumeration (counter + test hook + Yen).
+  CacheValue Enumerate(const graph::RoadNetwork& network,
+                       const RouteRequest& request,
+                       const data::CandidateGenConfig& gen,
+                       const CancelToken* cancel) const;
+  /// Single-flight enumeration for deadline-free queries: exactly one
+  /// caller per (key, epoch) runs Yen; the rest wait and share its set.
+  /// Rethrows the leader's exception in every joined caller.
+  CacheValue EnumerateSingleFlight(const CacheKey& key, uint64_t epoch,
+                                   const graph::RoadNetwork& network,
+                                   const RouteRequest& request,
+                                   const data::CandidateGenConfig& gen) const;
+
+  /// Exactly one of these is set: `network_` for the pinned form,
+  /// `store_` for the live-graph form.
+  const graph::RoadNetwork* network_ = nullptr;
+  const GraphStore* store_ = nullptr;
   ScoreFn score_;
   RoutePlannerOptions options_;
 
   mutable common::Mutex cache_mu_;
   /// Front = most recently used. The map indexes list nodes for O(1)
   /// lookup + splice-to-front.
-  mutable std::list<std::pair<CacheKey, CacheValue>> lru_
-      GUARDED_BY(cache_mu_);
-  mutable std::unordered_map<CacheKey,
-                             std::list<std::pair<CacheKey, CacheValue>>::
-                                 iterator,
+  mutable std::list<LruNode> lru_ GUARDED_BY(cache_mu_);
+  mutable std::unordered_map<CacheKey, std::list<LruNode>::iterator,
                              CacheKeyHash>
       index_ GUARDED_BY(cache_mu_);
+
+  mutable common::Mutex flight_mu_;
+  /// In-progress enumerations by key. An entry whose epoch is older than
+  /// the arriving query's is replaced (its leader still completes and
+  /// notifies its own followers; the pointer-compare on erase keeps it
+  /// from removing its successor).
+  mutable std::unordered_map<CacheKey, std::shared_ptr<Flight>, CacheKeyHash>
+      flights_ GUARDED_BY(flight_mu_);
+
   mutable std::atomic<uint64_t> cache_hits_{0};
   mutable std::atomic<uint64_t> cache_misses_{0};
+  mutable std::atomic<uint64_t> invalidations_{0};
+  mutable std::atomic<uint64_t> single_flight_waits_{0};
+  mutable std::atomic<uint64_t> enumerations_{0};
   mutable std::atomic<uint64_t> deadline_exceeded_{0};
   mutable std::atomic<uint64_t> degraded_{0};
 };

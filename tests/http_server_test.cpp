@@ -24,9 +24,11 @@
 
 #include "core/model.h"
 #include "graph/network_builder.h"
+#include "serving/graph_store.h"
 #include "serving/http_server.h"
 #include "serving/json.h"
 #include "serving/model_snapshot.h"
+#include "serving/route_planner.h"
 #include "serving/serving_engine.h"
 
 namespace pathrank::serving {
@@ -721,6 +723,216 @@ TEST(HttpStats, StatszTracksPerEndpointLatency) {
   EXPECT_GE(rank->Find("latency_p99_s")->number_value(),
             rank->Find("latency_p50_s")->number_value());
   EXPECT_EQ(stats->Find("requests_total")->number_value(), 4.0);
+}
+
+/// Server wired to a live GraphStore + epoch-aware RoutePlanner: the
+/// POST /v1/traffic ingestion path and its observability surfaces.
+struct TrafficServerFixture {
+  graph::RoadNetwork network = graph::BuildTestNetwork();
+  core::PathRankModel model;
+  ServingEngine engine;
+  GraphStore store;
+  RoutePlanner planner;
+  HttpServer server;
+
+  static RoutePlannerOptions PlannerOptions() {
+    RoutePlannerOptions options;
+    options.cache_capacity = 64;
+    return options;
+  }
+
+  HttpBackend Backend() {
+    HttpBackend backend;
+    backend.rank = [this](graph::VertexId s, graph::VertexId d) {
+      return engine.Rank(s, d);
+    };
+    backend.score = [this](std::vector<routing::Path> paths) {
+      return engine.ScoreBatch(paths);
+    };
+    backend.route = [this](const RouteRequest& request) {
+      return planner.Plan(request);
+    };
+    backend.traffic = [this](const std::vector<graph::TrafficUpdate>& u) {
+      return store.ApplyTraffic(u);
+    };
+    backend.graph_epoch = [this] { return store.epoch(); };
+    backend.route_planner_stats = [this] { return planner.stats(); };
+    return backend;
+  }
+
+  TrafficServerFixture()
+      : model(network.num_vertices(), SmallConfig()),
+        engine(network, model),
+        store(graph::BuildTestNetwork()),
+        planner(
+            store,
+            [this](std::vector<routing::Path> paths) {
+              return engine.ScoreBatch(paths);
+            },
+            PlannerOptions()),
+        server(Backend(), ServerFixture::Options()) {
+    server.Start();
+  }
+};
+
+std::string RouteBody(graph::VertexId source, graph::VertexId destination) {
+  return "{\"source\": " + std::to_string(source) +
+         ", \"destination\": " + std::to_string(destination) + "}";
+}
+
+TEST(TrafficHttp, ValidBatchBumpsEpochAndInvalidatesRouteCache) {
+  TrafficServerFixture fx;
+  HttpClient client;
+  client.Connect(fx.server.port());
+
+  // Seed and hit the route cache at epoch 0; the epoch is on the wire.
+  const auto miss = client.Request("POST", "/v1/route", RouteBody(3, 59));
+  ASSERT_EQ(miss.status, 200);
+  EXPECT_NE(miss.body.find("\"cache_hit\":false"), std::string::npos);
+  EXPECT_NE(miss.body.find("\"graph_epoch\":0"), std::string::npos)
+      << miss.body;
+  const auto hit = client.Request("POST", "/v1/route", RouteBody(3, 59));
+  ASSERT_EQ(hit.status, 200);
+  EXPECT_NE(hit.body.find("\"cache_hit\":true"), std::string::npos);
+
+  const auto applied = client.Request(
+      "POST", "/v1/traffic",
+      "{\"updates\": [{\"edge\": 0, \"travel_time_s\": 123.5}, "
+      "{\"edge\": 1, \"closed\": true}]}");
+  ASSERT_EQ(applied.status, 200) << applied.body;
+  const auto ack = json::Parse(applied.body);
+  ASSERT_TRUE(ack);
+  EXPECT_EQ(ack->Find("epoch")->number_value(), 1.0);
+  EXPECT_EQ(ack->Find("cost_updates")->number_value(), 1.0);
+  EXPECT_EQ(ack->Find("closures")->number_value(), 1.0);
+  EXPECT_EQ(ack->Find("reopenings")->number_value(), 0.0);
+
+  // The epoch moved: the cached entry is stale and must NOT be served.
+  const auto after = client.Request("POST", "/v1/route", RouteBody(3, 59));
+  ASSERT_EQ(after.status, 200);
+  EXPECT_NE(after.body.find("\"cache_hit\":false"), std::string::npos)
+      << "stale cache entry served across /v1/traffic";
+  EXPECT_NE(after.body.find("\"graph_epoch\":1"), std::string::npos)
+      << after.body;
+
+  // Observability: /healthz and /statsz expose the live epoch and the
+  // planner's invalidation counters.
+  const auto health = json::Parse(client.Request("GET", "/healthz").body);
+  ASSERT_TRUE(health);
+  ASSERT_NE(health->Find("graph_epoch"), nullptr);
+  EXPECT_EQ(health->Find("graph_epoch")->number_value(), 1.0);
+  const auto stats = json::Parse(client.Request("GET", "/statsz").body);
+  ASSERT_TRUE(stats);
+  EXPECT_EQ(stats->Find("graph_epoch")->number_value(), 1.0);
+  const json::Value* planner_stats = stats->Find("route_planner");
+  ASSERT_NE(planner_stats, nullptr);
+  EXPECT_EQ(planner_stats->Find("cache_hits")->number_value(), 1.0);
+  EXPECT_EQ(planner_stats->Find("invalidations")->number_value(), 1.0);
+  EXPECT_GE(planner_stats->Find("enumerations")->number_value(), 2.0);
+  const json::Value* traffic_endpoint =
+      stats->Find("endpoints")->Find("/v1/traffic");
+  ASSERT_NE(traffic_endpoint, nullptr);
+  EXPECT_EQ(traffic_endpoint->Find("requests")->number_value(), 1.0);
+  EXPECT_EQ(traffic_endpoint->Find("errors")->number_value(), 0.0);
+}
+
+void ExpectTrafficError(HttpClient& client, const std::string& body,
+                        const std::string& slug) {
+  const auto response = client.Request("POST", "/v1/traffic", body);
+  EXPECT_EQ(response.status, 400) << body << " -> " << response.body;
+  EXPECT_NE(response.body.find("\"status\":\"" + slug + "\""),
+            std::string::npos)
+      << body << " -> " << response.body;
+}
+
+TEST(TrafficHttp, MalformedBatchesAre400WithStableSlugs) {
+  TrafficServerFixture fx;
+  HttpClient client;
+  client.Connect(fx.server.port());
+
+  // Shape/type failures: the HTTP layer's generic bad_request slug.
+  ExpectTrafficError(client, "{not json", "bad_request");
+  ExpectTrafficError(client, "[1, 2]", "bad_request");
+  ExpectTrafficError(client, "{}", "bad_request");
+  ExpectTrafficError(client, "{\"updates\": 5}", "bad_request");
+  ExpectTrafficError(client, "{\"updates\": [7]}", "bad_request");
+  ExpectTrafficError(client, "{\"updates\": [{}]}", "bad_request");
+  ExpectTrafficError(client, "{\"updates\": [{\"edge\": -1}]}",
+                     "bad_request");
+  ExpectTrafficError(client, "{\"updates\": [{\"edge\": 1.5}]}",
+                     "bad_request");
+  ExpectTrafficError(client, "{\"updates\": [{\"edge\": 1e300}]}",
+                     "bad_request");
+  ExpectTrafficError(
+      client, "{\"updates\": [{\"edge\": \"0\", \"closed\": true}]}",
+      "bad_request");
+  ExpectTrafficError(
+      client, "{\"updates\": [{\"edge\": 0, \"travel_time_s\": \"fast\"}]}",
+      "bad_request");
+  ExpectTrafficError(client,
+                     "{\"updates\": [{\"edge\": 0, \"closed\": 1}]}",
+                     "bad_request");
+  // A literal NaN is not JSON (RFC 8259): rejected at the parse, with
+  // the same slug — it must never reach the graph as a cost.
+  ExpectTrafficError(
+      client, "{\"updates\": [{\"edge\": 0, \"travel_time_s\": NaN}]}",
+      "bad_request");
+
+  // Semantic failures: the backend's specific slugs.
+  ExpectTrafficError(client, "{\"updates\": []}", "empty_batch");
+  ExpectTrafficError(
+      client,
+      "{\"updates\": [{\"edge\": 999999, \"travel_time_s\": 1.0}]}",
+      "unknown_edge");
+  ExpectTrafficError(client,
+                     "{\"updates\": [{\"edge\": 0, \"travel_time_s\": 1.0}, "
+                     "{\"edge\": 0, \"closed\": true}]}",
+                     "duplicate_edge");
+  ExpectTrafficError(
+      client, "{\"updates\": [{\"edge\": 0, \"travel_time_s\": -5.0}]}",
+      "bad_request");
+  ExpectTrafficError(
+      client, "{\"updates\": [{\"edge\": 0, \"travel_time_s\": 0.0}]}",
+      "bad_request");
+  // An update that specifies neither a cost nor a closure is a no-op by
+  // construction — almost certainly a client bug, so it is rejected.
+  ExpectTrafficError(client, "{\"updates\": [{\"edge\": 0}]}",
+                     "bad_request");
+
+  // Nothing above may have moved the epoch (all-or-nothing per batch,
+  // and rejected batches do not publish).
+  const auto stats = json::Parse(client.Request("GET", "/statsz").body);
+  ASSERT_TRUE(stats);
+  EXPECT_EQ(stats->Find("graph_epoch")->number_value(), 0.0);
+}
+
+TEST(TrafficHttp, OversizedBodyIs413AndWrongMethodIs405) {
+  TrafficServerFixture fx;
+  HttpClient client;
+  client.Connect(fx.server.port());
+  const std::string big(fx.server.options().max_body_bytes + 1, 'x');
+  EXPECT_EQ(client.Request("POST", "/v1/traffic", big).status, 413);
+  // The server hangs up after an oversized body (it cannot resync the
+  // framing); the method check needs a fresh connection.
+  HttpClient fresh;
+  fresh.Connect(fx.server.port());
+  EXPECT_EQ(fresh.Request("GET", "/v1/traffic").status, 405);
+}
+
+TEST(TrafficHttp, MissingTrafficBackendIs404) {
+  // A server wired without the traffic seam must answer 404, not crash
+  // on a null std::function — and its /healthz body must not grow a
+  // graph_epoch field it cannot back.
+  ServerFixture fx;
+  HttpClient client;
+  client.Connect(fx.server.port());
+  const auto response = client.Request(
+      "POST", "/v1/traffic",
+      "{\"updates\": [{\"edge\": 0, \"travel_time_s\": 1.0}]}");
+  EXPECT_EQ(response.status, 404);
+  const auto health = json::Parse(client.Request("GET", "/healthz").body);
+  ASSERT_TRUE(health);
+  EXPECT_EQ(health->Find("graph_epoch"), nullptr);
 }
 
 // The wire-format property every bitwise assertion above rests on.

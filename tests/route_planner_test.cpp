@@ -406,6 +406,11 @@ TEST(RouteHttp, ErrorTaxonomyMapsTo4xx) {
   const auto bad_json =
       client.Request("POST", "/v1/route", "{\"source\": }");
   EXPECT_EQ(bad_json.status, 400);
+  // Unparseable JSON carries the slug like every other 4xx — clients
+  // branch on "status", and this path used to return a bare error.
+  EXPECT_NE(bad_json.body.find("\"status\":\"bad_request\""),
+            std::string::npos)
+      << bad_json.body;
   const auto wrong_method = client.Request("GET", "/v1/route");
   EXPECT_EQ(wrong_method.status, 405);
 }

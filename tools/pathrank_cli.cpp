@@ -24,16 +24,20 @@
 //
 // `serve --http PORT` skips the self-drive and instead exposes the same
 // stack over HTTP/1.1 (POST /v1/rank, POST /v1/score, POST /v1/route,
-// GET /healthz, GET /statsz) until SIGINT/SIGTERM, with admission
-// control in front of the engine (--max-inflight, --max-queue-wait-us;
-// overload answers 429 + Retry-After). It composes with --batch
-// (requests coalesce through the BatchingQueue), --shards and
-// --watch-model, so hot swap and sharding work over the wire. /v1/route
-// is the full online pipeline (candidate enumeration + LRU candidate
-// cache + scoring, see serving::RoutePlanner); --route-cache N sizes the
-// cache. The serving network comes from --network PREFIX (the CSV pair)
-// or --graph EDGES.csv (edges-only: vertex set inferred, coordinates
-// zeroed — enough for travel-time routing).
+// POST /v1/traffic, GET /healthz, GET /statsz) until SIGINT/SIGTERM,
+// with admission control in front of the engine (--max-inflight,
+// --max-queue-wait-us; overload answers 429 + Retry-After). It composes
+// with --batch (requests coalesce through the BatchingQueue), --shards
+// and --watch-model, so hot swap and sharding work over the wire.
+// /v1/route is the full online pipeline (candidate enumeration + LRU
+// candidate cache + scoring, see serving::RoutePlanner); --route-cache N
+// sizes the cache. The route pipeline serves a live graph behind a
+// GraphStore: POST /v1/traffic ingests edge cost/closure batches
+// (epoch + 1 per batch), and `--watch-graph 1` polls the graph source
+// files and hot-swaps a re-exported network the same way --watch-model
+// swaps checkpoints. The serving network comes from --network PREFIX
+// (the CSV pair) or --graph EDGES.csv (edges-only: vertex set inferred,
+// coordinates zeroed — enough for travel-time routing).
 //
 // Networks are stored as the CSV pair written by graph::SaveNetworkCsv,
 // trips as traj::SaveTrips CSV, models as core::SaveModel checkpoints.
@@ -62,6 +66,7 @@
 #include "graph/graph_io.h"
 #include "serving/batching_queue.h"
 #include "serving/fault_injector.h"
+#include "serving/graph_store.h"
 #include "serving/http_server.h"
 #include "serving/route_planner.h"
 #include "serving/sharded_engine.h"
@@ -445,6 +450,99 @@ class ModelWatcher {
   std::thread thread_;
 };
 
+/// Polls the graph source's mtime and swaps a freshly loaded network into
+/// the GraphStore when it changes — the `serve --watch-graph` reload
+/// path, ModelWatcher's graph-side twin. Watches the edges CSV (the file
+/// a re-export rewrites); in-flight route queries finish on the snapshot
+/// they captured, and the superseded graph is freed when the last of
+/// them returns.
+class GraphWatcher {
+ public:
+  GraphWatcher(std::string watch_path,
+               std::function<graph::RoadNetwork()> load,
+               serving::GraphStore* store, int interval_ms)
+      : watch_path_(std::move(watch_path)),
+        load_(std::move(load)),
+        store_(store),
+        interval_ms_(interval_ms),
+        last_mtime_(Mtime(watch_path_)) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~GraphWatcher() {
+    stop_.store(true);
+    thread_.join();
+  }
+
+  uint64_t swaps() const { return swaps_.load(); }
+
+ private:
+  static std::filesystem::file_time_type Mtime(const std::string& path) {
+    std::error_code ec;
+    const auto t = std::filesystem::last_write_time(path, ec);
+    return ec ? std::filesystem::file_time_type{} : t;
+  }
+
+  void InterruptibleSleep() const {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(interval_ms_);
+    while (!stop_.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  void Loop() {
+    while (!stop_.load()) {
+      InterruptibleSleep();
+      if (stop_.load()) break;
+      const auto mtime = Mtime(watch_path_);
+      if (mtime == last_mtime_ ||
+          mtime == std::filesystem::file_time_type{}) {
+        continue;
+      }
+      try {
+        graph::RoadNetwork next = load_();
+        const auto current = store_->Current();
+        if (next.num_vertices() != current->network().num_vertices()) {
+          // The model's vocabulary (and the /v1/rank engine) is pinned to
+          // the boot-time vertex set; a graph that changes it needs a
+          // restart with a matching model, not a hot swap.
+          std::fprintf(stderr,
+                       "watch-graph: %s changed its vertex count (%zu -> "
+                       "%zu); the model is pinned to the boot graph — "
+                       "keeping the current snapshot\n",
+                       watch_path_.c_str(),
+                       current->network().num_vertices(),
+                       next.num_vertices());
+          last_mtime_ = mtime;  // not transient; wait for the next rewrite
+          continue;
+        }
+        store_->SwapNetwork(std::move(next));
+        last_mtime_ = mtime;
+        swaps_.fetch_add(1);
+        std::printf("watch-graph: hot-swapped graph from %s (epoch %llu)\n",
+                    watch_path_.c_str(),
+                    static_cast<unsigned long long>(store_->epoch()));
+      } catch (const std::exception& e) {
+        // A partially written CSV mid-export is expected. last_mtime_
+        // deliberately stays stale so the next tick retries even when the
+        // writer finishes within the same coarse mtime granule.
+        std::fprintf(stderr, "watch-graph: reload failed (%s); will retry\n",
+                     e.what());
+      }
+    }
+  }
+
+  const std::string watch_path_;
+  const std::function<graph::RoadNetwork()> load_;
+  serving::GraphStore* store_;
+  const int interval_ms_;
+  std::filesystem::file_time_type last_mtime_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> swaps_{0};
+  std::thread thread_;
+};
+
 /// SIGINT/SIGTERM flag for `serve --http`: handlers may only touch
 /// lock-free atomics, so the serving loop polls this and does the actual
 /// shutdown outside signal context.
@@ -556,18 +654,34 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
     };
   }
 
+  // The live graph behind /v1/route and /v1/traffic: a GraphStore seeded
+  // with a copy of the boot network (epoch 0). Traffic batches and
+  // --watch-graph reloads swap new snapshots in; the /v1/rank engine
+  // stays pinned to the boot network (its candidate generator and the
+  // model vocabulary were built against it).
+  serving::GraphStore graph_store(network);
+
   // The online route pipeline behind POST /v1/route: candidate
   // enumeration + LRU candidate cache + scoring through the SAME seam
   // backend.score uses, so /v1/route composes with --batch and --shards
-  // for free.
+  // for free. Built over the GraphStore: each query captures the current
+  // snapshot once, and cached candidate sets invalidate when the epoch
+  // moves on.
   serving::RoutePlannerOptions route_options;
   route_options.candidates = GenConfigFromArgs(args);
   route_options.cache_capacity =
       static_cast<size_t>(std::max(0, args.GetInt("route-cache", 1024)));
-  const serving::RoutePlanner planner(network, backend.score, route_options);
+  const serving::RoutePlanner planner(graph_store, backend.score,
+                                      route_options);
   backend.route = [&planner](const serving::RouteRequest& request) {
     return planner.Plan(request);
   };
+  backend.traffic =
+      [&graph_store](const std::vector<graph::TrafficUpdate>& updates) {
+        return graph_store.ApplyTraffic(updates);
+      };
+  backend.graph_epoch = [&graph_store] { return graph_store.epoch(); };
+  backend.route_planner_stats = [&planner] { return planner.stats(); };
   if (faults != nullptr && faults->enabled()) {
     // The "route" site stalls/fails between deadline anchoring (HTTP
     // parse) and Plan(), so an injected delay visibly consumes budget.
@@ -578,6 +692,24 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
     };
   }
 
+  // --watch-graph: poll the graph source and hot-swap re-exports, the
+  // graph-side analogue of --watch-model. Watches the edges CSV — the
+  // file a re-export rewrites for either --graph or --network serving.
+  std::unique_ptr<GraphWatcher> graph_watcher;
+  if (args.GetInt("watch-graph", 0) != 0) {
+    const bool has_graph = args.Has("graph");
+    const std::string watch_path =
+        has_graph ? args.Get("graph", "")
+                  : args.Get("network", "") + "_edges.csv";
+    auto load = [has_graph, &args]() {
+      return has_graph ? graph::LoadNetworkEdgesCsv(args.Get("graph", ""))
+                       : graph::LoadNetworkCsv(args.Get("network", ""));
+    };
+    graph_watcher = std::make_unique<GraphWatcher>(
+        watch_path, std::move(load), &graph_store,
+        std::max(1, args.GetInt("watch-interval-ms", 200)));
+  }
+
   serving::HttpServer server(std::move(backend), options);
   server.Start();
   std::printf("route planner: strategy %s, k=%d, cache %zu entries\n",
@@ -585,13 +717,14 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
                   .c_str(),
               route_options.candidates.k, route_options.cache_capacity);
   std::printf("HTTP serving on %s:%u  (threads=%zu, max_inflight=%zu, "
-              "max_queue_wait_us=%lld%s%s%s)\n",
+              "max_queue_wait_us=%lld%s%s%s%s)\n",
               options.bind_address.c_str(), server.port(),
               server.options().num_threads, options.max_inflight,
               static_cast<long long>(options.max_queue_wait_us),
               queue != nullptr ? ", batched" : "",
               sharded != nullptr ? ", sharded" : "",
-              watcher != nullptr ? ", watch-model" : "");
+              watcher != nullptr ? ", watch-model" : "",
+              graph_watcher != nullptr ? ", watch-graph" : "");
   std::printf("timeouts: idle %d s, request %d s; route budget: default %lld "
               "ms, max %lld ms (0 = unbounded)\n",
               options.idle_timeout_s, options.request_deadline_s,
@@ -603,7 +736,8 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
                 args.GetInt("fault-seed", 1));
   }
   std::printf("endpoints: POST /v1/rank  POST /v1/score  POST /v1/route  "
-              "GET /healthz  GET /statsz  (Ctrl-C to stop)\n");
+              "POST /v1/traffic  GET /healthz  GET /statsz  "
+              "(Ctrl-C to stop)\n");
 
   g_http_interrupted.store(false);
   std::signal(SIGINT, OnHttpSignal);
@@ -635,6 +769,14 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
               stats.route.latency_p99_s * 1e3,
               static_cast<unsigned long long>(planner.cache_hits()),
               static_cast<unsigned long long>(planner.cache_misses()));
+  std::printf("graph: epoch %llu  %llu traffic batch(es)  "
+              "%llu invalidation(s)  %llu single-flight wait(s)  "
+              "%llu enumeration(s)\n",
+              static_cast<unsigned long long>(graph_store.epoch()),
+              static_cast<unsigned long long>(graph_store.traffic_batches()),
+              static_cast<unsigned long long>(planner.invalidations()),
+              static_cast<unsigned long long>(planner.single_flight_waits()),
+              static_cast<unsigned long long>(planner.enumerations()));
   std::printf("deadlines: %llu exceeded (504), %llu degraded (partial), "
               "route timeouts %llu\n",
               static_cast<unsigned long long>(stats.deadline_exceeded_total),
@@ -648,6 +790,10 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
   if (watcher != nullptr) {
     std::printf("watch-model: %llu hot swap(s) while serving\n",
                 static_cast<unsigned long long>(watcher->swaps()));
+  }
+  if (graph_watcher != nullptr) {
+    std::printf("watch-graph: %llu hot swap(s) while serving\n",
+                static_cast<unsigned long long>(graph_watcher->swaps()));
   }
   return 0;
 }
@@ -793,7 +939,7 @@ int CmdServe(const Args& args) {
        {"http-addr", "http-threads", "max-inflight", "max-queue-wait-us",
         "route-cache", "idle-timeout-s", "request-deadline-s",
         "default-deadline-ms", "max-deadline-ms", "fault-spec",
-        "fault-seed"}) {
+        "fault-seed", "watch-graph"}) {
     if (args.Has(flag)) {
       std::fprintf(stderr, "--%s configures the HTTP front end; add --http "
                            "PORT or drop it\n",
@@ -923,6 +1069,7 @@ void PrintUsage() {
       "            [--http PORT --http-addr A --max-inflight N\n"
       "             --max-queue-wait-us U --http-threads T (0 = auto)\n"
       "             --route-cache N (LRU candidate sets for /v1/route)\n"
+      "             --watch-graph 0|1 (hot-swap re-exported graphs)\n"
       "             --idle-timeout-s S --request-deadline-s S\n"
       "             --default-deadline-ms MS --max-deadline-ms MS "
       "(0 = unbounded)\n"
@@ -958,11 +1105,11 @@ int main(int argc, char** argv) {
        {"network", "graph", "model", "queries", "num-queries", "seed",
         "threads", "replicas", "repeat", "strategy", "k", "threshold",
         "batch", "max-batch", "max-wait-us", "clients", "shards",
-        "shard-policy", "watch-model", "watch-interval-ms", "http",
-        "http-addr", "http-threads", "max-inflight", "max-queue-wait-us",
-        "route-cache", "idle-timeout-s", "request-deadline-s",
-        "default-deadline-ms", "max-deadline-ms", "fault-spec",
-        "fault-seed"}},
+        "shard-policy", "watch-model", "watch-graph", "watch-interval-ms",
+        "http", "http-addr", "http-threads", "max-inflight",
+        "max-queue-wait-us", "route-cache", "idle-timeout-s",
+        "request-deadline-s", "default-deadline-ms", "max-deadline-ms",
+        "fault-spec", "fault-seed"}},
   };
   const auto known = kKnownFlags.find(command);
   if (known != kKnownFlags.end()) {

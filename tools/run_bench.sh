@@ -52,6 +52,10 @@ REQUIRED_FAMILIES=(
   serve_route_warm_p50_s
   serve_route_warm_p99_s
   serve_route_per_s
+  serve_route_after_swap_p50_s
+  serve_route_after_swap_p99_s
+  serve_traffic_ingest_p50_s
+  serve_traffic_ingest_p99_s
   snapshot_capture_s
   swap_latency_s
   train_epoch_s
