@@ -504,9 +504,10 @@ void BenchServingRoute(const bench::ExperimentScale& scale,
   SetNumThreads(threads);
   const serving::ServingEngine engine(workload.network, snapshot, options);
 
-  serving::RoutePlannerOptions route_options;
-  route_options.candidates = options.candidates;
-  route_options.cache_capacity = 4096;
+  serving::RoutePlannerConfig route_config;
+  route_config.network = &workload.network;
+  route_config.candidates = options.candidates;
+  route_config.cache_capacity = 4096;
   const auto score = [&engine](std::vector<routing::Path> paths) {
     return engine.ScoreBatch(paths);
   };
@@ -528,8 +529,7 @@ void BenchServingRoute(const bench::ExperimentScale& scale,
   std::vector<double> cold;
   Stopwatch cold_watch;
   do {
-    const serving::RoutePlanner fresh(workload.network, score,
-                                      route_options);
+    const serving::RoutePlanner fresh(route_config, score);
     for (const auto& query : queries) {
       Stopwatch per_query;
       const auto result = fresh.Plan(query);
@@ -543,8 +543,7 @@ void BenchServingRoute(const bench::ExperimentScale& scale,
   } while (cold.size() < 100 && cold_watch.ElapsedSeconds() < 2.0);
 
   // Warm: one planner primed with every query; steady state is all hits.
-  const serving::RoutePlanner planner(workload.network, score,
-                                      route_options);
+  const serving::RoutePlanner planner(route_config, score);
   for (const auto& query : queries) planner.Plan(query);
   std::vector<double> warm;
   size_t served = 0;
@@ -584,6 +583,92 @@ void BenchServingRoute(const bench::ExperimentScale& scale,
       static_cast<double>(served) / wall);
 }
 
+// Cold-path spur-engine shoot-out: the same long-range Yen enumerations
+// through the plain-Dijkstra spur engine and through ALT (landmark
+// lower bounds, preprocessed once per planner outside the timed
+// region), at two graph scales. Cache capacity is zero so every Plan
+// pays the full enumeration — exactly the /v1/route miss path. Both
+// engines produce bitwise-identical candidate sets (enforced by
+// engine_equivalence_test), so the latency gap is pure goal-direction:
+// the committed baseline documents ALT's speedup on the large graph.
+void BenchServingRouteColdEngines(Metrics* metrics) {
+  struct ColdScale {
+    const char* name;
+    int rows, cols;
+    int landmarks;
+    int num_queries;
+  };
+  const ColdScale scales[] = {{"small", 24, 24, 8, 16},
+                              {"large", 64, 64, 16, 8}};
+  const auto score = [](std::vector<routing::Path> paths) {
+    // Deterministic, trivially cheap scorer: rank by cost so the bench
+    // isolates enumeration latency from model inference.
+    std::vector<serving::ScoredPath> scored;
+    scored.reserve(paths.size());
+    for (auto& path : paths) {
+      serving::ScoredPath sp;
+      sp.score = -path.cost;
+      sp.path = std::move(path);
+      scored.push_back(std::move(sp));
+    }
+    return scored;
+  };
+  for (const ColdScale& gs : scales) {
+    graph::SyntheticNetworkConfig net_config;
+    net_config.rows = gs.rows;
+    net_config.cols = gs.cols;
+    net_config.seed = 9;
+    const graph::RoadNetwork network = graph::BuildSyntheticNetwork(net_config);
+    const size_t n = network.num_vertices();
+    // Long-range pairs (near-corner to near-corner): the regime where
+    // goal-direction matters most and the /v1/route tail lives.
+    std::vector<serving::RouteRequest> queries;
+    for (int q = 0; q < gs.num_queries; ++q) {
+      const auto s = static_cast<graph::VertexId>((q * 37) % (n / 8));
+      const auto t =
+          static_cast<graph::VertexId>(n - 1 - ((q * 53) % (n / 8)));
+      queries.push_back({s, t});
+    }
+    for (const serving::SpurEngine spur :
+         {serving::SpurEngine::kDijkstra, serving::SpurEngine::kAlt}) {
+      serving::RoutePlannerConfig config;
+      config.network = &network;
+      config.cache_capacity = 0;  // every Plan is a cold miss
+      config.spur_engine = spur;
+      config.num_landmarks = gs.landmarks;
+      config.candidates.strategy = data::CandidateStrategy::kTopK;
+      config.candidates.k = 6;
+      // Planner construction (including the one-time ALT preprocessing
+      // for pinned networks) stays outside the timed region.
+      const serving::RoutePlanner planner(config, score);
+      std::vector<double> latency;
+      Stopwatch budget;
+      do {
+        for (const auto& query : queries) {
+          Stopwatch per_query;
+          const auto result = planner.Plan(query);
+          latency.push_back(per_query.ElapsedSeconds());
+          if (result.status != serving::RouteStatus::kOk) {
+            std::fprintf(stderr,
+                         "serve route cold engine bench: status %s\n",
+                         serving::RouteStatusSlug(result.status));
+            std::exit(1);
+          }
+        }
+      } while (latency.size() < 48 && budget.ElapsedSeconds() < 3.0);
+      std::sort(latency.begin(), latency.end());
+      const std::string prefix = std::string("serve_route_cold_") + gs.name +
+                                 "_" + serving::SpurEngineName(spur);
+      (*metrics)[prefix + "_p50_s"] = PercentileSorted(latency, 0.50);
+      (*metrics)[prefix + "_p99_s"] = PercentileSorted(latency, 0.99);
+      std::printf("serve route cold %s/%s  p50 %.2f ms  p99 %.2f ms\n",
+                  gs.name, serving::SpurEngineName(spur),
+                  PercentileSorted(latency, 0.50) * 1e3,
+                  PercentileSorted(latency, 0.99) * 1e3);
+    }
+  }
+}
+
 // Live-graph ingestion (/v1/traffic) and what it costs the route path:
 // ingest = copy-on-write CSR rebuild + one atomic snapshot publish per
 // batch; after-swap = the first route-query wave at the new epoch, when
@@ -609,15 +694,14 @@ void BenchServingGraphSwap(const bench::ExperimentScale& scale,
   const serving::ServingEngine engine(workload.network, snapshot, options);
 
   serving::GraphStore store{graph::RoadNetwork(workload.network)};
-  serving::RoutePlannerOptions route_options;
-  route_options.candidates = options.candidates;
-  route_options.cache_capacity = 4096;
+  serving::RoutePlannerConfig route_config;
+  route_config.store = &store;
+  route_config.candidates = options.candidates;
+  route_config.cache_capacity = 4096;
   const serving::RoutePlanner planner(
-      store,
-      [&engine](std::vector<routing::Path> paths) {
+      route_config, [&engine](std::vector<routing::Path> paths) {
         return engine.ScoreBatch(paths);
-      },
-      route_options);
+      });
 
   std::vector<serving::RouteRequest> queries;
   std::set<std::pair<graph::VertexId, graph::VertexId>> seen;
@@ -872,6 +956,7 @@ int main(int argc, char** argv) {
   BenchServingBatched(scale, workload, thread_counts, &metrics);
   BenchServingHttp(scale, workload, &metrics);
   BenchServingRoute(scale, workload, &metrics);
+  BenchServingRouteColdEngines(&metrics);
   BenchServingGraphSwap(scale, workload, &metrics);
   BenchSnapshotSwap(scale, workload, &metrics);
   BenchTraining(scale, workload, thread_counts, &metrics);

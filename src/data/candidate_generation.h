@@ -15,6 +15,10 @@
 #include "routing/path.h"
 #include "traj/trajectory.h"
 
+namespace pathrank::routing {
+class ShortestPathEngine;
+}  // namespace pathrank::routing
+
 namespace pathrank::data {
 
 /// Candidate-set construction strategy.
@@ -64,10 +68,16 @@ struct RankingQuery {
 /// `cancel` (optional, serving only — training never sets it) threads
 /// cooperative cancellation into the strategy's enumeration loops; when
 /// it expires mid-run the candidates found so far are returned.
+/// `engine` (optional, borrowed, not thread-safe — one per concurrent
+/// call) runs the Yen spur searches of the kTopK and kDiversifiedTopK
+/// strategies; nullptr = owned plain Dijkstra. kPenalty re-weights edges
+/// each iteration, which invalidates any preprocessing-based engine, so
+/// it always searches with its own Dijkstra and ignores `engine`.
 std::vector<routing::Path> GenerateCandidatePaths(
     const graph::RoadNetwork& network, graph::VertexId source,
     graph::VertexId destination, const CandidateGenConfig& config,
-    const CancelToken* cancel = nullptr);
+    const CancelToken* cancel = nullptr,
+    routing::ShortestPathEngine* engine = nullptr);
 
 /// Generates the candidate set for one trip. Candidates are computed with
 /// the free-flow travel-time metric (the advanced-routing component of the

@@ -1,105 +1,43 @@
 #include "routing/alt.h"
 
-#include <algorithm>
-#include <limits>
 #include <queue>
+#include <utility>
 
 #include "common/logging.h"
 #include "routing/dijkstra.h"
 
 namespace pathrank::routing {
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// One-to-all distances over *reversed* edges: d(v -> source) for all v.
-std::vector<double> ReverseDistances(const graph::RoadNetwork& net,
-                                     VertexId source, const EdgeCostFn& cost) {
-  std::vector<double> dist(net.num_vertices(), kInf);
-  dist[source] = 0.0;
-  using Entry = std::pair<double, VertexId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
-  queue.push({0.0, source});
-  while (!queue.empty()) {
-    const auto [d, u] = queue.top();
-    queue.pop();
-    if (d > dist[u]) continue;
-    for (graph::EdgeId e : net.InEdges(u)) {
-      const auto& rec = net.edge(e);
-      const double nd = d + cost(e);
-      if (nd < dist[rec.from]) {
-        dist[rec.from] = nd;
-        queue.push({nd, rec.from});
-      }
-    }
-  }
-  return dist;
-}
-
-}  // namespace
 
 AltRouter::AltRouter(const RoadNetwork& network, const EdgeCostFn& cost,
                      int num_landmarks)
+    : AltRouter(network, cost,
+                std::make_shared<const PreprocessedGraph>(network, cost,
+                                                          num_landmarks)) {}
+
+AltRouter::AltRouter(const RoadNetwork& network, const EdgeCostFn& cost,
+                     std::shared_ptr<const PreprocessedGraph> tables)
     : network_(&network),
       cost_(cost),
-      dist_(network.num_vertices(), kInf),
+      tables_(std::move(tables)),
+      dist_(network.num_vertices()),
       parent_edge_(network.num_vertices(), graph::kInvalidEdge),
       stamp_(network.num_vertices(), 0) {
-  PR_CHECK(num_landmarks >= 1);
-  PR_CHECK(network.num_vertices() > 0);
-
-  Dijkstra dijkstra(network);
-  // Farthest-point landmark selection: start from vertex 0, repeatedly add
-  // the vertex farthest (under the metric) from the current landmark set.
-  VertexId current = 0;
-  std::vector<double> min_dist(network.num_vertices(), kInf);
-  for (int l = 0; l < num_landmarks; ++l) {
-    landmarks_.push_back(current);
-    dijkstra.ComputeAllFrom(current, cost_);
-    std::vector<double> from(network.num_vertices(), kInf);
-    for (VertexId v = 0; v < network.num_vertices(); ++v) {
-      if (dijkstra.Reached(v)) from[v] = dijkstra.DistanceTo(v);
-    }
-    dist_to_.push_back(ReverseDistances(network, current, cost_));
-    dist_from_.push_back(std::move(from));
-
-    // Update farthest-point bookkeeping and pick the next landmark.
-    VertexId next = current;
-    double best = -1.0;
-    for (VertexId v = 0; v < network.num_vertices(); ++v) {
-      const double d = dist_from_.back()[v];
-      if (d < min_dist[v]) min_dist[v] = d;
-      if (min_dist[v] != kInf && min_dist[v] > best) {
-        best = min_dist[v];
-        next = v;
-      }
-    }
-    current = next;
-  }
+  PR_CHECK(tables_ != nullptr);
+  PR_CHECK(tables_->num_vertices() == network.num_vertices())
+      << "preprocessed tables index a different network";
+  PR_CHECK(tables_->CompatibleWith(cost_))
+      << "query metric does not match the preprocessing metric";
 }
 
-double AltRouter::Heuristic(VertexId v, VertexId target) const {
-  double best = 0.0;
-  for (size_t l = 0; l < landmarks_.size(); ++l) {
-    const double from_l_t = dist_from_[l][target];
-    const double from_l_v = dist_from_[l][v];
-    if (from_l_t != kInf && from_l_v != kInf) {
-      best = std::max(best, from_l_t - from_l_v);
-    }
-    const double to_l_v = dist_to_[l][v];
-    const double to_l_t = dist_to_[l][target];
-    if (to_l_v != kInf && to_l_t != kInf) {
-      best = std::max(best, to_l_v - to_l_t);
-    }
-  }
-  return best;
-}
-
-std::optional<Path> AltRouter::ShortestPath(VertexId source, VertexId target) {
+std::optional<Path> AltRouter::ShortestPath(VertexId source, VertexId target,
+                                            const BanSet* bans,
+                                            const CancelToken* cancel) {
   PR_CHECK(source < network_->num_vertices());
   PR_CHECK(target < network_->num_vertices());
+  if (cancel != nullptr && cancel->Expired()) return std::nullopt;
   ++epoch_;
   settled_count_ = 0;
+  const PreprocessedGraph& tables = *tables_;
 
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>
@@ -107,9 +45,17 @@ std::optional<Path> AltRouter::ShortestPath(VertexId source, VertexId target) {
   dist_[source] = 0.0;
   parent_edge_[source] = graph::kInvalidEdge;
   stamp_[source] = epoch_;
-  queue.push({Heuristic(source, target), 0.0, source});
+  queue.push({tables.LowerBound(source, target), 0.0, source});
 
+  size_t pops = 0;
   while (!queue.empty()) {
+    // Same amortised checkpoint cadence as Dijkstra::Run: free when no
+    // token, and never influences expansion order.
+    if (cancel != nullptr &&
+        (++pops & (Dijkstra::kCancelCheckPops - 1)) == 0 &&
+        cancel->Expired()) {
+      return std::nullopt;
+    }
     const QueueEntry top = queue.top();
     queue.pop();
     const VertexId u = top.vertex;
@@ -135,14 +81,16 @@ std::optional<Path> AltRouter::ShortestPath(VertexId source, VertexId target) {
       return path;
     }
     for (EdgeId e : network_->OutEdges(u)) {
+      if (bans != nullptr && bans->IsEdgeBanned(e)) continue;
       const auto& rec = network_->edge(e);
       const VertexId v = rec.to;
+      if (bans != nullptr && bans->IsVertexBanned(v)) continue;
       const double ng = top.g + cost_(e);
       if (stamp_[v] != epoch_ || ng < dist_[v]) {
         stamp_[v] = epoch_;
         dist_[v] = ng;
         parent_edge_[v] = e;
-        queue.push({ng + Heuristic(v, target), ng, v});
+        queue.push({ng + tables.LowerBound(v, target), ng, v});
       }
     }
   }

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "routing/dijkstra.h"
 
 namespace pathrank::routing {
 namespace {
@@ -17,9 +18,12 @@ AStar::AStar(const RoadNetwork& network)
       stamp_(network.num_vertices(), 0) {}
 
 std::optional<Path> AStar::ShortestPath(VertexId source, VertexId target,
-                                        const EdgeCostFn& cost) {
+                                        const EdgeCostFn& cost,
+                                        const BanSet* bans,
+                                        const CancelToken* cancel) {
   PR_CHECK(source < network_->num_vertices());
   PR_CHECK(target < network_->num_vertices());
+  if (cancel != nullptr && cancel->Expired()) return std::nullopt;
   ++epoch_;
   settled_count_ = 0;
 
@@ -47,7 +51,14 @@ std::optional<Path> AStar::ShortestPath(VertexId source, VertexId target,
   stamp_[source] = epoch_;
   queue.push({heuristic(source), 0.0, source});
 
+  size_t pops = 0;
   while (!queue.empty()) {
+    // Same amortised checkpoint cadence as Dijkstra::Run.
+    if (cancel != nullptr &&
+        (++pops & (Dijkstra::kCancelCheckPops - 1)) == 0 &&
+        cancel->Expired()) {
+      return std::nullopt;
+    }
     const QueueEntry top = queue.top();
     queue.pop();
     const VertexId u = top.vertex;
@@ -73,8 +84,10 @@ std::optional<Path> AStar::ShortestPath(VertexId source, VertexId target,
       return path;
     }
     for (EdgeId e : network_->OutEdges(u)) {
+      if (bans != nullptr && bans->IsEdgeBanned(e)) continue;
       const auto& rec = network_->edge(e);
       const VertexId v = rec.to;
+      if (bans != nullptr && bans->IsVertexBanned(v)) continue;
       const double ng = top.g + cost(e);
       if (stamp_[v] != epoch_ || ng < dist_[v]) {
         stamp_[v] = epoch_;

@@ -10,6 +10,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/deadline.h"
+#include "routing/ban_set.h"
 #include "routing/cost_model.h"
 #include "routing/path.h"
 
@@ -20,9 +22,15 @@ class AStar {
  public:
   explicit AStar(const RoadNetwork& network);
 
-  /// Exact shortest path from `source` to `target` under `cost`.
+  /// Exact shortest path from `source` to `target` under `cost`. `bans`
+  /// (optional) excludes banned edges and banned arrival vertices —
+  /// Dijkstra semantics, and the geometric heuristic stays admissible
+  /// because bans only remove edges. `cancel` (optional) is polled every
+  /// Dijkstra::kCancelCheckPops pops; expiry aborts with std::nullopt.
   std::optional<Path> ShortestPath(VertexId source, VertexId target,
-                                   const EdgeCostFn& cost);
+                                   const EdgeCostFn& cost,
+                                   const BanSet* bans = nullptr,
+                                   const CancelToken* cancel = nullptr);
 
   /// Vertices settled by the last query (for benchmarks).
   size_t last_settled_count() const { return settled_count_; }

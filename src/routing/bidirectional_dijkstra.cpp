@@ -22,7 +22,7 @@ BidirectionalDijkstra::BidirectionalDijkstra(const RoadNetwork& network)
 
 std::optional<Path> BidirectionalDijkstra::ShortestPath(
     VertexId source, VertexId target, const EdgeCostFn& cost,
-    const CancelToken* cancel) {
+    const BanSet* bans, const CancelToken* cancel) {
   PR_CHECK(source < network_->num_vertices());
   PR_CHECK(target < network_->num_vertices());
   if (cancel != nullptr && cancel->Expired()) return std::nullopt;
@@ -33,6 +33,9 @@ std::optional<Path> BidirectionalDijkstra::ShortestPath(
     p.vertices.push_back(source);
     return p;
   }
+  // A banned target blocks every arrival, exactly as the unidirectional
+  // search (which skips all of the target's in-edges) would conclude.
+  if (bans != nullptr && bans->IsVertexBanned(target)) return std::nullopt;
 
   using Queue = std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                                     std::greater<QueueEntry>>;
@@ -90,11 +93,23 @@ std::optional<Path> BidirectionalDijkstra::ShortestPath(
     if (stamp[u] != epoch_ || top.dist > dist[u]) continue;
     ++settled_count_;
 
+    // Backward labels mean "suffix u -> target": extending one through a
+    // banned u would make u an ARRIVAL vertex of the longer suffix, which
+    // ban semantics forbid. The label itself stays usable as a meeting
+    // point — the forward half is what arrives at the meet vertex, and
+    // its own relaxation already refused banned arrivals.
+    if (!expand_fwd && bans != nullptr && u != target &&
+        bans->IsVertexBanned(u)) {
+      continue;
+    }
+
     const auto edges = expand_fwd ? network_->OutEdges(u)
                                   : network_->InEdges(u);
     for (EdgeId e : edges) {
+      if (bans != nullptr && bans->IsEdgeBanned(e)) continue;
       const auto& rec = network_->edge(e);
       const VertexId v = expand_fwd ? rec.to : rec.from;
+      if (expand_fwd && bans != nullptr && bans->IsVertexBanned(v)) continue;
       const double nd = top.dist + cost(e);
       if (stamp[v] != epoch_ || nd < dist[v]) {
         stamp[v] = epoch_;
@@ -109,7 +124,6 @@ std::optional<Path> BidirectionalDijkstra::ShortestPath(
   if (meet == graph::kInvalidVertex) return std::nullopt;
 
   Path path;
-  path.cost = best;
   // Forward half (reversed parent walk).
   std::vector<EdgeId> rev;
   VertexId cur = meet;
@@ -130,6 +144,12 @@ std::optional<Path> BidirectionalDijkstra::ShortestPath(
   path.vertices.push_back(source);
   for (EdgeId e : path.edges) path.vertices.push_back(network_->edge(e).to);
   RecomputeTotals(*network_, &path);
+  // Re-sum the cost sequentially along the path rather than taking
+  // `best` (forward-dist + backward-dist): the different association
+  // order differs in the low float bits, and callers (Yen candidate
+  // sets) rely on costs being BITWISE identical across engines.
+  path.cost = 0.0;
+  for (const EdgeId e : path.edges) path.cost += cost(e);
   return path;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "routing/ban_set.h"
 #include "routing/cost_model.h"
 #include "routing/path.h"
 
@@ -19,11 +20,16 @@ class BidirectionalDijkstra {
   explicit BidirectionalDijkstra(const RoadNetwork& network);
 
   /// Exact shortest path under `cost`; std::nullopt when unreachable.
+  /// `bans` (optional) excludes banned edges and banned arrival vertices
+  /// with Dijkstra's semantics: the backward search only extends through
+  /// a vertex when arriving there is allowed, so forward and backward
+  /// halves agree with the unidirectional search on which paths exist.
   /// `cancel` (optional) is polled every Dijkstra::kCancelCheckPops pops;
   /// an expired token aborts the search with std::nullopt (callers
   /// re-check cancel->Expired() to distinguish that from unreachable).
   std::optional<Path> ShortestPath(VertexId source, VertexId target,
                                    const EdgeCostFn& cost,
+                                   const BanSet* bans = nullptr,
                                    const CancelToken* cancel = nullptr);
 
   /// Vertices settled by the last query (both directions).

@@ -16,6 +16,8 @@
 
 namespace pathrank::routing {
 
+class ShortestPathEngine;
+
 /// Options for diversified enumeration.
 struct DiversifiedOptions {
   /// Number of paths requested.
@@ -36,10 +38,12 @@ struct DiversifiedOptions {
 /// Returns up to k mutually diverse shortest paths in cost order. When
 /// `cancel` expires mid-enumeration the paths accepted so far (padded
 /// with already-enumerated rejects when configured) are returned —
-/// possibly fewer than k, possibly zero.
+/// possibly fewer than k, possibly zero. `engine` (optional, borrowed)
+/// runs the underlying Yen spur searches; nullptr = owned plain Dijkstra.
 std::vector<Path> DiversifiedTopK(const RoadNetwork& network, VertexId source,
                                   VertexId target, const EdgeCostFn& cost,
                                   const DiversifiedOptions& options,
-                                  const CancelToken* cancel = nullptr);
+                                  const CancelToken* cancel = nullptr,
+                                  ShortestPathEngine* engine = nullptr);
 
 }  // namespace pathrank::routing

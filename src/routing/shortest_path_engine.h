@@ -1,0 +1,177 @@
+// The pluggable point-to-point shortest-path seam.
+//
+// Every concrete router in this directory (Dijkstra, A*, bidirectional
+// Dijkstra, ALT) historically had its own ad-hoc constructor/query shape,
+// so no caller could swap search strategies — YenEnumerator hard-coded a
+// Dijkstra member. ShortestPathEngine is the one query contract they all
+// adapt to:
+//
+//   FindPath(source, target, cost, bans, cancel) -> SearchResult
+//
+// with a tri-state result instead of an overloaded std::nullopt:
+// kFound carries the path, kUnreachable means the path space is provably
+// empty under the bans, kCancelled means the token expired before the
+// search finished (the caller must NOT conclude anything about
+// reachability). Yen's spur searches run through this seam, which is what
+// lets the serving cold path swap plain Dijkstra for ALT landmarks.
+//
+// Engine instances are single-threaded scratch holders (like the routers
+// they wrap): create one per enumeration/thread. They borrow the network
+// (and, for ALT, share an immutable PreprocessedGraph) — the caller keeps
+// both alive.
+//
+// Exactness contract: every adapter here returns an exact shortest path
+// under the query metric, so swapping engines never changes path COSTS.
+// When shortest paths are unique (no cost ties) the returned paths — and
+// therefore Yen candidate sets — are bitwise identical across engines.
+#pragma once
+
+#include <memory>
+
+#include "common/deadline.h"
+#include "routing/alt.h"
+#include "routing/astar.h"
+#include "routing/ban_set.h"
+#include "routing/bidirectional_dijkstra.h"
+#include "routing/cost_model.h"
+#include "routing/dijkstra.h"
+#include "routing/path.h"
+
+namespace pathrank::routing {
+
+/// Tri-state outcome of one point-to-point query.
+enum class SearchOutcome {
+  kFound,        ///< `path` holds an exact shortest path
+  kUnreachable,  ///< no path exists under the given bans
+  kCancelled,    ///< the cancel token expired mid-search; reachability unknown
+};
+
+/// One answered point-to-point query.
+struct SearchResult {
+  SearchOutcome outcome = SearchOutcome::kUnreachable;
+  /// Meaningful only when outcome == kFound.
+  Path path;
+
+  bool found() const { return outcome == SearchOutcome::kFound; }
+
+  static SearchResult Found(Path p) {
+    SearchResult r;
+    r.outcome = SearchOutcome::kFound;
+    r.path = std::move(p);
+    return r;
+  }
+  static SearchResult Unreachable() { return SearchResult{}; }
+  static SearchResult Cancelled() {
+    SearchResult r;
+    r.outcome = SearchOutcome::kCancelled;
+    return r;
+  }
+};
+
+/// Abstract point-to-point shortest-path engine. Not thread-safe; one
+/// instance per concurrent enumeration.
+class ShortestPathEngine {
+ public:
+  virtual ~ShortestPathEngine() = default;
+
+  /// Exact shortest path from `source` to `target` under `cost`,
+  /// excluding banned edges and banned (arrival) vertices. `bans` and
+  /// `cancel` are optional and borrowed for the duration of the call.
+  ///
+  /// Ban semantics match Dijkstra's: a banned vertex blocks ARRIVAL (its
+  /// in-edges), never departure — so a banned source still routes, and a
+  /// banned target is unreachable. (Yen bans root vertices, which are
+  /// never the spur node or the target.)
+  virtual SearchResult FindPath(VertexId source, VertexId target,
+                                const EdgeCostFn& cost, const BanSet* bans,
+                                const CancelToken* cancel) = 0;
+
+  /// Stable lower_snake_case engine name ("dijkstra", "bidirectional",
+  /// "astar", "alt") — surfaced as the /v1/route "algo" field.
+  virtual const char* name() const = 0;
+
+  /// Vertices settled by the last FindPath (diagnostics/benchmarks).
+  virtual size_t last_settled_count() const = 0;
+};
+
+/// Plain Dijkstra. The default spur engine; YenEnumerator without an
+/// explicit engine behaves bitwise identically to the pre-seam code.
+class DijkstraEngine final : public ShortestPathEngine {
+ public:
+  explicit DijkstraEngine(const RoadNetwork& network) : dijkstra_(network) {}
+
+  SearchResult FindPath(VertexId source, VertexId target,
+                        const EdgeCostFn& cost, const BanSet* bans,
+                        const CancelToken* cancel) override;
+  const char* name() const override { return "dijkstra"; }
+  size_t last_settled_count() const override {
+    return dijkstra_.last_settled_count();
+  }
+
+ private:
+  Dijkstra dijkstra_;
+};
+
+/// Bidirectional Dijkstra: meets in the middle, settling roughly half the
+/// vertices of the unidirectional search on long queries.
+class BidirectionalDijkstraEngine final : public ShortestPathEngine {
+ public:
+  explicit BidirectionalDijkstraEngine(const RoadNetwork& network)
+      : bidi_(network) {}
+
+  SearchResult FindPath(VertexId source, VertexId target,
+                        const EdgeCostFn& cost, const BanSet* bans,
+                        const CancelToken* cancel) override;
+  const char* name() const override { return "bidirectional"; }
+  size_t last_settled_count() const override {
+    return bidi_.last_settled_count();
+  }
+
+ private:
+  BidirectionalDijkstra bidi_;
+};
+
+/// A* with the geometric (great-circle) heuristic. Exact for the length
+/// and travel-time metrics; degrades to Dijkstra for custom metrics.
+class AStarEngine final : public ShortestPathEngine {
+ public:
+  explicit AStarEngine(const RoadNetwork& network) : astar_(network) {}
+
+  SearchResult FindPath(VertexId source, VertexId target,
+                        const EdgeCostFn& cost, const BanSet* bans,
+                        const CancelToken* cancel) override;
+  const char* name() const override { return "astar"; }
+  size_t last_settled_count() const override {
+    return astar_.last_settled_count();
+  }
+
+ private:
+  AStar astar_;
+};
+
+/// ALT (A* with landmarks): shares an immutable PreprocessedGraph built
+/// for one (network, metric) pair. The per-call cost function MUST be the
+/// metric the tables were preprocessed under — checked for the length and
+/// travel-time kinds, the caller's responsibility for custom metrics.
+/// Landmark lower bounds stay admissible under bans (removing edges only
+/// increases true distances), so results stay exact.
+class AltEngine final : public ShortestPathEngine {
+ public:
+  /// `cost` must be the metric `tables` was preprocessed under.
+  AltEngine(const RoadNetwork& network, const EdgeCostFn& cost,
+            std::shared_ptr<const PreprocessedGraph> tables);
+
+  SearchResult FindPath(VertexId source, VertexId target,
+                        const EdgeCostFn& cost, const BanSet* bans,
+                        const CancelToken* cancel) override;
+  const char* name() const override { return "alt"; }
+  size_t last_settled_count() const override {
+    return alt_.last_settled_count();
+  }
+
+ private:
+  std::shared_ptr<const PreprocessedGraph> tables_;
+  AltRouter alt_;
+};
+
+}  // namespace pathrank::routing

@@ -8,13 +8,17 @@ namespace pathrank::routing {
 
 YenEnumerator::YenEnumerator(const RoadNetwork& network, VertexId source,
                              VertexId target, const EdgeCostFn& cost,
-                             const CancelToken* cancel)
+                             const CancelToken* cancel,
+                             ShortestPathEngine* engine)
     : network_(&network),
       source_(source),
       target_(target),
       cost_(cost),
       cancel_(cancel),
-      dijkstra_(network),
+      owned_engine_(engine == nullptr
+                        ? std::make_unique<DijkstraEngine>(network)
+                        : nullptr),
+      engine_(engine != nullptr ? engine : owned_engine_.get()),
       bans_(network.num_vertices(), network.num_edges()) {}
 
 uint64_t YenEnumerator::HashVertexSeq(
@@ -31,32 +35,41 @@ uint64_t YenEnumerator::HashVertexSeq(
 }
 
 std::optional<Path> YenEnumerator::Next() {
-  if (exhausted_) return std::nullopt;
-  // Expiry does NOT set exhausted_: the token is sticky, so every later
-  // call lands here again — and the distinction keeps "ran out of paths"
-  // separate from "ran out of time" for callers inspecting the token.
-  if (cancel_ != nullptr && cancel_->Expired()) return std::nullopt;
+  // Both latches make every later call O(1): exhaustion means the path
+  // space is provably empty, and cancellation is sticky — the engine's
+  // explicit Cancelled outcome is what lets us latch instead of re-running
+  // the whole exhausted-state check (spur pass + pool inspection) on every
+  // call against an expired token.
+  if (exhausted_ || cancelled_) return std::nullopt;
+  if (cancel_ != nullptr && cancel_->Expired()) {
+    cancelled_ = true;
+    return std::nullopt;
+  }
 
   if (!first_done_) {
     first_done_ = true;
-    auto sp = dijkstra_.ShortestPath(source_, target_, cost_,
-                                     /*bans=*/nullptr, cancel_);
-    if (!sp.has_value() || sp->edges.empty()) {
+    SearchResult r = engine_->FindPath(source_, target_, cost_,
+                                       /*bans=*/nullptr, cancel_);
+    if (r.outcome == SearchOutcome::kCancelled) {
+      cancelled_ = true;
+      return std::nullopt;
+    }
+    if (r.outcome == SearchOutcome::kUnreachable || r.path.edges.empty()) {
       exhausted_ = true;
       return std::nullopt;
     }
-    accepted_.push_back(std::move(*sp));
+    accepted_.push_back(std::move(r.path));
     seen_hash_.insert(HashVertexSeq(accepted_.back().vertices));
     return accepted_.back();
   }
 
   // Generate deviations of the most recently accepted path, then pop the
   // cheapest candidate overall.
-  GenerateSpurs(accepted_.back());
-  if (cancel_ != nullptr && cancel_->Expired()) {
+  if (!GenerateSpurs(accepted_.back())) {
     // The spur pass was cut short, so the candidate pool may be missing
     // cheaper deviations: popping from it could yield out-of-order paths.
     // Stop here; accepted() still holds a correct (partial) prefix.
+    cancelled_ = true;
     return std::nullopt;
   }
   if (candidates_.empty()) {
@@ -69,14 +82,11 @@ std::optional<Path> YenEnumerator::Next() {
   return accepted_.back();
 }
 
-void YenEnumerator::GenerateSpurs(const Path& base) {
+bool YenEnumerator::GenerateSpurs(const Path& base) {
   // For each spur position i on the base path: root = base[0..i],
   // ban (a) the i-th edge of every accepted path sharing that root and
   // (b) all root vertices except the spur node, then search spur->target.
   for (size_t i = 0; i + 1 < base.vertices.size(); ++i) {
-    // Per-spur checkpoint: a base path of L vertices means L-1 banned
-    // Dijkstra runs, each of which also polls the token internally.
-    if (cancel_ != nullptr && cancel_->Expired()) return;
     const VertexId spur = base.vertices[i];
 
     bans_.Clear();
@@ -91,38 +101,42 @@ void YenEnumerator::GenerateSpurs(const Path& base) {
       bans_.BanVertex(base.vertices[j]);
     }
 
-    auto spur_path = dijkstra_.ShortestPath(spur, target_, cost_, &bans_,
-                                            cancel_);
-    if (!spur_path.has_value()) continue;
+    SearchResult r =
+        engine_->FindPath(spur, target_, cost_, &bans_, cancel_);
+    if (r.outcome == SearchOutcome::kCancelled) return false;
+    if (r.outcome == SearchOutcome::kUnreachable) continue;
+    Path& spur_path = r.path;
 
     Candidate cand;
     cand.spur_index = i;
     cand.path.edges.assign(base.edges.begin(), base.edges.begin() + i);
-    cand.path.edges.insert(cand.path.edges.end(), spur_path->edges.begin(),
-                           spur_path->edges.end());
+    cand.path.edges.insert(cand.path.edges.end(), spur_path.edges.begin(),
+                           spur_path.edges.end());
     cand.path.vertices.assign(base.vertices.begin(),
                               base.vertices.begin() + i);
     cand.path.vertices.insert(cand.path.vertices.end(),
-                              spur_path->vertices.begin(),
-                              spur_path->vertices.end());
+                              spur_path.vertices.begin(),
+                              spur_path.vertices.end());
     const uint64_t h = HashVertexSeq(cand.path.vertices);
     if (!seen_hash_.insert(h).second) continue;  // already generated
 
     double root_cost = 0.0;
     for (size_t j = 0; j < i; ++j) root_cost += cost_(base.edges[j]);
-    cand.path.cost = root_cost + spur_path->cost;
+    cand.path.cost = root_cost + spur_path.cost;
     cand.cost = cand.path.cost;
     RecomputeTotals(*network_, &cand.path);
     candidates_.insert(std::move(cand));
   }
+  return true;
 }
 
 std::vector<Path> TopKShortestPaths(const RoadNetwork& network,
                                     VertexId source, VertexId target,
                                     const EdgeCostFn& cost, int k,
-                                    const CancelToken* cancel) {
+                                    const CancelToken* cancel,
+                                    ShortestPathEngine* engine) {
   PR_CHECK(k >= 1) << "k must be positive";
-  YenEnumerator yen(network, source, target, cost, cancel);
+  YenEnumerator yen(network, source, target, cost, cancel, engine);
   std::vector<Path> out;
   out.reserve(static_cast<size_t>(k));
   for (int i = 0; i < k; ++i) {

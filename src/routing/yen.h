@@ -3,8 +3,16 @@
 // yields simple paths in non-decreasing cost order. The enumerator form is
 // what the diversified top-k generator consumes: it keeps pulling paths
 // until enough mutually-dissimilar ones have been accepted.
+//
+// Spur searches run through the pluggable ShortestPathEngine seam: by
+// default an owned plain Dijkstra (bitwise identical to the pre-seam
+// enumerator), or any caller-supplied engine — the serving layer passes an
+// ALT engine over per-epoch landmark tables to accelerate cold routes.
+// Because every engine is exact, the candidate sets are identical across
+// engines whenever shortest paths are unique.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <set>
 #include <unordered_set>
@@ -12,8 +20,8 @@
 
 #include "routing/ban_set.h"
 #include "routing/cost_model.h"
-#include "routing/dijkstra.h"
 #include "routing/path.h"
+#include "routing/shortest_path_engine.h"
 
 namespace pathrank::routing {
 
@@ -26,8 +34,14 @@ class YenEnumerator {
   /// cooperative cancellation into every spur search. Once it expires,
   /// Next() returns std::nullopt; paths already accepted stay valid, which
   /// is what lets callers degrade to a partial candidate set.
+  ///
+  /// `engine` (optional, borrowed — must outlive the enumerator; not
+  /// shareable across concurrent enumerators) runs every shortest-path
+  /// search, including the spur searches. nullptr = an internally owned
+  /// plain Dijkstra.
   YenEnumerator(const RoadNetwork& network, VertexId source, VertexId target,
-                const EdgeCostFn& cost, const CancelToken* cancel = nullptr);
+                const EdgeCostFn& cost, const CancelToken* cancel = nullptr,
+                ShortestPathEngine* engine = nullptr);
 
   /// Returns the next shortest simple path, or std::nullopt when the path
   /// space is exhausted or the cancel token has expired. The first call
@@ -36,6 +50,20 @@ class YenEnumerator {
 
   /// Paths returned so far.
   const std::vector<Path>& accepted() const { return accepted_; }
+
+  /// True when the path space is provably exhausted (every engine search
+  /// that could extend it reported Unreachable and the candidate pool is
+  /// empty). False after a cancellation — "ran out of time" is not "ran
+  /// out of paths".
+  bool exhausted() const { return exhausted_; }
+
+  /// True once a search was cut short by the cancel token. Latched: no
+  /// later Next() re-runs any search (the token is sticky, so none could
+  /// make progress anyway).
+  bool cancelled() const { return cancelled_; }
+
+  /// The engine spur searches run through (diagnostics).
+  const ShortestPathEngine& engine() const { return *engine_; }
 
  private:
   struct Candidate {
@@ -49,7 +77,9 @@ class YenEnumerator {
     }
   };
 
-  void GenerateSpurs(const Path& base);
+  /// Generates deviations of `base`. Returns false when a spur search was
+  /// cancelled mid-pass (the pool may be missing cheaper deviations).
+  bool GenerateSpurs(const Path& base);
   uint64_t HashVertexSeq(const std::vector<VertexId>& seq) const;
 
   const RoadNetwork* network_;
@@ -57,21 +87,25 @@ class YenEnumerator {
   VertexId target_;
   EdgeCostFn cost_;
   const CancelToken* cancel_;
-  Dijkstra dijkstra_;
+  std::unique_ptr<ShortestPathEngine> owned_engine_;
+  ShortestPathEngine* engine_;
   BanSet bans_;
   std::vector<Path> accepted_;
   std::set<Candidate> candidates_;          // ordered pool (B set)
   std::unordered_set<uint64_t> seen_hash_;  // dedup of generated paths
   bool exhausted_ = false;
+  bool cancelled_ = false;
   bool first_done_ = false;
 };
 
 /// One-shot convenience: up to k shortest simple paths in cost order.
 /// When `cancel` expires mid-enumeration the paths found so far are
-/// returned (possibly fewer than k, possibly zero).
+/// returned (possibly fewer than k, possibly zero). `engine` (optional,
+/// borrowed) runs the spur searches; nullptr = owned plain Dijkstra.
 std::vector<Path> TopKShortestPaths(const RoadNetwork& network,
                                     VertexId source, VertexId target,
                                     const EdgeCostFn& cost, int k,
-                                    const CancelToken* cancel = nullptr);
+                                    const CancelToken* cancel = nullptr,
+                                    ShortestPathEngine* engine = nullptr);
 
 }  // namespace pathrank::routing

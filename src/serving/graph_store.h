@@ -13,16 +13,30 @@
 // before it and epochs advance by exactly one per publish. Queries never
 // wait on a rebuild: they only ever contend on mu_ for the duration of
 // one refcounted pointer copy.
+// The store can also own the routing-preprocessing lifecycle
+// (EnablePreprocessing): a background worker rebuilds the ALT landmark
+// tables whenever a publish advances the epoch, and publishes the new
+// (snapshot, tables) pair only when it is complete. Queries capture the
+// snapshot and the artifact pairwise (CaptureForQuery) and fall back to
+// plain Dijkstra whenever the artifact's epoch trails the snapshot's —
+// stale lower bounds are never consulted, so mid-rebuild queries stay
+// exact at the cost of speed, never the reverse.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_annotations.h"
 #include "graph/graph_snapshot.h"
+
+namespace pathrank::routing {
+class PreprocessedGraph;
+}  // namespace pathrank::routing
 
 namespace pathrank::serving {
 
@@ -57,11 +71,58 @@ struct TrafficResult {
   size_t reopenings = 0;    ///< updates that set closed = false
 };
 
+/// Routing-preprocessing configuration for EnablePreprocessing.
+struct PreprocessOptions {
+  /// ALT landmarks per artifact. More landmarks = tighter lower bounds =
+  /// fewer settled vertices per query, at num_landmarks Dijkstra sweeps
+  /// of rebuild cost and two doubles per (landmark, vertex) of memory.
+  int num_landmarks = 8;
+  /// Test seam: runs on the worker thread before each BACKGROUND rebuild
+  /// starts building tables (never for the synchronous boot-time build).
+  /// May block — the rebuild, and artifact publication, stall with it.
+  std::function<void(uint64_t epoch)> rebuild_hook;
+};
+
+/// One immutable (snapshot, ALT tables) pair. The snapshot handle keeps
+/// the network the tables were computed over alive, so holders can always
+/// run an ALT query against a consistent graph/table pair.
+struct GraphArtifact {
+  uint64_t epoch = 0;
+  std::shared_ptr<const graph::GraphSnapshot> snapshot;
+  std::shared_ptr<const routing::PreprocessedGraph> tables;
+};
+
+/// Preprocessing counters for /statsz.
+struct PreprocessingStats {
+  bool enabled = false;
+  int landmarks = 0;
+  /// Background rebuilds completed (the synchronous boot build excluded).
+  uint64_t rebuilds = 0;
+  /// Percentiles over recent background-rebuild wall times (0 until the
+  /// first rebuild completes).
+  double rebuild_p50_s = 0.0;
+  double rebuild_p99_s = 0.0;
+  /// Served epoch minus artifact epoch: 0 when ALT is fully caught up,
+  /// >0 while a rebuild is in flight (queries fall back to Dijkstra).
+  uint64_t epochs_behind = 0;
+};
+
+/// A pairwise-consistent read of the store: the served snapshot and the
+/// artifact slot captured under one lock hold. `artifact` is null when
+/// preprocessing is disabled and may trail `snapshot` by one or more
+/// epochs mid-rebuild — callers must use the tables only when
+/// `artifact->epoch == snapshot->epoch()`.
+struct GraphQueryView {
+  std::shared_ptr<const graph::GraphSnapshot> snapshot;
+  std::shared_ptr<const GraphArtifact> artifact;
+};
+
 /// Thread-safe epoch-versioned graph slot. Construct with the boot-time
 /// network (epoch 0); swap via ApplyTraffic or SwapNetwork.
 class GraphStore {
  public:
   explicit GraphStore(graph::RoadNetwork network);
+  ~GraphStore();
   GraphStore(const GraphStore&) = delete;
   GraphStore& operator=(const GraphStore&) = delete;
 
@@ -89,6 +150,31 @@ class GraphStore {
   std::shared_ptr<const graph::GraphSnapshot> SwapNetwork(
       graph::RoadNetwork network);
 
+  /// Starts the ALT preprocessing lifecycle: builds the artifact for the
+  /// current snapshot synchronously (so the first query after boot already
+  /// has tables) and spawns the background worker that rebuilds it after
+  /// every publish. Call at most once, before serving traffic. Tables
+  /// are built under the free-flow travel-time metric — the one metric
+  /// candidate generation enumerates with.
+  void EnablePreprocessing(const PreprocessOptions& options = {});
+
+  /// The newest completed artifact, or null when preprocessing is off.
+  /// Mid-rebuild this is the PREVIOUS epoch's artifact — still internally
+  /// consistent (it owns its snapshot) but not valid for queries against
+  /// the current graph. Thread-safe.
+  std::shared_ptr<const GraphArtifact> CurrentArtifact() const;
+
+  /// Captures the served snapshot and the artifact slot under one lock
+  /// hold, so the pair is consistent-in-time. Thread-safe; this is what
+  /// RoutePlanner calls once per query. Guarantee: if the returned
+  /// artifact's epoch equals the returned snapshot's epoch, the tables
+  /// were built from exactly that snapshot's network.
+  GraphQueryView CaptureForQuery() const;
+
+  /// Preprocessing counters for /statsz (all zero / disabled when
+  /// EnablePreprocessing was never called). Thread-safe.
+  PreprocessingStats preprocessing_stats() const;
+
   /// Traffic batches applied (kOk only) since construction.
   uint64_t traffic_batches() const {
     return traffic_batches_.load(std::memory_order_relaxed);
@@ -103,6 +189,18 @@ class GraphStore {
   std::shared_ptr<const graph::GraphSnapshot> Publish(
       std::shared_ptr<const graph::GraphSnapshot> next);
 
+  /// Builds the (snapshot, tables) artifact for `snap`. Runs unlocked —
+  /// this is the expensive part (num_landmarks full Dijkstra sweeps).
+  std::shared_ptr<const GraphArtifact> BuildArtifact(
+      std::shared_ptr<const graph::GraphSnapshot> snap) const;
+
+  /// Background worker: waits for the artifact to fall behind the served
+  /// epoch, rebuilds, publishes if still newest, repeats until shutdown.
+  void PreprocessLoop();
+
+  /// Installs `artifact` unless the slot already holds a newer epoch.
+  void PublishArtifactIfNewest(std::shared_ptr<const GraphArtifact> artifact);
+
   /// Serialises writers: held across read-current + validate + rebuild +
   /// publish so concurrent batches stack instead of clobbering each
   /// other. Always acquired BEFORE mu_ (Publish); readers take mu_ only.
@@ -115,6 +213,21 @@ class GraphStore {
   std::shared_ptr<const graph::GraphSnapshot> current_ GUARDED_BY(mu_);
   std::atomic<uint64_t> traffic_batches_{0};
   std::atomic<uint64_t> swap_count_{0};
+
+  // --- preprocessing lifecycle (all inert until EnablePreprocessing) ---
+  /// Newest completed artifact; trails current_ while a rebuild runs.
+  std::shared_ptr<const GraphArtifact> artifact_ GUARDED_BY(mu_);
+  bool pre_enabled_ GUARDED_BY(mu_) = false;
+  bool pre_stop_ GUARDED_BY(mu_) = false;
+  PreprocessOptions pre_options_ GUARDED_BY(mu_);
+  /// Completed background rebuilds; their wall times feed the p50/p99.
+  uint64_t pre_rebuilds_ GUARDED_BY(mu_) = 0;
+  /// Bounded ring of recent rebuild wall times (seconds).
+  std::vector<double> pre_durations_ GUARDED_BY(mu_);
+  size_t pre_durations_next_ GUARDED_BY(mu_) = 0;
+  /// Wakes the worker after every Publish and at shutdown.
+  mutable common::CondVar pre_cv_;
+  std::thread pre_worker_;
 };
 
 }  // namespace pathrank::serving

@@ -852,6 +852,10 @@ json::Value RouteJson(const RouteResult& result) {
     routes.push_back(json::Value(std::move(route)));
   }
   json::Object object;
+  // The engine that enumerated this candidate set. For a cache hit this
+  // is the engine that SEEDED the entry (the algo is cached alongside the
+  // paths), so a hit's body stays byte-identical to the miss it repeats.
+  object["algo"] = json::Value(result.algo);
   object["cache_hit"] = json::Value(result.cache_hit);
   // Emitted only when true: a deadline-free request's body stays byte
   // identical to a server that predates deadlines, which the route
@@ -1095,7 +1099,23 @@ json::Value StatszJson(const HttpServerStats& stats,
     planner["single_flight_waits"] =
         json::Value(stats.route_planner.single_flight_waits);
     planner["enumerations"] = json::Value(stats.route_planner.enumerations);
+    planner["alt_fallbacks"] =
+        json::Value(stats.route_planner.alt_fallbacks);
     object["route_planner"] = json::Value(std::move(planner));
+  }
+  {
+    json::Object preprocessing;
+    preprocessing["enabled"] = json::Value(stats.preprocessing.enabled);
+    preprocessing["landmarks"] = json::Value(
+        static_cast<uint64_t>(stats.preprocessing.landmarks));
+    preprocessing["rebuilds"] = json::Value(stats.preprocessing.rebuilds);
+    preprocessing["rebuild_p50_s"] =
+        json::Value(stats.preprocessing.rebuild_p50_s);
+    preprocessing["rebuild_p99_s"] =
+        json::Value(stats.preprocessing.rebuild_p99_s);
+    preprocessing["epochs_behind"] =
+        json::Value(stats.preprocessing.epochs_behind);
+    object["preprocessing"] = json::Value(std::move(preprocessing));
   }
   json::Object endpoints;
   const auto endpoint_json = [](const HttpEndpointStats& endpoint_stats) {
@@ -1135,6 +1155,9 @@ HttpServerStats HttpServer::stats() const {
   if (backend_.graph_epoch) stats.graph_epoch = backend_.graph_epoch();
   if (backend_.route_planner_stats) {
     stats.route_planner = backend_.route_planner_stats();
+  }
+  if (backend_.preprocessing_stats) {
+    stats.preprocessing = backend_.preprocessing_stats();
   }
   stats.rank = rank_stats_->Snapshot();
   stats.score = score_stats_->Snapshot();

@@ -142,6 +142,9 @@ struct HttpServerStats {
   /// Route-planner cache/coalescing counters (all zero when no
   /// route_planner_stats seam is set).
   RoutePlannerStats route_planner;
+  /// ALT preprocessing lifecycle counters (disabled/zero when no
+  /// preprocessing_stats seam is set).
+  PreprocessingStats preprocessing;
   HttpEndpointStats rank;
   HttpEndpointStats score;
   HttpEndpointStats route;
@@ -178,6 +181,10 @@ struct HttpBackend {
   /// Optional: the planner's cache/coalescing counters
   /// (RoutePlanner::stats), surfaced in /statsz as "route_planner".
   std::function<RoutePlannerStats()> route_planner_stats;
+  /// Optional: the graph store's ALT preprocessing counters
+  /// (GraphStore::preprocessing_stats), surfaced in /statsz as
+  /// "preprocessing".
+  std::function<PreprocessingStats()> preprocessing_stats;
   /// Optional: surfaced in /healthz as "swap_count" so a watcher can see
   /// a model hot-swap land (the value flips when SwapSnapshot runs).
   std::function<uint64_t()> swap_count;

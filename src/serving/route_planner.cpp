@@ -1,8 +1,33 @@
 #include "serving/route_planner.h"
 
 #include "common/logging.h"
+#include "routing/cost_model.h"
+#include "routing/preprocessed_graph.h"
+#include "routing/shortest_path_engine.h"
 
 namespace pathrank::serving {
+
+const char* SpurEngineName(SpurEngine engine) {
+  switch (engine) {
+    case SpurEngine::kDijkstra: return "dijkstra";
+    case SpurEngine::kBidirectional: return "bidirectional";
+    case SpurEngine::kAlt: return "alt";
+  }
+  return "?";
+}
+
+bool ParseSpurEngine(const std::string& text, SpurEngine* out) {
+  if (text == "dijkstra") {
+    *out = SpurEngine::kDijkstra;
+  } else if (text == "bidi" || text == "bidirectional") {
+    *out = SpurEngine::kBidirectional;
+  } else if (text == "alt") {
+    *out = SpurEngine::kAlt;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 const char* RouteStatusSlug(RouteStatus status) {
   switch (status) {
@@ -31,17 +56,47 @@ size_t RoutePlanner::CacheKeyHash::operator()(const CacheKey& key) const {
   return static_cast<size_t>(h);
 }
 
+RoutePlanner::RoutePlanner(const RoutePlannerConfig& config, ScoreFn score)
+    : score_(std::move(score)), config_(config) {
+  PR_CHECK(score_ != nullptr) << "RoutePlanner needs a scoring backend";
+  PR_CHECK((config_.network != nullptr) != (config_.store != nullptr))
+      << "RoutePlannerConfig needs exactly one of network / store";
+  if (config_.spur_engine == SpurEngine::kAlt && config_.network != nullptr) {
+    // Pinned graphs never change, so one synchronous build at construction
+    // serves every query this planner will ever answer. Store-backed ALT
+    // planners instead read the store's per-epoch artifact per query.
+    PR_CHECK(config_.num_landmarks >= 1);
+    pinned_tables_ = std::make_shared<const routing::PreprocessedGraph>(
+        *config_.network, routing::EdgeCostFn::TravelTime(*config_.network),
+        config_.num_landmarks);
+  }
+}
+
+namespace {
+/// Config assembled by the deprecated (source, score, options) ctors.
+RoutePlannerConfig LegacyConfig(const graph::RoadNetwork* network,
+                                const GraphStore* store,
+                                const RoutePlannerOptions& options) {
+  RoutePlannerConfig config;
+  config.network = network;
+  config.store = store;
+  config.candidates = options.candidates;
+  config.cache_capacity = options.cache_capacity;
+  config.max_k = options.max_k;
+  config.enumeration_hook = options.enumeration_hook;
+  return config;
+}
+}  // namespace
+
 RoutePlanner::RoutePlanner(const graph::RoadNetwork& network, ScoreFn score,
                            const RoutePlannerOptions& options)
-    : network_(&network), score_(std::move(score)), options_(options) {
-  PR_CHECK(score_ != nullptr) << "RoutePlanner needs a scoring backend";
-}
+    : RoutePlanner(LegacyConfig(&network, nullptr, options),
+                   std::move(score)) {}
 
 RoutePlanner::RoutePlanner(const GraphStore& store, ScoreFn score,
                            const RoutePlannerOptions& options)
-    : store_(&store), score_(std::move(score)), options_(options) {
-  PR_CHECK(score_ != nullptr) << "RoutePlanner needs a scoring backend";
-}
+    : RoutePlanner(LegacyConfig(nullptr, &store, options),
+                   std::move(score)) {}
 
 RoutePlanner::CacheValue RoutePlanner::CacheLookup(const CacheKey& key,
                                                    uint64_t epoch) const {
@@ -64,7 +119,7 @@ RoutePlanner::CacheValue RoutePlanner::CacheLookup(const CacheKey& key,
 
 void RoutePlanner::CacheInsert(const CacheKey& key, uint64_t epoch,
                                CacheValue value) const {
-  if (options_.cache_capacity == 0) return;
+  if (config_.cache_capacity == 0) return;
   common::MutexLock lock(cache_mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
@@ -77,7 +132,7 @@ void RoutePlanner::CacheInsert(const CacheKey& key, uint64_t epoch,
   }
   lru_.emplace_front(key, CacheEntry{epoch, std::move(value)});
   index_[key] = lru_.begin();
-  while (lru_.size() > options_.cache_capacity) {
+  while (lru_.size() > config_.cache_capacity) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
   }
@@ -95,22 +150,56 @@ RoutePlannerStats RoutePlanner::stats() const {
   s.invalidations = invalidations();
   s.single_flight_waits = single_flight_waits();
   s.enumerations = enumerations();
+  s.alt_fallbacks = alt_fallbacks();
   return s;
 }
 
 RoutePlanner::CacheValue RoutePlanner::Enumerate(
     const graph::RoadNetwork& network, const RouteRequest& request,
-    const data::CandidateGenConfig& gen, const CancelToken* cancel) const {
+    const data::CandidateGenConfig& gen, const CancelToken* cancel,
+    const std::shared_ptr<const routing::PreprocessedGraph>& tables) const {
   enumerations_.fetch_add(1, std::memory_order_relaxed);
-  if (options_.enumeration_hook) options_.enumeration_hook();
-  return std::make_shared<const std::vector<routing::Path>>(
-      GenerateCandidates(network, request.source, request.destination, gen,
-                         cancel));
+  if (config_.enumeration_hook) config_.enumeration_hook();
+
+  // One engine per enumeration: engines are single-threaded scratch.
+  // nullptr = Yen's own Dijkstra, bitwise the pre-seam behaviour.
+  std::unique_ptr<routing::ShortestPathEngine> engine;
+  const char* algo = SpurEngineName(SpurEngine::kDijkstra);
+  switch (config_.spur_engine) {
+    case SpurEngine::kDijkstra:
+      break;
+    case SpurEngine::kBidirectional:
+      engine = std::make_unique<routing::BidirectionalDijkstraEngine>(network);
+      algo = SpurEngineName(SpurEngine::kBidirectional);
+      break;
+    case SpurEngine::kAlt:
+      if (tables != nullptr) {
+        // Candidate generation enumerates under free-flow travel time —
+        // the metric the tables were preprocessed with (checked again by
+        // AltEngine per call).
+        engine = std::make_unique<routing::AltEngine>(
+            network, routing::EdgeCostFn::TravelTime(network), tables);
+        algo = SpurEngineName(SpurEngine::kAlt);
+      } else {
+        // No current-epoch artifact (rebuild in flight, or preprocessing
+        // never enabled): exact Dijkstra fallback, never stale bounds.
+        alt_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+  }
+
+  auto set = std::make_shared<CandidateSet>();
+  set->algo = algo;
+  set->paths = GenerateCandidates(network, request.source,
+                                  request.destination, gen, cancel,
+                                  engine.get());
+  return set;
 }
 
 RoutePlanner::CacheValue RoutePlanner::EnumerateSingleFlight(
     const CacheKey& key, uint64_t epoch, const graph::RoadNetwork& network,
-    const RouteRequest& request, const data::CandidateGenConfig& gen) const {
+    const RouteRequest& request, const data::CandidateGenConfig& gen,
+    const std::shared_ptr<const routing::PreprocessedGraph>& tables) const {
   std::shared_ptr<Flight> flight;
   bool leader = false;
   {
@@ -141,7 +230,7 @@ RoutePlanner::CacheValue RoutePlanner::EnumerateSingleFlight(
   CacheValue value;
   std::exception_ptr error;
   try {
-    value = Enumerate(network, request, gen, nullptr);
+    value = Enumerate(network, request, gen, nullptr, tables);
     // Insert before publishing: by the time any follower wakes, the set
     // is already served from cache for everyone after them.
     CacheInsert(key, epoch, value);
@@ -170,14 +259,25 @@ RouteResult RoutePlanner::Plan(const RouteRequest& request) const {
   // Capture the graph exactly once: everything below — validation,
   // enumeration, attribution — sees this one snapshot even if a swap
   // lands mid-query. The shared_ptr keeps the old graph alive until the
-  // last in-flight query returns.
+  // last in-flight query returns. For an ALT planner the preprocessing
+  // artifact is captured in the SAME lock hold as the snapshot, and its
+  // tables are used only when the epochs match — a query can never pair a
+  // new graph with old landmark bounds (or vice versa).
   std::shared_ptr<const graph::GraphSnapshot> snapshot;
-  const graph::RoadNetwork* network = network_;
+  std::shared_ptr<const routing::PreprocessedGraph> tables;
+  const graph::RoadNetwork* network = config_.network;
   uint64_t epoch = 0;
-  if (store_ != nullptr) {
-    snapshot = store_->Current();
+  if (config_.store != nullptr) {
+    GraphQueryView view = config_.store->CaptureForQuery();
+    snapshot = std::move(view.snapshot);
     network = &snapshot->network();
     epoch = snapshot->epoch();
+    if (config_.spur_engine == SpurEngine::kAlt &&
+        view.artifact != nullptr && view.artifact->epoch == epoch) {
+      tables = view.artifact->tables;
+    }
+  } else if (config_.spur_engine == SpurEngine::kAlt) {
+    tables = pinned_tables_;
   }
 
   RouteResult result;
@@ -200,7 +300,7 @@ RouteResult RoutePlanner::Plan(const RouteRequest& request) const {
                      std::to_string(request.source) + "; nothing to rank";
     return result;
   }
-  const int k = request.k > 0 ? request.k : options_.candidates.k;
+  const int k = request.k > 0 ? request.k : config_.candidates.k;
   if (k <= 0) {
     result.status = RouteStatus::kBadRequest;
     result.message = "k must be positive (got " + std::to_string(k) + ")";
@@ -209,15 +309,15 @@ RouteResult RoutePlanner::Plan(const RouteRequest& request) const {
   // The cap applies to the CLIENT's k only: the operator's configured
   // default (candidates.k) is trusted however large, so starting the
   // server with --k 100 must not make every default-k query a 400.
-  if (options_.max_k > 0 && request.k > options_.max_k) {
+  if (config_.max_k > 0 && request.k > config_.max_k) {
     result.status = RouteStatus::kBadRequest;
     result.message = "k = " + std::to_string(request.k) +
                      " exceeds this server's limit of " +
-                     std::to_string(options_.max_k);
+                     std::to_string(config_.max_k);
     return result;
   }
 
-  data::CandidateGenConfig gen = options_.candidates;
+  data::CandidateGenConfig gen = config_.candidates;
   gen.k = k;
   const CacheKey key{request.source, request.destination,
                      static_cast<int>(gen.strategy), k};
@@ -233,7 +333,8 @@ RouteResult RoutePlanner::Plan(const RouteRequest& request) const {
       // Deadline-free queries coalesce: after an invalidation, N
       // identical concurrent queries cost ONE Yen run, and every caller
       // gets the same (complete) set.
-      candidates = EnumerateSingleFlight(key, epoch, *network, request, gen);
+      candidates =
+          EnumerateSingleFlight(key, epoch, *network, request, gen, tables);
     } else {
       // One token per query, chaining the request deadline to any
       // external cancel source. Expiry is sticky (the token latches), so
@@ -242,9 +343,9 @@ RouteResult RoutePlanner::Plan(const RouteRequest& request) const {
       // a flight and never lead one: each has its own budget, and a
       // partial set must never be shared or cached.
       const CancelToken token(request.deadline, request.cancel);
-      candidates = Enumerate(*network, request, gen, &token);
+      candidates = Enumerate(*network, request, gen, &token, tables);
       if (token.Expired()) {
-        if (candidates->empty()) {
+        if (candidates->paths.empty()) {
           // Out of budget before the first candidate: nothing useful to
           // return. NOT cached — a verdict cut short by a deadline says
           // nothing about the graph, and caching it would poison later
@@ -262,14 +363,18 @@ RouteResult RoutePlanner::Plan(const RouteRequest& request) const {
         // be served to a later query as if it were the full top-k.
         degraded_.fetch_add(1, std::memory_order_relaxed);
         result.degraded = true;
-        result.ranked = score_(*candidates);
+        result.algo = candidates->algo;
+        result.ranked = score_(candidates->paths);
         return result;
       }
       CacheInsert(key, epoch, candidates);
     }
   }
 
-  if (candidates->empty()) {
+  // Attribute the engine that actually enumerated this set — for a hit,
+  // the one that seeded the cache entry (so hit and miss bodies match).
+  result.algo = candidates->algo;
+  if (candidates->paths.empty()) {
     result.status = RouteStatus::kUnreachable;
     result.message = "no route from " + std::to_string(request.source) +
                      " to " + std::to_string(request.destination) +
@@ -280,7 +385,7 @@ RouteResult RoutePlanner::Plan(const RouteRequest& request) const {
   // The backend takes ownership of its input, and the cached set must
   // survive for the next hit: hand it a copy. Scoring runs on the
   // CURRENT snapshot every time — the cache holds paths, never scores.
-  result.ranked = score_(*candidates);
+  result.ranked = score_(candidates->paths);
   return result;
 }
 

@@ -34,6 +34,15 @@
 // candidate set, so an invalidation storm costs one enumeration per
 // distinct key, not one per request.
 //
+// Spur engine: enumeration runs through the routing::ShortestPathEngine
+// seam, selected by RoutePlannerConfig::spur_engine. An ALT planner over
+// a GraphStore captures the snapshot AND the preprocessing artifact
+// pairwise (one lock hold) per query, and uses the landmark tables only
+// when the artifact's epoch matches the snapshot's — mid-rebuild queries
+// fall back to plain Dijkstra (exact, just slower; counted in
+// alt_fallbacks). Every engine returns exact shortest paths, so the
+// response body is independent of the engine modulo the "algo" field.
+//
 // Thread-safety: Plan may be called concurrently from any number of
 // threads (the HTTP worker pool does). The cache is guarded by one
 // mutex; enumeration and scoring run outside it. Deadline-bounded or
@@ -61,7 +70,29 @@
 #include "serving/graph_store.h"
 #include "serving/serving_engine.h"
 
+namespace pathrank::routing {
+class PreprocessedGraph;
+}  // namespace pathrank::routing
+
 namespace pathrank::serving {
+
+/// Which engine runs the Yen spur searches of candidate enumeration.
+/// Every choice returns exact shortest paths, so the RANKED OUTPUT is
+/// identical across engines (bitwise, when shortest paths are unique) —
+/// only the work per query changes.
+enum class SpurEngine {
+  kDijkstra,       ///< plain Dijkstra (the historical default)
+  kBidirectional,  ///< bidirectional Dijkstra, no preprocessing needed
+  kAlt,            ///< ALT landmarks; needs a per-epoch PreprocessedGraph
+};
+
+/// Stable lower_snake_case engine name ("dijkstra", "bidirectional",
+/// "alt") — the /v1/route "algo" vocabulary.
+const char* SpurEngineName(SpurEngine engine);
+
+/// Parses "dijkstra" / "bidi" / "bidirectional" / "alt" (the --spur-engine
+/// vocabulary). Returns false on anything else, leaving *out untouched.
+bool ParseSpurEngine(const std::string& text, SpurEngine* out);
 
 /// Outcome taxonomy for one route query. Everything except kOk and
 /// kDeadlineExceeded is a client-input condition and maps to a 4xx over
@@ -130,12 +161,28 @@ struct RouteResult {
   /// every response — including errors — is attributable to exactly one
   /// graph version.
   uint64_t graph_epoch = 0;
+  /// Engine that enumerated this candidate set ("dijkstra",
+  /// "bidirectional", "alt"). On a cache hit: the engine that seeded the
+  /// entry, so hit and miss bodies stay byte-identical. Empty on error
+  /// results that never reached enumeration. An ALT planner mid-rebuild
+  /// reports "dijkstra" — the fallback that actually ran.
+  std::string algo;
   /// Candidates sorted by descending predicted score; empty unless kOk.
   std::vector<ScoredPath> ranked;
 };
 
-/// Planner construction knobs.
-struct RoutePlannerOptions {
+/// Planner construction: graph source and knobs in one struct with named
+/// fields, replacing the old two-constructor (network vs store) split.
+/// Exactly one of `network` / `store` must be set (both borrowed; the
+/// caller keeps them alive for the planner's lifetime).
+struct RoutePlannerConfig {
+  /// Pinned-network form: every query runs against this network, epoch 0
+  /// forever. The offline pipeline and single-graph tests use this.
+  const graph::RoadNetwork* network = nullptr;
+  /// Live-graph form: every query captures store->CaptureForQuery() once
+  /// at entry, so /v1/traffic swaps take effect between queries, never
+  /// within one.
+  const GraphStore* store = nullptr;
   /// Candidate strategy and parameters; `candidates.k` is the default
   /// per-query k.
   data::CandidateGenConfig candidates;
@@ -149,11 +196,30 @@ struct RoutePlannerOptions {
   /// `--k` above this cap must not turn every default-k query into a
   /// 400. <= 0 disables the cap.
   int max_k = 64;
+  /// Engine for the Yen spur searches. kAlt over a GraphStore uses the
+  /// store's per-epoch artifact (EnablePreprocessing) and falls back to
+  /// Dijkstra — exact, just slower — whenever the artifact trails the
+  /// served epoch; kAlt over a pinned network builds private tables at
+  /// planner construction.
+  SpurEngine spur_engine = SpurEngine::kDijkstra;
+  /// Landmark count for the pinned-network kAlt tables (store-backed
+  /// planners take the landmark count from the store's PreprocessOptions).
+  int num_landmarks = 8;
   /// Test seam: runs on the enumeration path, after the planner has
   /// committed to enumerating (and, for single-flight leaders, before
   /// followers are released). graph_swap_test uses it to hold a leader
   /// mid-flight until every follower is provably waiting. Leave unset in
   /// production.
+  std::function<void()> enumeration_hook;
+};
+
+/// Knobs-only form accepted by the deprecated constructors, which pair it
+/// with a separately-passed graph source. New code sets the same fields on
+/// RoutePlannerConfig directly.
+struct RoutePlannerOptions {
+  data::CandidateGenConfig candidates;
+  size_t cache_capacity = 1024;
+  int max_k = 64;
   std::function<void()> enumeration_hook;
 };
 
@@ -173,6 +239,10 @@ struct RoutePlannerStats {
   /// Candidate enumerations actually executed (cache misses minus
   /// single-flight coalescing).
   uint64_t enumerations = 0;
+  /// Enumerations an ALT planner ran on the Dijkstra fallback because no
+  /// current-epoch artifact was available (preprocessing disabled, or a
+  /// rebuild still in flight). Always 0 for non-ALT planners.
+  uint64_t alt_fallbacks = 0;
 };
 
 /// The query -> candidates -> ranked-paths pipeline behind POST
@@ -187,14 +257,20 @@ class RoutePlanner {
   using ScoreFn =
       std::function<std::vector<ScoredPath>(std::vector<routing::Path>)>;
 
-  /// Pinned-network planner: every query runs against `network`, epoch 0
-  /// forever. The offline pipeline and single-graph tests use this form.
+  /// The one constructor: graph source and knobs arrive together in the
+  /// config (see RoutePlannerConfig field docs). Checks that exactly one
+  /// of config.network / config.store is set.
+  RoutePlanner(const RoutePlannerConfig& config, ScoreFn score);
+
+  /// Deprecated pinned-network form: forwards to the config constructor.
+  [[deprecated("set RoutePlannerConfig::network and use "
+               "RoutePlanner(config, score)")]]
   RoutePlanner(const graph::RoadNetwork& network, ScoreFn score,
                const RoutePlannerOptions& options = {});
 
-  /// Live-graph planner: every query captures store.Current() once at
-  /// entry, so /v1/traffic swaps take effect between queries, never
-  /// within one.
+  /// Deprecated live-graph form: forwards to the config constructor.
+  [[deprecated("set RoutePlannerConfig::store and use "
+               "RoutePlanner(config, score)")]]
   RoutePlanner(const GraphStore& store, ScoreFn score,
                const RoutePlannerOptions& options = {});
 
@@ -230,13 +306,17 @@ class RoutePlanner {
   uint64_t degraded_count() const {
     return degraded_.load(std::memory_order_relaxed);
   }
-  /// Candidate sets currently cached (<= options().cache_capacity).
+  /// ALT enumerations that ran on the Dijkstra fallback.
+  uint64_t alt_fallbacks() const {
+    return alt_fallbacks_.load(std::memory_order_relaxed);
+  }
+  /// Candidate sets currently cached (<= config().cache_capacity).
   size_t cache_size() const;
 
   /// All counters in one struct (see RoutePlannerStats).
   RoutePlannerStats stats() const;
 
-  const RoutePlannerOptions& options() const { return options_; }
+  const RoutePlannerConfig& config() const { return config_; }
 
  private:
   struct CacheKey {
@@ -249,9 +329,19 @@ class RoutePlanner {
   struct CacheKeyHash {
     size_t operator()(const CacheKey& key) const;
   };
+  /// One enumerated candidate set plus the engine that produced it. The
+  /// algo travels WITH the cached paths so a cache hit reports the engine
+  /// that actually enumerated — keeping hit and miss response bodies
+  /// byte-identical even when the planner's live engine choice would
+  /// differ (e.g. an ALT planner that seeded the entry mid-rebuild).
+  struct CandidateSet {
+    std::vector<routing::Path> paths;
+    /// SpurEngineName(...) of the engine that ran the enumeration.
+    std::string algo;
+  };
   /// Cached candidate sets are shared_ptr so a hit can score a set that a
   /// concurrent insert is about to evict.
-  using CacheValue = std::shared_ptr<const std::vector<routing::Path>>;
+  using CacheValue = std::shared_ptr<const CandidateSet>;
   /// Each cached set remembers the epoch it was enumerated at; the key
   /// stays (source, destination, strategy, k) so a swap costs nothing up
   /// front and stale entries never crowd out live ones — they are erased
@@ -279,25 +369,28 @@ class RoutePlanner {
   CacheValue CacheLookup(const CacheKey& key, uint64_t epoch) const;
   void CacheInsert(const CacheKey& key, uint64_t epoch,
                    CacheValue value) const;
-  /// Runs one candidate enumeration (counter + test hook + Yen).
-  CacheValue Enumerate(const graph::RoadNetwork& network,
-                       const RouteRequest& request,
-                       const data::CandidateGenConfig& gen,
-                       const CancelToken* cancel) const;
+  /// Runs one candidate enumeration (counter + test hook + Yen) with the
+  /// configured spur engine. `tables` is the current-epoch ALT artifact
+  /// (null = none available: a kAlt planner falls back to Dijkstra and
+  /// counts alt_fallbacks_; other engines ignore it).
+  CacheValue Enumerate(
+      const graph::RoadNetwork& network, const RouteRequest& request,
+      const data::CandidateGenConfig& gen, const CancelToken* cancel,
+      const std::shared_ptr<const routing::PreprocessedGraph>& tables) const;
   /// Single-flight enumeration for deadline-free queries: exactly one
   /// caller per (key, epoch) runs Yen; the rest wait and share its set.
   /// Rethrows the leader's exception in every joined caller.
-  CacheValue EnumerateSingleFlight(const CacheKey& key, uint64_t epoch,
-                                   const graph::RoadNetwork& network,
-                                   const RouteRequest& request,
-                                   const data::CandidateGenConfig& gen) const;
+  CacheValue EnumerateSingleFlight(
+      const CacheKey& key, uint64_t epoch, const graph::RoadNetwork& network,
+      const RouteRequest& request, const data::CandidateGenConfig& gen,
+      const std::shared_ptr<const routing::PreprocessedGraph>& tables) const;
 
-  /// Exactly one of these is set: `network_` for the pinned form,
-  /// `store_` for the live-graph form.
-  const graph::RoadNetwork* network_ = nullptr;
-  const GraphStore* store_ = nullptr;
   ScoreFn score_;
-  RoutePlannerOptions options_;
+  RoutePlannerConfig config_;
+  /// Pinned-network kAlt only: tables built once at construction (the
+  /// pinned graph never changes, so they never go stale). Store-backed
+  /// planners take tables from the store's per-epoch artifact instead.
+  std::shared_ptr<const routing::PreprocessedGraph> pinned_tables_;
 
   mutable common::Mutex cache_mu_;
   /// Front = most recently used. The map indexes list nodes for O(1)
@@ -322,6 +415,7 @@ class RoutePlanner {
   mutable std::atomic<uint64_t> enumerations_{0};
   mutable std::atomic<uint64_t> deadline_exceeded_{0};
   mutable std::atomic<uint64_t> degraded_{0};
+  mutable std::atomic<uint64_t> alt_fallbacks_{0};
 };
 
 }  // namespace pathrank::serving

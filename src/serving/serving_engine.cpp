@@ -53,11 +53,11 @@ nn::SequenceBatch BatchFromPaths(const std::vector<routing::Path>& paths) {
 std::vector<routing::Path> GenerateCandidates(
     const graph::RoadNetwork& network, graph::VertexId source,
     graph::VertexId destination, const data::CandidateGenConfig& gen,
-    const CancelToken* cancel) {
+    const CancelToken* cancel, routing::ShortestPathEngine* engine) {
   // Single source of truth with training-data generation: deployment-time
   // candidates always match the training distribution.
   return data::GenerateCandidatePaths(network, source, destination, gen,
-                                      cancel);
+                                      cancel, engine);
 }
 
 /// One scoring slot: a lock plus the per-caller activation scratch the

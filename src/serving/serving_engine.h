@@ -56,11 +56,14 @@ struct ServingOptions {
 /// Generates candidate paths for one query with the configured strategy —
 /// the advanced-routing half of Rank, exposed for tools and tests.
 /// `cancel` (optional) threads the request deadline into the enumeration
-/// loops; an expired token yields the candidates found so far.
+/// loops; an expired token yields the candidates found so far. `engine`
+/// (optional, borrowed, not thread-safe) runs the Yen spur searches —
+/// nullptr keeps the historical owned-Dijkstra behaviour bitwise intact.
 std::vector<routing::Path> GenerateCandidates(
     const graph::RoadNetwork& network, graph::VertexId source,
     graph::VertexId destination, const data::CandidateGenConfig& gen,
-    const CancelToken* cancel = nullptr);
+    const CancelToken* cancel = nullptr,
+    routing::ShortestPathEngine* engine = nullptr);
 
 /// Encodes one candidate path's vertex ids as the model's token sequence.
 /// The single source of truth for the Path -> SequenceBatch-row mapping:

@@ -102,14 +102,13 @@ struct PlannerFixture {
         engine(network, model) {}
 
   std::unique_ptr<RoutePlanner> MakePlanner(size_t cache_capacity) const {
-    RoutePlannerOptions options;
-    options.cache_capacity = cache_capacity;
+    RoutePlannerConfig config;
+    config.network = &network;
+    config.cache_capacity = cache_capacity;
     return std::make_unique<RoutePlanner>(
-        network,
-        [this](std::vector<routing::Path> paths) {
+        config, [this](std::vector<routing::Path> paths) {
           return engine.ScoreBatch(paths);
-        },
-        options);
+        });
   }
 };
 
@@ -398,10 +397,10 @@ struct ChaosServerFixture {
       };
     }
 
-    RoutePlannerOptions route_options;
-    route_options.cache_capacity = 64;
-    planner = std::make_unique<RoutePlanner>(network, backend.score,
-                                             route_options);
+    RoutePlannerConfig route_config;
+    route_config.network = &network;
+    route_config.cache_capacity = 64;
+    planner = std::make_unique<RoutePlanner>(route_config, backend.score);
     backend.route = [this](const RouteRequest& request) {
       if (faults->enabled()) faults->Inject("route");
       return planner->Plan(request);

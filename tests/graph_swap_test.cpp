@@ -84,23 +84,33 @@ struct SwapFixture {
   GraphStore store;
   RoutePlanner planner;
 
-  static RoutePlannerOptions Options(size_t cache_capacity) {
-    RoutePlannerOptions options;
-    options.candidates = GenConfig();
-    options.cache_capacity = cache_capacity;
-    return options;
+  static RoutePlannerConfig Config(size_t cache_capacity) {
+    RoutePlannerConfig config;
+    config.candidates = GenConfig();
+    config.cache_capacity = cache_capacity;
+    return config;
   }
 
-  explicit SwapFixture(RoutePlannerOptions options = Options(64))
+  static RoutePlannerConfig WithStore(RoutePlannerConfig config,
+                                      const GraphStore& store) {
+    config.store = &store;
+    return config;
+  }
+
+  static RoutePlannerConfig WithNetwork(RoutePlannerConfig config,
+                                        const graph::RoadNetwork& network) {
+    config.network = &network;
+    return config;
+  }
+
+  explicit SwapFixture(RoutePlannerConfig config = Config(64))
       : model(network.num_vertices(), SmallConfig()),
         engine(network, model),
         store(graph::BuildTestNetwork()),
-        planner(
-            store,
-            [this](std::vector<routing::Path> paths) {
-              return engine.ScoreBatch(paths);
-            },
-            options) {}
+        planner(WithStore(std::move(config), store),
+                [this](std::vector<routing::Path> paths) {
+                  return engine.ScoreBatch(paths);
+                }) {}
 
   RoutePlanner::ScoreFn Score() {
     return [this](std::vector<routing::Path> paths) {
@@ -291,10 +301,13 @@ TEST(GraphSwap, ConcurrentQueriesAttributableToExactlyOneEpoch) {
   const auto slowed_snapshot =
       graph::GraphSnapshot::Wrap(graph::BuildTestNetwork())
           ->WithTraffic(slow);
-  const RoutePlanner even_ref(fx.network, fx.Score(),
-                              SwapFixture::Options(0));
-  const RoutePlanner odd_ref(slowed_snapshot->network(), fx.Score(),
-                             SwapFixture::Options(0));
+  const RoutePlanner even_ref(
+      SwapFixture::WithNetwork(SwapFixture::Config(0), fx.network),
+      fx.Score());
+  const RoutePlanner odd_ref(
+      SwapFixture::WithNetwork(SwapFixture::Config(0),
+                               slowed_snapshot->network()),
+      fx.Score());
   std::vector<std::vector<ScoredPath>> even_ranked;
   std::vector<std::vector<ScoredPath>> odd_ranked;
   for (const auto& [s, d] : queries) {
@@ -391,8 +404,10 @@ TEST(EpochCache, HitAtEpochNIsMissAtEpochNPlusOne) {
 
   // Bitwise equal to a fresh planner pinned to the new graph — the
   // re-enumeration really ran against the swapped-in snapshot.
-  const RoutePlanner fresh(fx.store.Current()->network(), fx.Score(),
-                           SwapFixture::Options(0));
+  const RoutePlanner fresh(
+      SwapFixture::WithNetwork(SwapFixture::Config(0),
+                               fx.store.Current()->network()),
+      fx.Score());
   const RouteResult reference = fresh.Plan({5, 60});
   ASSERT_EQ(reference.status, RouteStatus::kOk);
   ExpectSameRanking(after.ranked, reference.ranked);
@@ -420,11 +435,10 @@ TEST(EpochCache, NegativeUnreachableEntriesInvalidateToo) {
   ServingEngine engine(network, model);
   GraphStore store(std::move(network));
   RoutePlanner planner(
-      store,
+      SwapFixture::WithStore(SwapFixture::Config(16), store),
       [&engine](std::vector<routing::Path> paths) {
         return engine.ScoreBatch(paths);
-      },
-      SwapFixture::Options(16));
+      });
 
   const auto set_closed = [&](bool closed) {
     std::vector<graph::TrafficUpdate> updates;
@@ -465,8 +479,8 @@ TEST(SingleFlight, StampedeRunsYenExactlyOnceAndAllSharesAreIdentical) {
   std::atomic<bool> gate_armed{false};
   const RoutePlanner* planner_ptr = nullptr;
 
-  RoutePlannerOptions options = SwapFixture::Options(64);
-  options.enumeration_hook = [&] {
+  RoutePlannerConfig config = SwapFixture::Config(64);
+  config.enumeration_hook = [&] {
     if (!gate_armed.load()) return;
     // Leader of the stampede: hold the enumeration open until every other
     // thread is provably parked in the follower wait — the counter is
@@ -479,7 +493,7 @@ TEST(SingleFlight, StampedeRunsYenExactlyOnceAndAllSharesAreIdentical) {
       std::this_thread::yield();
     }
   };
-  SwapFixture fx(options);
+  SwapFixture fx(config);
   planner_ptr = &fx.planner;
 
   gate_armed.store(true);
@@ -524,8 +538,8 @@ TEST(SingleFlight, LeaderExceptionReachesEveryFollowerAndFlightRetires) {
   std::atomic<bool> gate_armed{false};
   const RoutePlanner* planner_ptr = nullptr;
 
-  RoutePlannerOptions options = SwapFixture::Options(64);
-  options.enumeration_hook = [&] {
+  RoutePlannerConfig config = SwapFixture::Config(64);
+  config.enumeration_hook = [&] {
     if (!gate_armed.load()) return;
     // Wait for every follower FIRST so none of them can miss the error
     // and start a flight of their own, THEN fail the enumeration.
@@ -538,7 +552,7 @@ TEST(SingleFlight, LeaderExceptionReachesEveryFollowerAndFlightRetires) {
     }
     throw std::runtime_error("injected enumeration failure");
   };
-  SwapFixture fx(options);
+  SwapFixture fx(config);
   planner_ptr = &fx.planner;
 
   gate_armed.store(true);

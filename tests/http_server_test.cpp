@@ -732,13 +732,16 @@ struct TrafficServerFixture {
   core::PathRankModel model;
   ServingEngine engine;
   GraphStore store;
+  SpurEngine spur = SpurEngine::kDijkstra;
   RoutePlanner planner;
   HttpServer server;
 
-  static RoutePlannerOptions PlannerOptions() {
-    RoutePlannerOptions options;
-    options.cache_capacity = 64;
-    return options;
+  RoutePlannerConfig PlannerConfig() {
+    RoutePlannerConfig config;
+    config.store = &store;
+    config.cache_capacity = 64;
+    config.spur_engine = spur;
+    return config;
   }
 
   HttpBackend Backend() {
@@ -757,20 +760,27 @@ struct TrafficServerFixture {
     };
     backend.graph_epoch = [this] { return store.epoch(); };
     backend.route_planner_stats = [this] { return planner.stats(); };
+    backend.preprocessing_stats = [this] {
+      return store.preprocessing_stats();
+    };
     return backend;
   }
 
-  TrafficServerFixture()
+  explicit TrafficServerFixture(SpurEngine spur_engine = SpurEngine::kDijkstra)
       : model(network.num_vertices(), SmallConfig()),
         engine(network, model),
         store(graph::BuildTestNetwork()),
-        planner(
-            store,
-            [this](std::vector<routing::Path> paths) {
-              return engine.ScoreBatch(paths);
-            },
-            PlannerOptions()),
+        spur(spur_engine),
+        planner(PlannerConfig(),
+                [this](std::vector<routing::Path> paths) {
+                  return engine.ScoreBatch(paths);
+                }),
         server(Backend(), ServerFixture::Options()) {
+    if (spur == SpurEngine::kAlt) {
+      PreprocessOptions pre;
+      pre.num_landmarks = 3;
+      store.EnablePreprocessing(pre);
+    }
     server.Start();
   }
 };
@@ -834,6 +844,77 @@ TEST(TrafficHttp, ValidBatchBumpsEpochAndInvalidatesRouteCache) {
   ASSERT_NE(traffic_endpoint, nullptr);
   EXPECT_EQ(traffic_endpoint->Find("requests")->number_value(), 1.0);
   EXPECT_EQ(traffic_endpoint->Find("errors")->number_value(), 0.0);
+}
+
+/// Satellite surface checks for the spur-engine seam: every /v1/route
+/// body names the engine that produced its candidate set, the algo a
+/// cache hit reports is the one that SEEDED the entry (hit and miss
+/// bodies stay byte-identical modulo cache_hit), and /statsz grows a
+/// `preprocessing` block fed by GraphStore::preprocessing_stats().
+TEST(RouteHttp, DefaultEngineReportsDijkstraAlgoOnMissAndHit) {
+  TrafficServerFixture fx;
+  HttpClient client;
+  client.Connect(fx.server.port());
+
+  const auto miss = client.Request("POST", "/v1/route", RouteBody(3, 59));
+  ASSERT_EQ(miss.status, 200);
+  EXPECT_NE(miss.body.find("\"algo\":\"dijkstra\""), std::string::npos)
+      << miss.body;
+  const auto hit = client.Request("POST", "/v1/route", RouteBody(3, 59));
+  ASSERT_EQ(hit.status, 200);
+  EXPECT_NE(hit.body.find("\"algo\":\"dijkstra\""), std::string::npos)
+      << hit.body;
+
+  // Preprocessing was never enabled: the block reports disabled zeros.
+  const auto stats = json::Parse(client.Request("GET", "/statsz").body);
+  ASSERT_TRUE(stats);
+  const json::Value* pre = stats->Find("preprocessing");
+  ASSERT_NE(pre, nullptr);
+  EXPECT_EQ(pre->Find("enabled")->bool_value(), false);
+  const json::Value* planner_stats = stats->Find("route_planner");
+  ASSERT_NE(planner_stats, nullptr);
+  ASSERT_NE(planner_stats->Find("alt_fallbacks"), nullptr);
+  EXPECT_EQ(planner_stats->Find("alt_fallbacks")->number_value(), 0.0);
+}
+
+TEST(RouteHttp, AltEngineReportsAlgoAndPreprocessingStatsz) {
+  TrafficServerFixture fx(SpurEngine::kAlt);
+  HttpClient client;
+  client.Connect(fx.server.port());
+
+  const auto miss = client.Request("POST", "/v1/route", RouteBody(3, 59));
+  ASSERT_EQ(miss.status, 200);
+  EXPECT_NE(miss.body.find("\"algo\":\"alt\""), std::string::npos)
+      << miss.body;
+  // The cached algo travels with the candidate set: a hit reports the
+  // engine that seeded it and the body is byte-identical modulo the
+  // cache_hit flag.
+  const auto hit = client.Request("POST", "/v1/route", RouteBody(3, 59));
+  ASSERT_EQ(hit.status, 200);
+  EXPECT_NE(hit.body.find("\"algo\":\"alt\""), std::string::npos)
+      << hit.body;
+  std::string normalized_miss = miss.body;
+  std::string normalized_hit = hit.body;
+  const auto strip = [](std::string* body) {
+    const auto pos = body->find("\"cache_hit\":");
+    ASSERT_NE(pos, std::string::npos);
+    const auto comma = body->find(',', pos);
+    body->erase(pos, comma - pos);
+  };
+  strip(&normalized_miss);
+  strip(&normalized_hit);
+  EXPECT_EQ(normalized_miss, normalized_hit);
+
+  const auto stats = json::Parse(client.Request("GET", "/statsz").body);
+  ASSERT_TRUE(stats);
+  const json::Value* pre = stats->Find("preprocessing");
+  ASSERT_NE(pre, nullptr);
+  EXPECT_EQ(pre->Find("enabled")->bool_value(), true);
+  EXPECT_EQ(pre->Find("landmarks")->number_value(), 3.0);
+  ASSERT_NE(pre->Find("rebuilds"), nullptr);
+  ASSERT_NE(pre->Find("rebuild_p50_s"), nullptr);
+  ASSERT_NE(pre->Find("rebuild_p99_s"), nullptr);
+  EXPECT_EQ(pre->Find("epochs_behind")->number_value(), 0.0);
 }
 
 void ExpectTrafficError(HttpClient& client, const std::string& body,

@@ -46,22 +46,22 @@ struct PlannerFixture {
   ServingEngine engine;
   RoutePlanner planner;
 
-  static RoutePlannerOptions Options(size_t cache_capacity) {
-    RoutePlannerOptions options;
-    options.candidates = GenConfig();
-    options.cache_capacity = cache_capacity;
-    return options;
+  static RoutePlannerConfig Config(const graph::RoadNetwork& network,
+                                   size_t cache_capacity) {
+    RoutePlannerConfig config;
+    config.network = &network;
+    config.candidates = GenConfig();
+    config.cache_capacity = cache_capacity;
+    return config;
   }
 
   explicit PlannerFixture(size_t cache_capacity = 64)
       : model(network.num_vertices(), SmallConfig()),
         engine(network, model),
-        planner(
-            network,
-            [this](std::vector<routing::Path> paths) {
-              return engine.ScoreBatch(paths);
-            },
-            Options(cache_capacity)) {}
+        planner(Config(network, cache_capacity),
+                [this](std::vector<routing::Path> paths) {
+                  return engine.ScoreBatch(paths);
+                }) {}
 };
 
 /// Two disconnected components: 0-1-2 (bidirectional chain) and 3-4.
@@ -175,7 +175,7 @@ TEST(RoutePlanner, ErrorTaxonomy) {
   EXPECT_EQ(same.status, RouteStatus::kSameVertex);
 
   const RouteResult too_big =
-      fx.planner.Plan({0, 63, fx.planner.options().max_k + 1});
+      fx.planner.Plan({0, 63, fx.planner.config().max_k + 1});
   EXPECT_EQ(too_big.status, RouteStatus::kBadRequest);
 
   EXPECT_STREQ(RouteStatusSlug(unknown.status), "unknown_vertex");
@@ -189,20 +189,49 @@ TEST(RoutePlanner, ConfiguredDefaultKIsExemptFromMaxK) {
   graph::RoadNetwork network = graph::BuildTestNetwork();
   const core::PathRankModel model(network.num_vertices(), SmallConfig());
   const ServingEngine engine(network, model);
-  RoutePlannerOptions options;
-  options.candidates = GenConfig();
-  options.candidates.strategy = data::CandidateStrategy::kTopK;
-  options.candidates.k = 70;  // above max_k
-  options.max_k = 64;
-  options.cache_capacity = 4;
+  RoutePlannerConfig config;
+  config.network = &network;
+  config.candidates = GenConfig();
+  config.candidates.strategy = data::CandidateStrategy::kTopK;
+  config.candidates.k = 70;  // above max_k
+  config.max_k = 64;
+  config.cache_capacity = 4;
   const RoutePlanner planner(
-      network,
-      [&engine](std::vector<routing::Path> paths) {
+      config, [&engine](std::vector<routing::Path> paths) {
         return engine.ScoreBatch(paths);
-      },
-      options);
+      });
   EXPECT_EQ(planner.Plan({0, 63}).status, RouteStatus::kOk);
   EXPECT_EQ(planner.Plan({0, 63, 70}).status, RouteStatus::kBadRequest);
+}
+
+TEST(RoutePlanner, DeprecatedConstructorsStillWork) {
+  // The pre-config (source, score, options) constructors forward to the
+  // config form unchanged — kept for one release for out-of-tree callers.
+  graph::RoadNetwork network = graph::BuildTestNetwork();
+  const core::PathRankModel model(network.num_vertices(), SmallConfig());
+  const ServingEngine engine(network, model);
+  const auto score = [&engine](std::vector<routing::Path> paths) {
+    return engine.ScoreBatch(paths);
+  };
+  RoutePlannerOptions options;
+  options.candidates = GenConfig();
+  options.cache_capacity = 4;
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  const RoutePlanner pinned(network, score, options);
+  GraphStore store(graph::BuildTestNetwork());
+  const RoutePlanner live(store, score, options);
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+  const RouteResult via_pinned = pinned.Plan({0, 63});
+  ASSERT_EQ(via_pinned.status, RouteStatus::kOk);
+  EXPECT_EQ(pinned.config().cache_capacity, options.cache_capacity);
+  const RouteResult via_live = live.Plan({0, 63});
+  ASSERT_EQ(via_live.status, RouteStatus::kOk);
+  ExpectSameRanking(via_live.ranked, via_pinned.ranked);
 }
 
 TEST(RoutePlanner, UnreachablePairReportedAndNegativelyCached) {
@@ -210,11 +239,10 @@ TEST(RoutePlanner, UnreachablePairReportedAndNegativelyCached) {
   const core::PathRankModel model(network.num_vertices(), SmallConfig());
   const ServingEngine engine(network, model);
   const RoutePlanner planner(
-      network,
+      PlannerFixture::Config(network, 8),
       [&engine](std::vector<routing::Path> paths) {
         return engine.ScoreBatch(paths);
-      },
-      PlannerFixture::Options(8));
+      });
 
   const RouteResult miss = planner.Plan({0, 4});
   EXPECT_EQ(miss.status, RouteStatus::kUnreachable);
@@ -287,12 +315,10 @@ struct RouteServerFixture {
   RouteServerFixture()
       : model(network.num_vertices(), SmallConfig()),
         engine(network, model),
-        planner(
-            network,
-            [this](std::vector<routing::Path> paths) {
-              return engine.ScoreBatch(paths);
-            },
-            PlannerFixture::Options(64)),
+        planner(PlannerFixture::Config(network, 64),
+                [this](std::vector<routing::Path> paths) {
+                  return engine.ScoreBatch(paths);
+                }),
         server(Backend(), ServerOptions()) {
     server.Start();
   }
@@ -398,7 +424,7 @@ TEST(RouteHttp, ErrorTaxonomyMapsTo4xx) {
                      "{\"source\": 0, \"destination\": 9, \"k\": -3}");
   EXPECT_EQ(negative_k.status, 400);
   const auto huge_k = client.Request(
-      "POST", "/v1/route", RouteBody(0, 9, fx.planner.options().max_k + 1));
+      "POST", "/v1/route", RouteBody(0, 9, fx.planner.config().max_k + 1));
   EXPECT_EQ(huge_k.status, 400);
   EXPECT_NE(huge_k.body.find("\"status\":\"bad_request\""),
             std::string::npos);
@@ -420,11 +446,10 @@ TEST(RouteHttp, UnreachablePairIs404) {
   const core::PathRankModel model(network.num_vertices(), SmallConfig());
   const ServingEngine engine(network, model);
   const RoutePlanner planner(
-      network,
+      PlannerFixture::Config(network, 8),
       [&engine](std::vector<routing::Path> paths) {
         return engine.ScoreBatch(paths);
-      },
-      PlannerFixture::Options(8));
+      });
   HttpBackend backend;
   backend.rank = [&engine](graph::VertexId s, graph::VertexId d) {
     return engine.Rank(s, d);

@@ -60,6 +60,7 @@
 #include "common/parse.h"
 #include "common/percentile.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/model_io.h"
 #include "core/pathrank.h"
@@ -661,18 +662,45 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
   // model vocabulary were built against it).
   serving::GraphStore graph_store(network);
 
+  // --spur-engine: which engine runs the Yen spur searches behind
+  // /v1/route. "alt" turns on the GraphStore's preprocessing lifecycle:
+  // landmark tables built at boot, rebuilt in the background after every
+  // /v1/traffic batch or --watch-graph swap, with mid-rebuild queries
+  // falling back to exact Dijkstra.
+  serving::SpurEngine spur_engine = serving::SpurEngine::kDijkstra;
+  const std::string spur_name = args.Get("spur-engine", "dijkstra");
+  if (!serving::ParseSpurEngine(spur_name, &spur_engine)) {
+    std::fprintf(stderr,
+                 "--spur-engine must be dijkstra, bidi, or alt (got %s)\n",
+                 spur_name.c_str());
+    return 2;
+  }
+  const int num_landmarks = args.GetInt("landmarks", 8);
+  if (num_landmarks < 1) {
+    std::fprintf(stderr, "--landmarks must be >= 1 (got %d)\n",
+                 num_landmarks);
+    return 2;
+  }
+  if (spur_engine == serving::SpurEngine::kAlt) {
+    serving::PreprocessOptions preprocess;
+    preprocess.num_landmarks = num_landmarks;
+    graph_store.EnablePreprocessing(preprocess);
+  }
+
   // The online route pipeline behind POST /v1/route: candidate
   // enumeration + LRU candidate cache + scoring through the SAME seam
   // backend.score uses, so /v1/route composes with --batch and --shards
   // for free. Built over the GraphStore: each query captures the current
-  // snapshot once, and cached candidate sets invalidate when the epoch
-  // moves on.
-  serving::RoutePlannerOptions route_options;
-  route_options.candidates = GenConfigFromArgs(args);
-  route_options.cache_capacity =
+  // snapshot (and, for ALT, the preprocessing artifact) once, and cached
+  // candidate sets invalidate when the epoch moves on.
+  serving::RoutePlannerConfig route_config;
+  route_config.store = &graph_store;
+  route_config.candidates = GenConfigFromArgs(args);
+  route_config.cache_capacity =
       static_cast<size_t>(std::max(0, args.GetInt("route-cache", 1024)));
-  const serving::RoutePlanner planner(graph_store, backend.score,
-                                      route_options);
+  route_config.spur_engine = spur_engine;
+  route_config.num_landmarks = num_landmarks;
+  const serving::RoutePlanner planner(route_config, backend.score);
   backend.route = [&planner](const serving::RouteRequest& request) {
     return planner.Plan(request);
   };
@@ -682,6 +710,9 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
       };
   backend.graph_epoch = [&graph_store] { return graph_store.epoch(); };
   backend.route_planner_stats = [&planner] { return planner.stats(); };
+  backend.preprocessing_stats = [&graph_store] {
+    return graph_store.preprocessing_stats();
+  };
   if (faults != nullptr && faults->enabled()) {
     // The "route" site stalls/fails between deadline anchoring (HTTP
     // parse) and Plan(), so an injected delay visibly consumes budget.
@@ -712,10 +743,15 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
 
   serving::HttpServer server(std::move(backend), options);
   server.Start();
-  std::printf("route planner: strategy %s, k=%d, cache %zu entries\n",
-              data::CandidateStrategyName(route_options.candidates.strategy)
+  std::printf("route planner: strategy %s, k=%d, cache %zu entries, "
+              "spur engine %s%s\n",
+              data::CandidateStrategyName(route_config.candidates.strategy)
                   .c_str(),
-              route_options.candidates.k, route_options.cache_capacity);
+              route_config.candidates.k, route_config.cache_capacity,
+              serving::SpurEngineName(spur_engine),
+              spur_engine == serving::SpurEngine::kAlt
+                  ? StrFormat(" (%d landmarks)", num_landmarks).c_str()
+                  : "");
   std::printf("HTTP serving on %s:%u  (threads=%zu, max_inflight=%zu, "
               "max_queue_wait_us=%lld%s%s%s%s)\n",
               options.bind_address.c_str(), server.port(),
@@ -777,6 +813,15 @@ int RunHttpFrontEnd(const Args& args, const graph::RoadNetwork& network,
               static_cast<unsigned long long>(planner.invalidations()),
               static_cast<unsigned long long>(planner.single_flight_waits()),
               static_cast<unsigned long long>(planner.enumerations()));
+  if (spur_engine == serving::SpurEngine::kAlt) {
+    const serving::PreprocessingStats pre = graph_store.preprocessing_stats();
+    std::printf("preprocessing: %d landmarks  %llu rebuild(s)  "
+                "p50 %.1f ms  p99 %.1f ms  %llu ALT fallback(s)\n",
+                pre.landmarks,
+                static_cast<unsigned long long>(pre.rebuilds),
+                pre.rebuild_p50_s * 1e3, pre.rebuild_p99_s * 1e3,
+                static_cast<unsigned long long>(planner.alt_fallbacks()));
+  }
   std::printf("deadlines: %llu exceeded (504), %llu degraded (partial), "
               "route timeouts %llu\n",
               static_cast<unsigned long long>(stats.deadline_exceeded_total),
@@ -937,9 +982,9 @@ int CmdServe(const Args& args) {
   // whose cache --route-cache would size.
   for (const char* flag :
        {"http-addr", "http-threads", "max-inflight", "max-queue-wait-us",
-        "route-cache", "idle-timeout-s", "request-deadline-s",
-        "default-deadline-ms", "max-deadline-ms", "fault-spec",
-        "fault-seed", "watch-graph"}) {
+        "route-cache", "spur-engine", "landmarks", "idle-timeout-s",
+        "request-deadline-s", "default-deadline-ms", "max-deadline-ms",
+        "fault-spec", "fault-seed", "watch-graph"}) {
     if (args.Has(flag)) {
       std::fprintf(stderr, "--%s configures the HTTP front end; add --http "
                            "PORT or drop it\n",
@@ -1069,6 +1114,8 @@ void PrintUsage() {
       "            [--http PORT --http-addr A --max-inflight N\n"
       "             --max-queue-wait-us U --http-threads T (0 = auto)\n"
       "             --route-cache N (LRU candidate sets for /v1/route)\n"
+      "             --spur-engine dijkstra|bidi|alt (Yen spur searches)\n"
+      "             --landmarks N (ALT landmark count, default 8)\n"
       "             --watch-graph 0|1 (hot-swap re-exported graphs)\n"
       "             --idle-timeout-s S --request-deadline-s S\n"
       "             --default-deadline-ms MS --max-deadline-ms MS "
@@ -1107,9 +1154,9 @@ int main(int argc, char** argv) {
         "batch", "max-batch", "max-wait-us", "clients", "shards",
         "shard-policy", "watch-model", "watch-graph", "watch-interval-ms",
         "http", "http-addr", "http-threads", "max-inflight",
-        "max-queue-wait-us", "route-cache", "idle-timeout-s",
-        "request-deadline-s", "default-deadline-ms", "max-deadline-ms",
-        "fault-spec", "fault-seed"}},
+        "max-queue-wait-us", "route-cache", "spur-engine", "landmarks",
+        "idle-timeout-s", "request-deadline-s", "default-deadline-ms",
+        "max-deadline-ms", "fault-spec", "fault-seed"}},
   };
   const auto known = kKnownFlags.find(command);
   if (known != kKnownFlags.end()) {

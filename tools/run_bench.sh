@@ -49,6 +49,14 @@ REQUIRED_FAMILIES=(
   serve_http_shed_rate
   serve_route_cold_p50_s
   serve_route_cold_p99_s
+  serve_route_cold_small_dijkstra_p50_s
+  serve_route_cold_small_dijkstra_p99_s
+  serve_route_cold_small_alt_p50_s
+  serve_route_cold_small_alt_p99_s
+  serve_route_cold_large_dijkstra_p50_s
+  serve_route_cold_large_dijkstra_p99_s
+  serve_route_cold_large_alt_p50_s
+  serve_route_cold_large_alt_p99_s
   serve_route_warm_p50_s
   serve_route_warm_p99_s
   serve_route_per_s
