@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "core/pathrank.h"
+#include "pathrank.h"
 
 namespace pathrank::bench {
 

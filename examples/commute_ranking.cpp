@@ -11,7 +11,7 @@
 // driver really took — higher is better.
 #include <cstdio>
 
-#include "core/pathrank.h"
+#include "pathrank.h"
 #include "routing/cost_model.h"
 #include "routing/path_similarity.h"
 

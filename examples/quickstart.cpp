@@ -10,7 +10,7 @@
 // thread-safe ServingEngine and rank candidates for a fresh query.
 #include <cstdio>
 
-#include "core/pathrank.h"
+#include "pathrank.h"
 
 int main() {
   using namespace pathrank;

@@ -21,7 +21,11 @@ std::once_flag g_env_once;
 /// two calls.) Leaked function-local static: loggers may run during
 /// static destruction.
 common::Mutex& StderrMutex() {
-  static common::Mutex* mu = new common::Mutex();
+  // kStderrLog is the highest rank in the hierarchy: any code path may
+  // log while holding anything, so this lock must never be held while
+  // acquiring another ranked lock (LogMessage's destructor only fputs).
+  static common::Mutex* mu =
+      new common::Mutex(common::LockRank::kStderrLog, "log.stderr");
   return *mu;
 }
 

@@ -39,6 +39,12 @@
 //   * every mutex-guarded member carries GUARDED_BY;
 //   * helpers called with a lock held carry REQUIRES instead of
 //     re-locking;
+//   * every Mutex in src/ is constructed with its common::LockRank and
+//     hierarchy name, and mutexes of one class that nest carry
+//     ACQUIRED_BEFORE / ACQUIRED_AFTER relating them;
+//   * public methods that take a lock internally carry EXCLUDES so a
+//     caller already holding it is a compile-time error, not a
+//     self-deadlock;
 //   * NO_THREAD_SAFETY_ANALYSIS is a last resort and needs a comment
 //     explaining why the analysis cannot follow the code.
 #pragma once
@@ -46,6 +52,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+
+#include "common/lock_rank.h"
 
 #if defined(__clang__)
 #define PATHRANK_THREAD_ANNOTATION_(x) __attribute__((x))
@@ -65,6 +73,16 @@
 
 /// Pointer members: the pointee (not the pointer) is guarded by `x`.
 #define PT_GUARDED_BY(x) PATHRANK_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Mutex members: this mutex is always acquired before / after the
+/// listed ones — the within-class slice of the global lock hierarchy
+/// (common/lock_rank.h). Checked by clang under -Wthread-safety-beta
+/// (on in the CI static-analysis job): code that acquires the two in
+/// the other order fails the -Werror build.
+#define ACQUIRED_BEFORE(...) \
+  PATHRANK_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  PATHRANK_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
 
 /// Functions: caller must already hold the listed capabilities.
 #define REQUIRES(...) \
@@ -100,20 +118,60 @@ namespace pathrank::common {
 class CondVar;
 
 /// std::mutex with the `capability` attribute the analysis keys on.
-/// Identical layout and cost — every method is an inline forward.
+/// Identical layout and cost in default builds — every method is an
+/// inline forward.
+///
+/// The ranked constructor places the mutex in the global lock hierarchy
+/// (common/lock_rank.h): under -DPATHRANK_DEBUG_LOCK_RANK=ON, lock()
+/// verifies the rank is strictly greater than every ranked lock this
+/// thread already holds and aborts (with both names) on inversion. In
+/// default builds the rank and name are discarded at compile time and
+/// Mutex is byte-identical to the unranked form. Every Mutex in src/
+/// must use the ranked form; the default constructor exists for tests
+/// and out-of-tree callers (rank 0 = invisible to the checker).
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+#if defined(PATHRANK_DEBUG_LOCK_RANK)
+  Mutex(int rank, const char* name) : rank_(rank), name_(name) {}
+#else
+  Mutex(int /*rank*/, const char* /*name*/) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() ACQUIRE() { mu_.lock(); }
-  void unlock() RELEASE() { mu_.unlock(); }
-  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() ACQUIRE() {
+#if defined(PATHRANK_DEBUG_LOCK_RANK)
+    // Check BEFORE blocking: an inversion aborts with both stacks'
+    // names instead of deadlocking (or racing TSan to the report).
+    LockRankOnAcquire(rank_, name_);
+#endif
+    mu_.lock();
+  }
+  void unlock() RELEASE() {
+#if defined(PATHRANK_DEBUG_LOCK_RANK)
+    LockRankOnRelease(rank_, name_);
+#endif
+    mu_.unlock();
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+#if defined(PATHRANK_DEBUG_LOCK_RANK)
+    // A failed (or out-of-order) try_lock cannot deadlock, so there is
+    // no order check — but a held lock must be on the stack so later
+    // blocking acquisitions are checked against it.
+    if (acquired) LockRankOnTryAcquire(rank_, name_);
+#endif
+    return acquired;
+  }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+#if defined(PATHRANK_DEBUG_LOCK_RANK)
+  int rank_ = 0;
+  const char* name_ = nullptr;
+#endif
 };
 
 /// std::lock_guard over Mutex, visible to the analysis as a scoped

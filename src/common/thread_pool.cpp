@@ -33,11 +33,14 @@ struct Batch {
   std::atomic<size_t> next_chunk{0};
   std::atomic<size_t> done_chunks{0};
   std::atomic<size_t> active_workers{0};  // pool workers inside Work()
-  Mutex error_mutex;
+  /// Taken by chunk bodies (no pool lock held) and by the region owner
+  /// (under region_mutex_, after the region retired) — never under
+  /// mutex_, hence the rank between pool.state and the leaf locks.
+  Mutex error_mutex{common::LockRank::kPoolError, "pool.error"};
   std::exception_ptr first_error GUARDED_BY(error_mutex);
 
   /// Claims and runs chunks until none remain.
-  void Work() {
+  void Work() EXCLUDES(error_mutex) {
     const bool was_in_region = t_in_parallel_region;
     t_in_parallel_region = true;
     for (;;) {
@@ -60,7 +63,7 @@ struct Batch {
 
   /// The first chunk exception, if any — for the region owner, after the
   /// region retired (taking the lock anyway keeps the proof airtight).
-  std::exception_ptr TakeError() {
+  std::exception_ptr TakeError() EXCLUDES(error_mutex) {
     MutexLock lock(error_mutex);
     return first_error;
   }
@@ -77,7 +80,7 @@ class ThreadPool {
     return num_threads_.load(std::memory_order_relaxed);
   }
 
-  void Resize(size_t n) {
+  void Resize(size_t n) EXCLUDES(region_mutex_, mutex_) {
     if (n == 0) n = DefaultThreads();
     MutexLock region_lock(region_mutex_);
     if (n == num_threads()) return;
@@ -88,7 +91,7 @@ class ThreadPool {
 
   /// Executes `batch`; the calling thread participates. Blocks until every
   /// chunk finished, then rethrows the first chunk exception, if any.
-  void Run(Batch& batch) {
+  void Run(Batch& batch) EXCLUDES(region_mutex_, mutex_) {
     MutexLock region_lock(region_mutex_);
     {
       MutexLock lock(mutex_);
@@ -153,7 +156,7 @@ class ThreadPool {
     workers_.clear();
   }
 
-  void WorkerLoop() {
+  void WorkerLoop() EXCLUDES(mutex_) {
     for (;;) {
       Batch* batch = nullptr;
       uint64_t my_region = 0;
@@ -184,8 +187,17 @@ class ThreadPool {
     }
   }
 
-  Mutex region_mutex_;  // serialises Run()/Resize() callers
-  Mutex mutex_;
+  /// Serialises Run()/Resize() callers. Held for a region's whole
+  /// lifetime, during which the owner's chunks may take any lock ranked
+  /// after kPoolRegion (replica locks, the error slot, logging) — which
+  /// is why callers holding coarser serving locks (the batch replica)
+  /// rank BEFORE it and callers may never enter a region while holding
+  /// anything ranked after it.
+  Mutex region_mutex_{common::LockRank::kPoolRegion, "pool.region"};
+  /// Scheduler state; taken under region_mutex_ by the owner, alone by
+  /// workers.
+  Mutex mutex_ ACQUIRED_AFTER(region_mutex_){common::LockRank::kPoolState,
+                                             "pool.state"};
   CondVar wake_;      // new region available or shutdown
   CondVar finished_;  // last chunk of a region done
   CondVar idle_;      // region retired

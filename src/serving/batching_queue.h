@@ -70,16 +70,16 @@ class BatchingQueue {
   /// sorted by descending score — bitwise identical to
   /// engine.ScoreBatch(paths).
   std::future<std::vector<ScoredPath>> SubmitScore(
-      std::vector<routing::Path> paths);
+      std::vector<routing::Path> paths) EXCLUDES(mu_);
 
   /// Generates candidates on the calling thread (exactly as Rank does),
   /// then queues them for coalesced scoring. The future yields what
   /// engine.Rank(source, destination[, gen]) would return, bitwise.
   std::future<std::vector<ScoredPath>> SubmitRank(
-      graph::VertexId source, graph::VertexId destination);
+      graph::VertexId source, graph::VertexId destination) EXCLUDES(mu_);
   std::future<std::vector<ScoredPath>> SubmitRank(
       graph::VertexId source, graph::VertexId destination,
-      const data::CandidateGenConfig& gen);
+      const data::CandidateGenConfig& gen) EXCLUDES(mu_);
 
   const BatchingOptions& options() const { return options_; }
 
@@ -104,14 +104,22 @@ class BatchingQueue {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void DispatchLoop();
+  void DispatchLoop() EXCLUDES(mu_);
   /// Scores `taken` as one coalesced batch and completes their promises.
-  void Flush(std::vector<Request>& taken);
+  /// Runs with mu_ released: the engine call underneath takes the
+  /// coalescing-replica and pool locks, which all rank after mu_ anyway,
+  /// but holding a queue lock across a forward pass would serialise
+  /// submitters behind the GEMM.
+  void Flush(std::vector<Request>& taken) EXCLUDES(mu_);
 
   const ServingEngine* engine_;
   BatchingOptions options_;
 
-  common::Mutex mu_;
+  /// Pending-queue lock. Ranked before the engine locks because the
+  /// dispatcher (never a submitter) is the only thread that goes on to
+  /// score — after dropping mu_ — and rank order must still cover the
+  /// brief window where Flush's callees log under it.
+  common::Mutex mu_{common::LockRank::kBatchingQueue, "batching.queue"};
   common::CondVar wake_;
   std::deque<Request> pending_ GUARDED_BY(mu_);
   size_t pending_rows_ GUARDED_BY(mu_) = 0;

@@ -128,7 +128,7 @@ class GraphStore {
 
   /// The currently served snapshot (a swap may supersede it at any time;
   /// the returned handle stays valid regardless). Thread-safe.
-  std::shared_ptr<const graph::GraphSnapshot> Current() const;
+  std::shared_ptr<const graph::GraphSnapshot> Current() const EXCLUDES(mu_);
 
   /// Epoch of the currently served snapshot. Thread-safe.
   uint64_t epoch() const { return Current()->epoch(); }
@@ -140,15 +140,15 @@ class GraphStore {
   /// all-or-nothing per batch. Thread-safe; concurrent batches are
   /// serialised. Never throws on bad input (that is what
   /// TrafficResult::status is for).
-  TrafficResult ApplyTraffic(
-      const std::vector<graph::TrafficUpdate>& updates);
+  TrafficResult ApplyTraffic(const std::vector<graph::TrafficUpdate>& updates)
+      EXCLUDES(rebuild_mu_, mu_);
 
   /// Replaces the whole network (the --watch-graph reload path): a new
   /// snapshot at epoch + 1 with the closed set reset. Returns the
   /// superseded snapshot so the caller can observe its lifetime.
   /// Thread-safe; callable under full query load.
   std::shared_ptr<const graph::GraphSnapshot> SwapNetwork(
-      graph::RoadNetwork network);
+      graph::RoadNetwork network) EXCLUDES(rebuild_mu_, mu_);
 
   /// Starts the ALT preprocessing lifecycle: builds the artifact for the
   /// current snapshot synchronously (so the first query after boot already
@@ -156,24 +156,25 @@ class GraphStore {
   /// every publish. Call at most once, before serving traffic. Tables
   /// are built under the free-flow travel-time metric — the one metric
   /// candidate generation enumerates with.
-  void EnablePreprocessing(const PreprocessOptions& options = {});
+  void EnablePreprocessing(const PreprocessOptions& options = {})
+      EXCLUDES(mu_);
 
   /// The newest completed artifact, or null when preprocessing is off.
   /// Mid-rebuild this is the PREVIOUS epoch's artifact — still internally
   /// consistent (it owns its snapshot) but not valid for queries against
   /// the current graph. Thread-safe.
-  std::shared_ptr<const GraphArtifact> CurrentArtifact() const;
+  std::shared_ptr<const GraphArtifact> CurrentArtifact() const EXCLUDES(mu_);
 
   /// Captures the served snapshot and the artifact slot under one lock
   /// hold, so the pair is consistent-in-time. Thread-safe; this is what
   /// RoutePlanner calls once per query. Guarantee: if the returned
   /// artifact's epoch equals the returned snapshot's epoch, the tables
   /// were built from exactly that snapshot's network.
-  GraphQueryView CaptureForQuery() const;
+  GraphQueryView CaptureForQuery() const EXCLUDES(mu_);
 
   /// Preprocessing counters for /statsz (all zero / disabled when
   /// EnablePreprocessing was never called). Thread-safe.
-  PreprocessingStats preprocessing_stats() const;
+  PreprocessingStats preprocessing_stats() const EXCLUDES(mu_);
 
   /// Traffic batches applied (kOk only) since construction.
   uint64_t traffic_batches() const {
@@ -186,30 +187,35 @@ class GraphStore {
 
  private:
   /// Publishes `next` as the served snapshot and returns the old one.
+  /// Every publish happens inside a writer's rebuild_mu_ critical
+  /// section — REQUIRES makes a lock-free publish path a compile error.
   std::shared_ptr<const graph::GraphSnapshot> Publish(
-      std::shared_ptr<const graph::GraphSnapshot> next);
+      std::shared_ptr<const graph::GraphSnapshot> next)
+      REQUIRES(rebuild_mu_) EXCLUDES(mu_);
 
   /// Builds the (snapshot, tables) artifact for `snap`. Runs unlocked —
   /// this is the expensive part (num_landmarks full Dijkstra sweeps).
   std::shared_ptr<const GraphArtifact> BuildArtifact(
-      std::shared_ptr<const graph::GraphSnapshot> snap) const;
+      std::shared_ptr<const graph::GraphSnapshot> snap) const EXCLUDES(mu_);
 
   /// Background worker: waits for the artifact to fall behind the served
   /// epoch, rebuilds, publishes if still newest, repeats until shutdown.
-  void PreprocessLoop();
+  void PreprocessLoop() EXCLUDES(mu_);
 
   /// Installs `artifact` unless the slot already holds a newer epoch.
-  void PublishArtifactIfNewest(std::shared_ptr<const GraphArtifact> artifact);
+  void PublishArtifactIfNewest(std::shared_ptr<const GraphArtifact> artifact)
+      EXCLUDES(mu_);
 
   /// Serialises writers: held across read-current + validate + rebuild +
   /// publish so concurrent batches stack instead of clobbering each
   /// other. Always acquired BEFORE mu_ (Publish); readers take mu_ only.
-  common::Mutex rebuild_mu_;
+  common::Mutex rebuild_mu_ ACQUIRED_BEFORE(mu_){
+      common::LockRank::kGraphRebuild, "graph.rebuild"};
   /// Guarded by a mutex rather than std::atomic<shared_ptr> for the same
   /// reason as ServingEngine::snapshot_: the critical section is one
   /// refcounted copy, and libstdc++'s lock-bit _Sp_atomic protocol is
   /// opaque to TSan, which the CI thread-sanitizer gate runs against.
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kGraphStore, "graph.store"};
   std::shared_ptr<const graph::GraphSnapshot> current_ GUARDED_BY(mu_);
   std::atomic<uint64_t> traffic_batches_{0};
   std::atomic<uint64_t> swap_count_{0};

@@ -353,7 +353,11 @@ json::Value StatszJson(const HttpServerStats& stats,
 
 /// Per-endpoint counters + a ring of recent latencies for percentiles.
 struct HttpServer::Endpoint {
-  mutable common::Mutex mu;
+  /// Near-leaf rank: Record() runs after the response is written, with
+  /// every request lock long dropped, and nothing is acquired under it.
+  /// (All four endpoints share the rank — no thread holds two at once.)
+  mutable common::Mutex mu{common::LockRank::kHttpEndpointStats,
+                           "http.endpoint_stats"};
   uint64_t requests GUARDED_BY(mu) = 0;
   uint64_t errors GUARDED_BY(mu) = 0;
   uint64_t timeouts GUARDED_BY(mu) = 0;
@@ -361,7 +365,8 @@ struct HttpServer::Endpoint {
   std::vector<double> ring GUARDED_BY(mu);
   size_t ring_next GUARDED_BY(mu) = 0;
 
-  void Record(double latency_s, bool error, bool timeout = false) {
+  void Record(double latency_s, bool error, bool timeout = false)
+      EXCLUDES(mu) {
     common::MutexLock lock(mu);
     ++requests;
     if (error) ++errors;
@@ -375,7 +380,7 @@ struct HttpServer::Endpoint {
     }
   }
 
-  HttpEndpointStats Snapshot() const {
+  HttpEndpointStats Snapshot() const EXCLUDES(mu) {
     HttpEndpointStats stats;
     std::vector<double> sorted;
     {

@@ -209,7 +209,7 @@ class HttpServer {
   /// address/port cannot be bound.
   void Start();
   /// Idempotent; safe to call from any thread (not from a handler).
-  void Stop();
+  void Stop() EXCLUDES(stop_mu_, conn_mu_, admit_mu_);
 
   /// The bound port — the OS-assigned one when options.port was 0.
   /// Valid after Start().
@@ -218,35 +218,39 @@ class HttpServer {
 
   /// Consistent-enough snapshot of the counters (individual fields are
   /// exact; cross-field skew of a few requests is possible under load).
-  HttpServerStats stats() const;
+  HttpServerStats stats() const EXCLUDES(admit_mu_);
 
  private:
   struct Endpoint;  // counters + latency ring, defined in the .cpp
 
-  void AcceptLoop();
-  void WorkerLoop();
+  void AcceptLoop() EXCLUDES(conn_mu_);
+  void WorkerLoop() EXCLUDES(conn_mu_);
   /// Serves one connection until close/error; returns when it is done.
-  void ServeConnection(int fd);
+  void ServeConnection(int fd) EXCLUDES(admit_mu_);
   /// Takes an admission slot, waiting at most max_queue_wait_us.
-  bool Admit();
-  void Release();
+  bool Admit() EXCLUDES(admit_mu_);
+  void Release() EXCLUDES(admit_mu_);
 
   HttpBackend backend_;
   HttpServerOptions options_;
   uint16_t port_ = 0;
   int listen_fd_ = -1;
   std::atomic<bool> stop_{true};
-  common::Mutex stop_mu_;  ///< serialises Stop() callers (join is not reentrant)
+  /// Serialises Stop() callers (join is not reentrant). The one server
+  /// lock held across others: Stop drains the connection queue and wakes
+  /// admission waiters under it, hence the rank before both.
+  common::Mutex stop_mu_ ACQUIRED_BEFORE(conn_mu_, admit_mu_){
+      common::LockRank::kHttpStop, "http.stop"};
 
   // Accepted connections waiting for a worker.
-  common::Mutex conn_mu_;
+  common::Mutex conn_mu_{common::LockRank::kHttpConn, "http.conn"};
   common::CondVar conn_cv_;
   std::deque<int> conn_queue_ GUARDED_BY(conn_mu_);
   // fds being served, for Stop() shutdown
   std::set<int> active_fds_ GUARDED_BY(conn_mu_);
 
   // Admission state.
-  mutable common::Mutex admit_mu_;
+  mutable common::Mutex admit_mu_{common::LockRank::kHttpAdmit, "http.admit"};
   common::CondVar admit_cv_;
   size_t inflight_ GUARDED_BY(admit_mu_) = 0;
   size_t admission_waiting_ GUARDED_BY(admit_mu_) = 0;

@@ -72,32 +72,6 @@ RoutePlanner::RoutePlanner(const RoutePlannerConfig& config, ScoreFn score)
   }
 }
 
-namespace {
-/// Config assembled by the deprecated (source, score, options) ctors.
-RoutePlannerConfig LegacyConfig(const graph::RoadNetwork* network,
-                                const GraphStore* store,
-                                const RoutePlannerOptions& options) {
-  RoutePlannerConfig config;
-  config.network = network;
-  config.store = store;
-  config.candidates = options.candidates;
-  config.cache_capacity = options.cache_capacity;
-  config.max_k = options.max_k;
-  config.enumeration_hook = options.enumeration_hook;
-  return config;
-}
-}  // namespace
-
-RoutePlanner::RoutePlanner(const graph::RoadNetwork& network, ScoreFn score,
-                           const RoutePlannerOptions& options)
-    : RoutePlanner(LegacyConfig(&network, nullptr, options),
-                   std::move(score)) {}
-
-RoutePlanner::RoutePlanner(const GraphStore& store, ScoreFn score,
-                           const RoutePlannerOptions& options)
-    : RoutePlanner(LegacyConfig(nullptr, &store, options),
-                   std::move(score)) {}
-
 RoutePlanner::CacheValue RoutePlanner::CacheLookup(const CacheKey& key,
                                                    uint64_t epoch) const {
   common::MutexLock lock(cache_mu_);

@@ -213,16 +213,6 @@ struct RoutePlannerConfig {
   std::function<void()> enumeration_hook;
 };
 
-/// Knobs-only form accepted by the deprecated constructors, which pair it
-/// with a separately-passed graph source. New code sets the same fields on
-/// RoutePlannerConfig directly.
-struct RoutePlannerOptions {
-  data::CandidateGenConfig candidates;
-  size_t cache_capacity = 1024;
-  int max_k = 64;
-  std::function<void()> enumeration_hook;
-};
-
 /// Point-in-time snapshot of the planner's counters, as one coherent
 /// struct so /statsz renders them together. Individual fields may be a
 /// tick apart under concurrent load (each is an independent relaxed
@@ -262,22 +252,11 @@ class RoutePlanner {
   /// of config.network / config.store is set.
   RoutePlanner(const RoutePlannerConfig& config, ScoreFn score);
 
-  /// Deprecated pinned-network form: forwards to the config constructor.
-  [[deprecated("set RoutePlannerConfig::network and use "
-               "RoutePlanner(config, score)")]]
-  RoutePlanner(const graph::RoadNetwork& network, ScoreFn score,
-               const RoutePlannerOptions& options = {});
-
-  /// Deprecated live-graph form: forwards to the config constructor.
-  [[deprecated("set RoutePlannerConfig::store and use "
-               "RoutePlanner(config, score)")]]
-  RoutePlanner(const GraphStore& store, ScoreFn score,
-               const RoutePlannerOptions& options = {});
-
   /// Answers one query. Thread-safe; never throws on bad input (that is
   /// what RouteResult::status is for). Exceptions out of the scoring
   /// backend propagate (the HTTP layer answers 500).
-  RouteResult Plan(const RouteRequest& request) const;
+  RouteResult Plan(const RouteRequest& request) const
+      EXCLUDES(cache_mu_, flight_mu_);
 
   /// Queries answered from / past the candidate cache so far.
   uint64_t cache_hits() const {
@@ -311,7 +290,7 @@ class RoutePlanner {
     return alt_fallbacks_.load(std::memory_order_relaxed);
   }
   /// Candidate sets currently cached (<= config().cache_capacity).
-  size_t cache_size() const;
+  size_t cache_size() const EXCLUDES(cache_mu_);
 
   /// All counters in one struct (see RoutePlannerStats).
   RoutePlannerStats stats() const;
@@ -359,16 +338,20 @@ class RoutePlanner {
   struct Flight {
     explicit Flight(uint64_t epoch_in) : epoch(epoch_in) {}
     const uint64_t epoch;
-    common::Mutex mu;
+    /// All flights share kRouteFlight: a thread holds at most one
+    /// flight's lock at a time (leaders publish, followers wait —
+    /// never two flights in one scope), and never under flight_mu_.
+    common::Mutex mu{common::LockRank::kRouteFlight, "planner.flight"};
     common::CondVar cv;
     bool done GUARDED_BY(mu) = false;
     CacheValue result GUARDED_BY(mu);
     std::exception_ptr error GUARDED_BY(mu);
   };
 
-  CacheValue CacheLookup(const CacheKey& key, uint64_t epoch) const;
+  CacheValue CacheLookup(const CacheKey& key, uint64_t epoch) const
+      EXCLUDES(cache_mu_);
   void CacheInsert(const CacheKey& key, uint64_t epoch,
-                   CacheValue value) const;
+                   CacheValue value) const EXCLUDES(cache_mu_);
   /// Runs one candidate enumeration (counter + test hook + Yen) with the
   /// configured spur engine. `tables` is the current-epoch ALT artifact
   /// (null = none available: a kAlt planner falls back to Dijkstra and
@@ -383,7 +366,8 @@ class RoutePlanner {
   CacheValue EnumerateSingleFlight(
       const CacheKey& key, uint64_t epoch, const graph::RoadNetwork& network,
       const RouteRequest& request, const data::CandidateGenConfig& gen,
-      const std::shared_ptr<const routing::PreprocessedGraph>& tables) const;
+      const std::shared_ptr<const routing::PreprocessedGraph>& tables) const
+      EXCLUDES(flight_mu_, cache_mu_);
 
   ScoreFn score_;
   RoutePlannerConfig config_;
@@ -392,7 +376,13 @@ class RoutePlanner {
   /// planners take tables from the store's per-epoch artifact instead.
   std::shared_ptr<const routing::PreprocessedGraph> pinned_tables_;
 
-  mutable common::Mutex cache_mu_;
+  /// The planner's three locks never nest (lookup, flight wait and
+  /// insert are sequential scopes of Plan), but they still get distinct
+  /// ranks — table before flight before cache, matching the order the
+  /// scopes RUN in — so a future refactor that nests them is forced into
+  /// the deadlock-free order.
+  mutable common::Mutex cache_mu_{common::LockRank::kRouteCache,
+                                  "planner.cache"};
   /// Front = most recently used. The map indexes list nodes for O(1)
   /// lookup + splice-to-front.
   mutable std::list<LruNode> lru_ GUARDED_BY(cache_mu_);
@@ -400,7 +390,8 @@ class RoutePlanner {
                              CacheKeyHash>
       index_ GUARDED_BY(cache_mu_);
 
-  mutable common::Mutex flight_mu_;
+  mutable common::Mutex flight_mu_ ACQUIRED_BEFORE(cache_mu_){
+      common::LockRank::kRouteFlightTable, "planner.flight_table"};
   /// In-progress enumerations by key. An entry whose epoch is older than
   /// the arriving query's is replaced (its leader still completes and
   /// notifies its own followers; the pointer-compare on erase keeps it

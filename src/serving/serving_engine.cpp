@@ -64,6 +64,12 @@ std::vector<routing::Path> GenerateCandidates(
 /// const inference path writes into. No parameters live here — every
 /// replica scores against the one shared snapshot.
 struct ServingEngine::Replica {
+  /// Round-robin replicas share kEngineReplica (a caller holds exactly
+  /// one); the coalescing replica gets kEngineBatchReplica because its
+  /// holder — and only its holder — may dispatch a pool region, so it
+  /// must rank BEFORE pool.region while the round-robin locks rank after
+  /// (RankBatch chunks take them under the region owner's pool.region).
+  Replica(int rank, const char* name) : mu(rank, name) {}
   common::Mutex mu;
   core::InferenceScratch scratch GUARDED_BY(mu);
 };
@@ -76,13 +82,24 @@ ServingEngine::ServingEngine(const graph::RoadNetwork& network,
   PR_CHECK(snapshot->vocab_size() == network.num_vertices())
       << "model/network vertex-count mismatch";
   snapshot_ = std::move(snapshot);
-  const size_t n = options_.num_replicas > 0 ? options_.num_replicas
-                                             : std::max<size_t>(1, GetNumThreads());
+  // Touch the global pool now, while this thread holds no engine lock.
+  // Replica locks rank ABOVE the pool bands (src/common/lock_rank.h), so
+  // if an inference call's ParallelFor were also the process's FIRST pool
+  // use, the lazy ThreadPool::Global() constructor would acquire
+  // pool.region under engine.replica — a rank inversion (and the one
+  // pool-under-replica path the SerialRegionScope in ScoreOn cannot
+  // prevent). Engine construction is the one point that can guarantee a
+  // lock-free context before any replica lock exists.
+  const size_t pool_threads = std::max<size_t>(1, GetNumThreads());
+  const size_t n =
+      options_.num_replicas > 0 ? options_.num_replicas : pool_threads;
   replicas_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    replicas_.push_back(std::make_unique<Replica>());
+    replicas_.push_back(std::make_unique<Replica>(
+        common::LockRank::kEngineReplica, "engine.replica"));
   }
-  batch_replica_ = std::make_unique<Replica>();
+  batch_replica_ = std::make_unique<Replica>(
+      common::LockRank::kEngineBatchReplica, "engine.batch_replica");
 }
 
 ServingEngine::ServingEngine(const graph::RoadNetwork& network,

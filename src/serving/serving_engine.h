@@ -143,11 +143,12 @@ class ServingEngine {
   /// in-flight request completes (or when the caller drops the returned
   /// handle, whichever is later). Thread-safe; callable under full load.
   std::shared_ptr<const ModelSnapshot> SwapSnapshot(
-      std::shared_ptr<const ModelSnapshot> next);
+      std::shared_ptr<const ModelSnapshot> next) EXCLUDES(snapshot_mu_);
 
   /// The currently served snapshot (a new swap may supersede it at any
   /// time; the returned handle stays valid regardless).
-  std::shared_ptr<const ModelSnapshot> shared_snapshot() const {
+  std::shared_ptr<const ModelSnapshot> shared_snapshot() const
+      EXCLUDES(snapshot_mu_) {
     common::MutexLock lock(snapshot_mu_);
     return snapshot_;
   }
@@ -171,8 +172,11 @@ class ServingEngine {
   /// Guarded by a mutex rather than std::atomic<shared_ptr>: the critical
   /// section is one refcounted copy (noise next to a forward pass), and
   /// libstdc++'s lock-bit _Sp_atomic protocol is opaque to TSan, which
-  /// the CI thread-sanitizer gate runs against.
-  mutable common::Mutex snapshot_mu_;
+  /// the CI thread-sanitizer gate runs against. Never held while taking
+  /// a replica lock (the snapshot handle is copied out first), hence the
+  /// rank before both replica families.
+  mutable common::Mutex snapshot_mu_{common::LockRank::kEngineSnapshot,
+                                     "engine.snapshot"};
   std::shared_ptr<const ModelSnapshot> snapshot_ GUARDED_BY(snapshot_mu_);
   std::atomic<uint64_t> swap_count_{0};
   ServingOptions options_;

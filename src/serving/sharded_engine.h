@@ -102,6 +102,9 @@ class ShardedEngine {
  private:
   ShardedOptions options_;
   std::vector<std::unique_ptr<ServingEngine>> shards_;
+  /// Lock-free on purpose — the router tier owns no mutex of its own, so
+  /// it has no slot in the lock hierarchy (common/lock_rank.h): every
+  /// lock a sharded call touches belongs to the shard engines beneath.
   mutable std::atomic<uint64_t> rotation_{0};
 };
 

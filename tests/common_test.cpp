@@ -1,9 +1,12 @@
-// Unit tests for the common utilities: RNG, CSV, strings, env, logging.
+// Unit tests for the common utilities: RNG, CSV, strings, env, logging,
+// and the annotated CondVar's timed-wait paths.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <set>
+#include <thread>
 
 #include "common/csv.h"
 #include "common/env.h"
@@ -12,6 +15,7 @@
 #include "common/percentile.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/thread_annotations.h"
 
 namespace pathrank {
 namespace {
@@ -283,6 +287,76 @@ TEST(Percentile, SingleSampleIsEveryQuantile) {
   EXPECT_EQ(PercentileSorted(one, 0.5), 7.0);
   EXPECT_EQ(PercentileSorted(one, 0.99), 7.0);
   EXPECT_EQ(PercentileSorted(one, 1.0), 7.0);
+}
+
+TEST(CondVar, WaitForTimesOutWithNobodyNotifying) {
+  common::Mutex mu;
+  common::CondVar cv;
+  // Spurious wakeups return no_timeout early, so loop until the wait
+  // itself reports timeout — bounded by an outer deadline generous
+  // enough (5 s vs 5 ms waits) that a scheduler hiccup cannot flake it.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::cv_status status = std::cv_status::no_timeout;
+  common::MutexLock lock(mu);
+  while (status != std::cv_status::timeout &&
+         std::chrono::steady_clock::now() < give_up) {
+    status = cv.WaitFor(mu, std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(status, std::cv_status::timeout);
+}
+
+TEST(CondVar, WaitUntilPastDeadlineReportsTimeoutImmediately) {
+  common::Mutex mu;
+  common::CondVar cv;
+  common::MutexLock lock(mu);
+  // An already-expired deadline must come back timeout, not block.
+  const auto past =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  EXPECT_EQ(cv.WaitUntil(mu, past), std::cv_status::timeout);
+}
+
+TEST(CondVar, WaitUntilWakesOnNotifyBeforeDeadline) {
+  common::Mutex mu;
+  common::CondVar cv;
+  bool ready = false;  // guarded by mu (local, so no GUARDED_BY member)
+  std::thread notifier([&] {
+    {
+      common::MutexLock lock(mu);
+      ready = true;
+    }
+    cv.NotifyOne();
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  bool timed_out = false;
+  {
+    common::MutexLock lock(mu);
+    // Predicate loop, as the CondVar contract requires: WaitUntil holds
+    // mu again on return, so reading `ready` here is race-free.
+    while (!ready && !timed_out) {
+      timed_out = cv.WaitUntil(mu, deadline) == std::cv_status::timeout;
+    }
+    EXPECT_TRUE(ready);
+    EXPECT_FALSE(timed_out);
+  }
+  notifier.join();
+}
+
+TEST(CondVar, WaitForReacquiresTheMutexOnTimeout) {
+  // The timed waits must return with the mutex HELD whatever the
+  // outcome — guarded state is legal to touch right after. (Under
+  // -DPATHRANK_DEBUG_LOCK_RANK the held-stack must agree.)
+  common::Mutex mu(42, "test.cv_mutex");
+  common::CondVar cv;
+  {
+    common::MutexLock lock(mu);
+    (void)cv.WaitFor(mu, std::chrono::milliseconds(1));
+    if (common::LockRankCheckingEnabled()) {
+      EXPECT_EQ(common::LockRankHeldCount(), 1u);
+    }
+  }
+  EXPECT_EQ(common::LockRankHeldCount(), 0u);
 }
 
 }  // namespace

@@ -4,7 +4,7 @@
 // miniature of the paper's experimental protocol.
 #include <gtest/gtest.h>
 
-#include "core/pathrank.h"
+#include "pathrank.h"
 
 namespace pathrank {
 namespace {

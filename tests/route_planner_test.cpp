@@ -204,36 +204,6 @@ TEST(RoutePlanner, ConfiguredDefaultKIsExemptFromMaxK) {
   EXPECT_EQ(planner.Plan({0, 63, 70}).status, RouteStatus::kBadRequest);
 }
 
-TEST(RoutePlanner, DeprecatedConstructorsStillWork) {
-  // The pre-config (source, score, options) constructors forward to the
-  // config form unchanged — kept for one release for out-of-tree callers.
-  graph::RoadNetwork network = graph::BuildTestNetwork();
-  const core::PathRankModel model(network.num_vertices(), SmallConfig());
-  const ServingEngine engine(network, model);
-  const auto score = [&engine](std::vector<routing::Path> paths) {
-    return engine.ScoreBatch(paths);
-  };
-  RoutePlannerOptions options;
-  options.candidates = GenConfig();
-  options.cache_capacity = 4;
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  const RoutePlanner pinned(network, score, options);
-  GraphStore store(graph::BuildTestNetwork());
-  const RoutePlanner live(store, score, options);
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
-  const RouteResult via_pinned = pinned.Plan({0, 63});
-  ASSERT_EQ(via_pinned.status, RouteStatus::kOk);
-  EXPECT_EQ(pinned.config().cache_capacity, options.cache_capacity);
-  const RouteResult via_live = live.Plan({0, 63});
-  ASSERT_EQ(via_live.status, RouteStatus::kOk);
-  ExpectSameRanking(via_live.ranked, via_pinned.ranked);
-}
-
 TEST(RoutePlanner, UnreachablePairReportedAndNegativelyCached) {
   const auto network = BuildDisconnectedNetwork();
   const core::PathRankModel model(network.num_vertices(), SmallConfig());

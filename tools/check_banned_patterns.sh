@@ -22,6 +22,15 @@
 #   locked-sleep    std::this_thread::sleep_for while a lock guard is in
 #                   scope. Sleeping under a mutex turns a pause into a
 #                   pile-up; injected fault delays must run unlocked.
+#   raw-sync        std::mutex / lock_guard / unique_lock / scoped_lock /
+#                   shared_lock / condition_variable in src/ outside
+#                   common/thread_annotations.h (their one home). Locking
+#                   must go through the annotated wrappers (common::Mutex
+#                   & friends) or it is invisible to BOTH deadlock-freedom
+#                   proofs: clang's thread-safety analysis and the
+#                   PATHRANK_DEBUG_LOCK_RANK runtime checker
+#                   (common/lock_rank.h). std::once_flag/call_once stay
+#                   legal — they hold no user-visible lock.
 #
 # Allowlist: tools/banned_patterns_allowlist.txt, lines of
 # "<rule>:<repo-relative-path>  # reason". An entry suppresses that rule
@@ -161,6 +170,23 @@ for file in "${ALL_FILES[@]}"; do
       }
     }
   ' || true)
+done
+
+# ---- raw-sync ----------------------------------------------------------
+# The negative lookahead bash can't do is handled by matching the type
+# names exactly: a trailing [^a-zA-Z_] keeps std::mutex from matching
+# inside longer identifiers while still catching "std::mutex mu;",
+# "std::mutex>", "std::mutex&" and friends.
+SYNC_RE='std::(recursive_|timed_|recursive_timed_|shared_)?mutex[^a-zA-Z_]|std::(lock_guard|unique_lock|scoped_lock|shared_lock)[^a-zA-Z_]|std::condition_variable(_any)?[^a-zA-Z_]'
+for file in "${SRC_FILES[@]}"; do
+  case "$file" in
+    src/common/thread_annotations.h) continue ;;
+  esac
+  allowlisted raw-sync "$file" && continue
+  while IFS= read -r hit; do
+    [ -n "$hit" ] || continue
+    report raw-sync "$file" "${hit%%:*}" "${hit#*:}"
+  done < <(stripped "$ROOT/$file" | grep -En "$SYNC_RE" || true)
 done
 
 # ---- allowlist hygiene -------------------------------------------------

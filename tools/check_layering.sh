@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Architecture-layering gate: derives the module dependency graph of src/
+# from its `#include "module/..."` lines and fails (non-zero exit, one
+# line per offender) when an include points UP the layer order or when
+# the module graph has a cycle. The layering is the one docs/
+# architecture.md draws:
+#
+#   band 0  common                     (no dependencies)
+#   band 1  graph
+#   band 2  routing, nn
+#   band 3  data, embedding, traj
+#   band 4  core, metrics
+#   band 5  serving
+#   band 6  <src root>                 (the pathrank.h umbrella only)
+#
+# A module may include same-band or lower-band modules only; same-band
+# edges (core -> metrics, data -> traj) are legal as long as the module
+# graph stays acyclic — the explicit cycle check below catches a future
+# A <-> B pair inside one band, which per-edge band comparison cannot.
+#
+# Like check_banned_patterns.sh this is machine-checked architecture:
+# the DAG in the docs is enforced, not tribal knowledge. Registered as
+# the `layering_check` ctest and run by the CI hygiene job. There is
+# deliberately NO allowlist: an upward include is never justified —
+# split the header or move the code down instead.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+failures=0
+
+# Module -> band. The src root ("") is the umbrella header's home and
+# sits above everything. A NEW top-level directory under src/ must be
+# added here (and to docs/architecture.md) or the gate fails — placing a
+# module in the layer order is part of creating it.
+band_of() {
+  case "$1" in
+    common) echo 0 ;;
+    graph) echo 1 ;;
+    routing | nn) echo 2 ;;
+    data | embedding | traj) echo 3 ;;
+    core | metrics) echo 4 ;;
+    serving) echo 5 ;;
+    "") echo 6 ;;
+    *) echo "" ;;
+  esac
+}
+
+mapfile -t SRC_FILES < <(cd "$ROOT" && find src -name '*.cpp' -o -name '*.h' | sort)
+
+# Module-level edge set "from to" (deduplicated, self-edges dropped),
+# built alongside the per-include band check so one pass serves both.
+edges=""
+
+for file in "${SRC_FILES[@]}"; do
+  rel="${file#src/}"
+  from_module="$(dirname "$rel")"
+  [ "$from_module" = "." ] && from_module=""
+  from_band="$(band_of "$from_module")"
+  if [ -z "$from_band" ]; then
+    echo "LAYERING $file: module 'src/$from_module' has no band — add it to tools/check_layering.sh and docs/architecture.md"
+    failures=$((failures + 1))
+    continue
+  fi
+  while IFS= read -r hit; do
+    [ -n "$hit" ] || continue
+    line="${hit%%:*}"
+    include="$(echo "${hit#*:}" | sed -E 's|^#include "([^"]+)".*|\1|')"
+    case "$include" in
+      */*) to_module="${include%%/*}" ;;
+      *) to_module="" ;;  # src-root include (the umbrella header)
+    esac
+    [ "$to_module" = "$from_module" ] && continue
+    to_band="$(band_of "$to_module")"
+    if [ -z "$to_band" ]; then
+      echo "LAYERING $file:$line: include of unknown module '$to_module' ($include)"
+      failures=$((failures + 1))
+      continue
+    fi
+    if [ "$to_band" -gt "$from_band" ]; then
+      echo "LAYERING $file:$line: '$from_module' (band $from_band) includes upward into '$to_module' (band $to_band): $include"
+      failures=$((failures + 1))
+    fi
+    edges="$edges$from_module>$to_module"$'\n'
+  done < <(grep -En '^#include "[a-zA-Z0-9_]+(/[a-zA-Z0-9_./]+)?\.h"' "$ROOT/$file" || true)
+done
+
+# Cycle check over the module graph (Kahn's algorithm: repeatedly retire
+# in-degree-zero modules; whatever survives sits on a cycle). Catches
+# mutual includes WITHIN a band, which the per-edge check above allows.
+cycle_modules="$(printf '%s' "$edges" | sort -u | awk -F'>' '
+  NF == 2 {
+    if (!($1 in seen)) { seen[$1] = 1; nodes[++n] = $1 }
+    if (!($2 in seen)) { seen[$2] = 1; nodes[++n] = $2 }
+    edge_from[++m] = $1
+    edge_to[m] = $2
+  }
+  END {
+    removed = 1
+    while (removed) {
+      removed = 0
+      # In-degree over edges whose source is still live.
+      for (i = 1; i <= n; i++) indeg[nodes[i]] = 0
+      for (j = 1; j <= m; j++) {
+        if (!done[edge_from[j]]) indeg[edge_to[j]]++
+      }
+      for (i = 1; i <= n; i++) {
+        node = nodes[i]
+        if (done[node] || indeg[node] > 0) continue
+        done[node] = 1
+        removed = 1
+      }
+    }
+    for (i = 1; i <= n; i++) {
+      if (!done[nodes[i]]) printf "%s ", nodes[i]
+    }
+  }')"
+
+# Survivors are the cycle's members plus everything they include
+# (in-degree never drains below a cycle) — the cycle is in this set.
+if [ -n "${cycle_modules// /}" ]; then
+  echo "LAYERING cycle: module include graph has a cycle within: $cycle_modules"
+  failures=$((failures + 1))
+fi
+
+if [ "$failures" -gt 0 ]; then
+  echo "check_layering: $failures finding(s)"
+  exit 1
+fi
+echo "check_layering: clean"

@@ -1,5 +1,5 @@
 #include <cstdio>
-#include "core/pathrank.h"
+#include "pathrank.h"
 #include "metrics/ranking_metrics.h"
 #include "routing/path_similarity.h"
 #include "common/env.h"

@@ -63,7 +63,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/model_io.h"
-#include "core/pathrank.h"
+#include "pathrank.h"
 #include "graph/graph_io.h"
 #include "serving/batching_queue.h"
 #include "serving/fault_injector.h"
